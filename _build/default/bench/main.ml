@@ -1,0 +1,144 @@
+(* Benchmark harness.
+
+   Two parts, mirroring DESIGN.md's per-experiment index:
+
+   1. Bechamel micro-benchmarks: one [Test.make] per experiment kernel
+      (e1..e15), timing the inner operation each experiment is built on.
+   2. The experiment tables themselves (EXPERIMENTS.md records this
+      output): full sweeps by default, or reduced with --quick.
+
+   Run with:  dune exec bench/main.exe            (full, ~2 min)
+              dune exec bench/main.exe -- --quick *)
+
+open Bechamel
+open Toolkit
+open Mathx
+
+let seed = 2006
+
+(* ------------------------------------------------------- bench inputs *)
+
+let rng0 = Rng.create seed
+
+let member_k2 = (Lang.Instance.disjoint_pair (Rng.copy rng0) ~k:2).Lang.Instance.input
+let member_k3 = (Lang.Instance.disjoint_pair (Rng.copy rng0) ~k:3).Lang.Instance.input
+
+let bad_k1 =
+  (Lang.Instance.intersecting_pair (Rng.copy rng0) ~k:1 ~t:1).Lang.Instance.input
+
+let corrupted_k2 =
+  (Lang.Instance.corrupt_repetition (Rng.copy rng0)
+     ~base:(Lang.Instance.disjoint_pair (Rng.copy rng0) ~k:2))
+    .Lang.Instance.input
+
+let bcw_pair_m64 =
+  let rng = Rng.copy rng0 in
+  let x = Bitvec.random rng 64 in
+  let y = Bitvec.create 64 in
+  for i = 0 to 63 do
+    if not (Bitvec.get x i) then Bitvec.set y i (Rng.bool rng)
+  done;
+  (x, y)
+
+let tests =
+  [
+    Test.make ~name:"e1/bcw-run-m64"
+      (Staged.stage (fun () ->
+           let x, y = bcw_pair_m64 in
+           ignore (Comm.Bcw.run (Rng.create 1) ~x ~y)));
+    Test.make ~name:"e2/oneway-rows-n8"
+      (Staged.stage (fun () -> ignore (Comm.Exact.distinct_rows ~n:8)));
+    Test.make ~name:"e3/recognizer-k2"
+      (Staged.stage (fun () ->
+           ignore (Oqsc.Recognizer.run ~rng:(Rng.create 2) member_k2)));
+    Test.make ~name:"e4/amplified-x3-k1"
+      (Staged.stage (fun () ->
+           ignore (Oqsc.Recognizer.amplified ~rng:(Rng.create 3) ~repetitions:3 bad_k1)));
+    Test.make ~name:"e5/census-copy-m4"
+      (Staged.stage (fun () ->
+           let machine = Machine.Machines.copy_then_compare ~m:4 in
+           ignore (Machine.Optm.configs_at_cut machine "0110#0110" ~cut:5)));
+    Test.make ~name:"e6/sketch-bucket-k3"
+      (Staged.stage (fun () ->
+           ignore
+             (Oqsc.Sketch.run ~rng:(Rng.create 4) ~strategy:Oqsc.Sketch.Bucket_filter
+                ~budget:16 member_k3)));
+    Test.make ~name:"e7/block-k3"
+      (Staged.stage (fun () ->
+           ignore (Oqsc.Classical_block.run ~rng:(Rng.create 5) member_k3)));
+    Test.make ~name:"e8/naive-k3"
+      (Staged.stage (fun () -> ignore (Oqsc.Naive.run ~rng:(Rng.create 6) member_k3)));
+    Test.make ~name:"e9/closed-form-sweep"
+      (Staged.stage (fun () ->
+           for t = 1 to 63 do
+             ignore (Grover.Analysis.avg_success_random_j ~rounds:8 ~t ~space:64)
+           done));
+    Test.make ~name:"e10/a2-corrupted-k2"
+      (Staged.stage (fun () ->
+           ignore (Oqsc.Recognizer.run ~rng:(Rng.create 8) corrupted_k2)));
+    Test.make ~name:"e11/lower-a3-k1"
+      (Staged.stage (fun () ->
+           let lay = Circuit.Ops.layout ~k:1 in
+           let circ = Circuit.Circ.create ~nqubits:(Circuit.Ops.data_qubits lay) in
+           Circuit.Circ.add_list circ (Circuit.Ops.u_k lay);
+           Circuit.Circ.add_list circ (Circuit.Ops.v_bit lay 2);
+           Circuit.Circ.add_list circ (Circuit.Ops.w_bit lay 1);
+           Circuit.Circ.add_list circ (Circuit.Ops.s_k lay);
+           ignore (Circuit.Lower.to_basis circ)));
+    Test.make ~name:"e12/qfa-blocks-p61"
+      (Staged.stage (fun () ->
+           ignore (Qfa.Divisibility.blocks_needed (Rng.create 9) ~p:61 ~threshold:0.75)));
+    Test.make ~name:"e13/nondet-decide-n64"
+      (Staged.stage (fun () ->
+           let x = String.make 64 '0' and y = String.make 63 '0' ^ "1" in
+           ignore (Oqsc.Nondet_ne.decide (x ^ "#" ^ y))));
+    Test.make ~name:"e15/compile-ldisj-shape"
+      (Staged.stage (fun () ->
+           ignore (Machine.Program.compile (Machine.Program.ldisj_shape ~width:7))));
+    Test.make ~name:"e14/noisy-a3-k2"
+      (Staged.stage (fun () ->
+           let rng = Rng.create 14 in
+           let ws = Machine.Workspace.create () in
+           let a1 = Oqsc.A1.create ws in
+           let noise s = Quantum.Noise.depolarize_all rng ~p:0.05 s in
+           let a3 = ref None in
+           String.iter
+             (fun c ->
+               let role = Oqsc.A1.feed a1 (Machine.Symbol.of_char c) in
+               (match role with
+               | Oqsc.A1.Prefix_sep -> a3 := Some (Oqsc.A3.create ~noise ws rng ~k:2)
+               | _ -> ());
+               match !a3 with Some p -> Oqsc.A3.observe p role | None -> ())
+             member_k2));
+  ]
+
+let run_microbenches () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raws = Benchmark.all cfg instances (Test.make_grouped ~name:"oqsc" tests) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raws in
+  Printf.printf "== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ==\n";
+  Printf.printf "%-28s %14s %8s\n" "kernel" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 52 '-');
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, result) ->
+         let estimate =
+           match Analyze.OLS.estimates result with
+           | Some (e :: _) -> Printf.sprintf "%14.0f" e
+           | _ -> Printf.sprintf "%14s" "-"
+         in
+         let r2 =
+           match Analyze.OLS.r_square result with
+           | Some r -> Printf.sprintf "%8.4f" r
+           | None -> Printf.sprintf "%8s" "-"
+         in
+         Printf.printf "%-28s %s %s\n" name estimate r2)
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  run_microbenches ();
+  Printf.printf "\n== Experiment tables (one per DESIGN.md index entry) ==\n";
+  Experiments.Registry.run_all ~quick ~seed Format.std_formatter;
+  Format.pp_print_flush Format.std_formatter ()

@@ -1,0 +1,166 @@
+(* oqsc: command-line front end.
+
+   Subcommands:
+     gen   - generate an L_DISJ instance (member / intersecting / corrupted /
+             malformed) on stdout
+     run   - run a recognizer (quantum / block / naive / sketch) on an input
+     ne    - decide the L_NE extension language nondeterministically
+     exp   - run one experiment (e1..e15) or all of them
+     ids   - list experiment ids with descriptions *)
+
+open Cmdliner
+open Mathx
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin |> String.trim
+  | path -> In_channel.with_open_text path In_channel.input_all |> String.trim
+
+(* ------------------------------------------------------------------ gen *)
+
+let gen_cmd =
+  let k =
+    Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Language parameter k >= 1.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("member", `Member); ("intersect", `Intersect); ("corrupt", `Corrupt); ("malformed", `Malformed) ]) `Member
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Instance kind: member | intersect | corrupt | malformed.")
+  in
+  let t =
+    Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Planted intersections (intersect kind).")
+  in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let action k kind t seed =
+    let rng = Rng.create seed in
+    let inst =
+      match kind with
+      | `Member -> Lang.Instance.disjoint_pair rng ~k
+      | `Intersect -> Lang.Instance.intersecting_pair rng ~k ~t
+      | `Corrupt ->
+          Lang.Instance.corrupt_repetition rng ~base:(Lang.Instance.disjoint_pair rng ~k)
+      | `Malformed -> Lang.Instance.malformed rng ~k
+    in
+    print_string inst.Lang.Instance.input;
+    print_newline ();
+    Printf.eprintf "k=%d length=%d member=%b\n" k
+      (String.length inst.Lang.Instance.input)
+      (Lang.Instance.is_member inst)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an L_DISJ instance on stdout (ground truth on stderr).")
+    Term.(const action $ k $ kind $ t $ seed)
+
+(* ------------------------------------------------------------------ run *)
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("quantum", `Quantum); ("block", `Block); ("naive", `Naive); ("bucket", `Bucket); ("subsample", `Subsample) ]) `Quantum
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Recognizer: quantum | block | naive | bucket | subsample.")
+  in
+  let input =
+    Arg.(value & opt string "-" & info [ "input" ] ~docv:"FILE" ~doc:"Input file, or - for stdin.")
+  in
+  let budget =
+    Arg.(value & opt int 16 & info [ "budget" ] ~docv:"BITS" ~doc:"Sketch budget in bits.")
+  in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let action algo input budget seed =
+    let w = read_input input in
+    let rng = Rng.create seed in
+    (match algo with
+    | `Quantum ->
+        let r = Oqsc.Recognizer.run ~rng w in
+        Printf.printf
+          "verdict: %s (exact acceptance probability %.4f)\nspace: %d classical bits + %d qubits\nA1 ok: %b  A2 ok: %b  k: %s\n"
+          (if r.Oqsc.Recognizer.accept then "in L_DISJ" else "not in L_DISJ")
+          r.Oqsc.Recognizer.accept_probability
+          r.Oqsc.Recognizer.space.Oqsc.Recognizer.classical_bits
+          r.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits r.Oqsc.Recognizer.a1_ok
+          r.Oqsc.Recognizer.a2_ok
+          (match r.Oqsc.Recognizer.k with Some k -> string_of_int k | None -> "?")
+    | `Block ->
+        let r = Oqsc.Classical_block.run ~rng w in
+        Printf.printf "verdict: %s\nspace: %d bits (block store %d)\n"
+          (if r.Oqsc.Classical_block.accept then "in L_DISJ" else "not in L_DISJ")
+          r.Oqsc.Classical_block.space_bits r.Oqsc.Classical_block.storage_bits
+    | `Naive ->
+        let r = Oqsc.Naive.run ~rng w in
+        Printf.printf "verdict: %s\nspace: %d bits (x store %d)\n"
+          (if r.Oqsc.Naive.accept then "in L_DISJ" else "not in L_DISJ")
+          r.Oqsc.Naive.space_bits r.Oqsc.Naive.storage_bits
+    | `Bucket | `Subsample ->
+        let strategy =
+          if algo = `Bucket then Oqsc.Sketch.Bucket_filter else Oqsc.Sketch.Subsample
+        in
+        let r = Oqsc.Sketch.run ~rng ~strategy ~budget w in
+        Printf.printf "sketch claims: %s\nspace: %d bits (budget %d)\n"
+          (if r.Oqsc.Sketch.claims_intersecting then "intersecting" else "disjoint")
+          r.Oqsc.Sketch.space_bits budget);
+    Printf.printf "ground truth: %s\n"
+      (if Lang.Ldisj.member w then "in L_DISJ" else "not in L_DISJ")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a recognizer on an input string.")
+    Term.(const action $ algo $ input $ budget $ seed)
+
+(* ------------------------------------------------------------------ exp *)
+
+let exp_cmd =
+  let id =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e15) or 'all'.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps and trial counts.") in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let action id quick seed =
+    let fmt = Format.std_formatter in
+    try
+      if String.equal id "all" then Experiments.Registry.run_all ~quick ~seed fmt
+      else Experiments.Registry.run ~quick ~seed id fmt;
+      `Ok ()
+    with Not_found ->
+      `Error (false, Printf.sprintf "unknown experiment %S; try 'oqsc ids'" id)
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run one experiment (or all) and print its table.")
+    Term.(ret (const action $ id $ quick $ seed))
+
+(* ------------------------------------------------------------------ ids *)
+
+let ne_cmd =
+  let input =
+    Arg.(value & opt string "-" & info [ "input" ] ~docv:"FILE" ~doc:"Input file, or - for stdin.")
+  in
+  let action input =
+    let w = read_input input in
+    let d = Oqsc.Nondet_ne.decide w in
+    Printf.printf "L_NE verdict: %s\n"
+      (if d.Oqsc.Nondet_ne.member then "member (x <> y)" else "not a member");
+    (match d.Oqsc.Nondet_ne.witness with
+    | Some g -> Printf.printf "witness index: %d\n" g
+    | None -> ());
+    Printf.printf "branch space: %d bits; ground truth: %b\n"
+      d.Oqsc.Nondet_ne.branch_space_bits
+      (Oqsc.Nondet_ne.member_reference w)
+  in
+  Cmd.v
+    (Cmd.info "ne" ~doc:"Decide the L_NE = { x#y : x <> y } extension language nondeterministically.")
+    Term.(const action $ input)
+
+let ids_cmd =
+  let action () =
+    List.iter
+      (fun id -> Printf.printf "%-4s %s\n" id (Experiments.Registry.description id))
+      Experiments.Registry.ids
+  in
+  Cmd.v (Cmd.info "ids" ~doc:"List experiment ids.") Term.(const action $ const ())
+
+let main =
+  let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
+  Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
+    [ gen_cmd; run_cmd; exp_cmd; ne_cmd; ids_cmd ]
+
+let () = exit (Cmd.eval main)

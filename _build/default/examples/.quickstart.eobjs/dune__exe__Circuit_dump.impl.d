@@ -1,0 +1,1 @@
+examples/circuit_dump.ml: Circuit Format Lang Machine Mathx Option Oqsc Printf Rng String

@@ -1,0 +1,1 @@
+examples/comm_faceoff.ml: Bitvec Comm List Mathx Printf Rng

@@ -1,0 +1,1 @@
+examples/def23_machine.ml: List Machine Oqsc Printf String

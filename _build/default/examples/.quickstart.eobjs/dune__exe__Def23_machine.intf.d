@@ -1,0 +1,1 @@
+examples/def23_machine.mli:

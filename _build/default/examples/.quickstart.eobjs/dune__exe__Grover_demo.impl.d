@@ -1,0 +1,1 @@
+examples/grover_demo.ml: Bitvec Grover List Mathx Printf Rng

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lang Mathx Oqsc Printf Rng String

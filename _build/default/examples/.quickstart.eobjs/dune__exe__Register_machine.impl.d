@@ -1,0 +1,1 @@
+examples/register_machine.ml: Array List Machine Optm Printf Program

@@ -1,0 +1,1 @@
+examples/stream_audit.ml: Lang List Mathx Oqsc Printf Rng String

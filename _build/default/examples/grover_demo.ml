@@ -1,0 +1,55 @@
+(* Grover search and the BBHT unknown-count schedule, the quantum engine
+   behind procedure A3 and the BCW protocol.
+
+   Run with:  dune exec examples/grover_demo.exe *)
+
+open Mathx
+
+let () =
+  let rng = Rng.create 123 in
+  let n = 10 in
+  let space = 1 lsl n in
+
+  (* One planted needle. *)
+  let haystack = Bitvec.create space in
+  let needle = Rng.int rng space in
+  Bitvec.set haystack needle true;
+  let oracle = Grover.Oracle.of_bitvec haystack in
+
+  Printf.printf "searching %d items for 1 marked (classically: ~%d probes expected)\n\n"
+    space (space / 2);
+
+  Printf.printf "%-12s %-22s %s\n" "iterations" "P[measure marked]" "closed form sin^2((2j+1)theta)";
+  List.iter
+    (fun j ->
+      let s = Grover.Iterate.run oracle j in
+      Printf.printf "%-12d %-22.6f %.6f\n" j
+        (Grover.Iterate.success_probability oracle s)
+        (Grover.Analysis.success_after ~j ~t:1 ~space))
+    [ 0; 4; 8; 16; 25; 32 ];
+  Printf.printf "\noptimal iteration count floor(pi/4 sqrt(N)) = %d\n"
+    (Grover.Iterate.optimal_iterations ~n_solutions:1 ~space);
+
+  (* Unknown number of solutions: the BBHT schedule. *)
+  Printf.printf "\nBBHT with unknown solution count:\n";
+  List.iter
+    (fun t ->
+      let marked = Bitvec.random_with_weight rng space t in
+      let o = Grover.Oracle.of_bitvec marked in
+      let outcome = Grover.Bbht.search (Rng.split rng) o in
+      Printf.printf
+        "  t=%-4d found=%-5b rounds=%-3d iterations=%-4d (expected O(sqrt(N/t)) ~ %.0f)\n" t
+        (outcome.Grover.Bbht.found <> None)
+        outcome.Grover.Bbht.rounds outcome.Grover.Bbht.iterations
+        (Grover.Analysis.bbht_expected_iterations ~t ~space))
+    [ 1; 4; 16; 64 ];
+
+  (* The paper's fixed-budget variant used by procedure A3. *)
+  Printf.printf "\nA3-style fixed budget (one round per input repetition):\n";
+  let marked = Bitvec.random_with_weight rng space 3 in
+  let o = Grover.Oracle.of_bitvec marked in
+  let rounds = 1 lsl (n / 2) and max_j = 1 lsl (n / 2) in
+  let outcome = Grover.Bbht.search_fixed_budget (Rng.split rng) o ~rounds ~max_j in
+  Printf.printf "  t=3: found=%b after %d rounds, %d iterations\n"
+    (outcome.Grover.Bbht.found <> None)
+    outcome.Grover.Bbht.rounds outcome.Grover.Bbht.iterations

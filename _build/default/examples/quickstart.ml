@@ -1,0 +1,48 @@
+(* Quickstart: build an L_DISJ instance, stream it through the quantum
+   online recognizer of Theorem 3.4, and look at the space ledger.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Mathx
+
+let describe label input rng =
+  let r = Oqsc.Recognizer.run ~rng input in
+  Printf.printf "%-22s -> %-14s  P[accept] = %.3f   space = %d bits + %d qubits\n"
+    label
+    (if r.Oqsc.Recognizer.accept then "in L_DISJ" else "not in L_DISJ")
+    r.Oqsc.Recognizer.accept_probability
+    r.Oqsc.Recognizer.space.Oqsc.Recognizer.classical_bits
+    r.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits
+
+let () =
+  let rng = Rng.create 42 in
+  let k = 3 in
+  Printf.printf "L_DISJ with k = %d: strings of length 2^(2k) = %d, repeated 2^k = %d times\n"
+    k (1 lsl (2 * k)) (1 lsl k);
+  let member = Lang.Instance.disjoint_pair rng ~k in
+  Printf.printf "input length n = %d symbols\n\n" (String.length member.Lang.Instance.input);
+
+  describe "disjoint (member)" member.Lang.Instance.input (Rng.split rng);
+
+  let bad = Lang.Instance.intersecting_pair rng ~k ~t:1 in
+  describe "one collision" bad.Lang.Instance.input (Rng.split rng);
+  Printf.printf "  (one-sided: rerunning the collision case finds it with prob >= 1/4 per run)\n";
+  for _ = 1 to 4 do
+    describe "one collision, rerun" bad.Lang.Instance.input (Rng.split rng)
+  done;
+
+  let corrupted = Lang.Instance.corrupt_repetition rng ~base:member in
+  describe "corrupted repetition" corrupted.Lang.Instance.input (Rng.split rng);
+
+  let malformed = Lang.Instance.malformed rng ~k in
+  describe "malformed" malformed.Lang.Instance.input (Rng.split rng);
+
+  (* Amplified, two-sided decision (Corollary 3.5). *)
+  let accept, prob =
+    Oqsc.Recognizer.amplified ~rng:(Rng.split rng) ~repetitions:4
+      bad.Lang.Instance.input
+  in
+  Printf.printf
+    "\namplified x4 on the collision case: accept=%b (exact probability %.4f <= (3/4)^4 = %.4f)\n"
+    accept prob
+    (Oqsc.Recognizer.amplification_error_bound ~repetitions:4)

@@ -1,0 +1,1 @@
+lib/circuit/circ.ml: Array Fmt Format Gate Gates List Mathx Quantum State Unitary

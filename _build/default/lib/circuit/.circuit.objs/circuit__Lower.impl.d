@@ -1,0 +1,1 @@
+lib/circuit/lower.ml: Circ Gate List

@@ -1,0 +1,1 @@
+lib/circuit/lower.mli: Circ Gate

@@ -1,0 +1,1 @@
+lib/circuit/ops.ml: Bitvec Fun Gate List Mathx Quantum State

@@ -1,0 +1,1 @@
+lib/circuit/ops.mli: Gate Mathx Quantum

@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Circ Gate List

@@ -1,0 +1,1 @@
+lib/circuit/verify.ml: Circ Cplx Float Mathx Quantum State

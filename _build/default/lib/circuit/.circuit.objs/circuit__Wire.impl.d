@@ -1,0 +1,1 @@
+lib/circuit/wire.ml: Buffer Circ Fmt Gate List String

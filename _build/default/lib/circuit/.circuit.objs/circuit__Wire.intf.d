@@ -1,0 +1,1 @@
+lib/circuit/wire.mli: Buffer Circ Gate

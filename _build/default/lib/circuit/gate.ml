@@ -1,0 +1,59 @@
+type t =
+  | H of int
+  | T of int
+  | Tdg of int
+  | S of int
+  | Sdg of int
+  | X of int
+  | Z of int
+  | Cnot of { control : int; target : int }
+  | Cz of int * int
+  | Ccx of { c1 : int; c2 : int; target : int }
+  | Mcx of { controls : int list; target : int }
+  | Mcz of int list
+
+let is_basis = function H _ | T _ | Cnot _ -> true | _ -> false
+
+let qubits = function
+  | H q | T q | Tdg q | S q | Sdg q | X q | Z q -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+  | Cz (a, b) -> [ a; b ]
+  | Ccx { c1; c2; target } -> [ c1; c2; target ]
+  | Mcx { controls; target } -> target :: controls
+  | Mcz qs -> qs
+
+let max_qubit g = List.fold_left max 0 (qubits g)
+
+let all_distinct qs =
+  let sorted = List.sort compare qs in
+  let rec check = function
+    | a :: (b :: _ as rest) -> a <> b && check rest
+    | [ _ ] | [] -> true
+  in
+  check sorted
+
+let well_formed g =
+  let qs = qubits g in
+  List.for_all (fun q -> q >= 0) qs
+  && all_distinct qs
+  && (match g with Mcz [] -> false | _ -> true)
+
+let pp fmt = function
+  | H q -> Format.fprintf fmt "H %d" q
+  | T q -> Format.fprintf fmt "T %d" q
+  | Tdg q -> Format.fprintf fmt "Tdg %d" q
+  | S q -> Format.fprintf fmt "S %d" q
+  | Sdg q -> Format.fprintf fmt "Sdg %d" q
+  | X q -> Format.fprintf fmt "X %d" q
+  | Z q -> Format.fprintf fmt "Z %d" q
+  | Cnot { control; target } -> Format.fprintf fmt "CNOT %d %d" control target
+  | Cz (a, b) -> Format.fprintf fmt "CZ %d %d" a b
+  | Ccx { c1; c2; target } -> Format.fprintf fmt "CCX %d %d %d" c1 c2 target
+  | Mcx { controls; target } ->
+      Format.fprintf fmt "MCX [%s] %d"
+        (String.concat ";" (List.map string_of_int controls))
+        target
+  | Mcz qs ->
+      Format.fprintf fmt "MCZ [%s]" (String.concat ";" (List.map string_of_int qs))
+
+let equal a b = a = b

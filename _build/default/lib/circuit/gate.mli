@@ -1,0 +1,42 @@
+(** Gate intermediate representation.
+
+    Two layers share this type:
+
+    - the {b basis} gates [H], [T], [Cnot] — exactly the universal set of
+      the paper's Definition 2.3 (with [Tdg] = T^7 available as a basis
+      macro since it lowers to seven [T]s);
+    - {b structured} gates ([X], [Z], [S], [Cz], [Ccx], [Mcx], [Mcz]) that
+      the Section 3.2 operators are naturally written in and that
+      {!Lower.to_basis} compiles away. *)
+
+type t =
+  | H of int
+  | T of int
+  | Tdg of int
+  | S of int
+  | Sdg of int
+  | X of int
+  | Z of int
+  | Cnot of { control : int; target : int }
+  | Cz of int * int
+  | Ccx of { c1 : int; c2 : int; target : int }
+  | Mcx of { controls : int list; target : int }
+      (** X on [target] iff all [controls] are 1.  Empty controls = X. *)
+  | Mcz of int list
+      (** Phase -1 iff all listed qubits are 1.  Requires >= 1 qubit. *)
+
+val is_basis : t -> bool
+(** True for [H], [T], [Cnot] — the strict Definition 2.3 set. *)
+
+val qubits : t -> int list
+(** All qubit indices the gate touches (no duplicates). *)
+
+val max_qubit : t -> int
+
+val well_formed : t -> bool
+(** Indices non-negative and pairwise distinct where distinctness is
+    required (e.g. control <> target). *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

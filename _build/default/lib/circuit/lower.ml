@@ -1,0 +1,102 @@
+let gate_ancillas (g : Gate.t) =
+  match g with
+  | Gate.Mcx { controls; _ } -> max 0 (List.length controls - 2)
+  | Gate.Mcz qs -> max 0 (List.length qs - 3)
+  | _ -> 0
+
+let ancillas_needed c =
+  let worst = ref 0 in
+  Circ.iter (fun g -> worst := max !worst (gate_ancillas g)) c;
+  !worst
+
+(* Standard 6-CNOT, 7-T Toffoli network (exact, phase included). *)
+let ccx_network c1 c2 t =
+  [
+    Gate.H t;
+    Gate.Cnot { control = c2; target = t };
+    Gate.Tdg t;
+    Gate.Cnot { control = c1; target = t };
+    Gate.T t;
+    Gate.Cnot { control = c2; target = t };
+    Gate.Tdg t;
+    Gate.Cnot { control = c1; target = t };
+    Gate.T c2;
+    Gate.T t;
+    Gate.H t;
+    Gate.Cnot { control = c1; target = c2 };
+    Gate.T c1;
+    Gate.Tdg c2;
+    Gate.Cnot { control = c1; target = c2 };
+  ]
+
+(* Compute/uncompute ladder: ANDs the controls pairwise into clean
+   ancillas, fires one Toffoli into the target, then restores the
+   ancillas.  Requires |controls| - 2 clean ancillas. *)
+let mcx_ladder controls target ancillas =
+  match controls with
+  | [] -> [ Gate.X target ]
+  | [ c ] -> [ Gate.Cnot { control = c; target } ]
+  | [ c1; c2 ] -> [ Gate.Ccx { c1; c2; target } ]
+  | c1 :: c2 :: rest ->
+      if List.length ancillas < List.length rest then
+        invalid_arg "Lower: not enough ancillas for MCX";
+      let rec chain prev rest ancillas acc =
+        match (rest, ancillas) with
+        | [ last ], _ -> (prev, last, List.rev acc)
+        | c :: rest', a :: ancillas' ->
+            chain a rest' ancillas' (Gate.Ccx { c1 = c; c2 = prev; target = a } :: acc)
+        | _, [] -> invalid_arg "Lower: not enough ancillas for MCX"
+        | [], _ -> assert false
+      in
+      (* First AND goes into the first ancilla. *)
+      (match ancillas with
+      | [] -> invalid_arg "Lower: not enough ancillas for MCX"
+      | a0 :: more ->
+          let first = Gate.Ccx { c1; c2; target = a0 } in
+          let last_anc, last_control, middle = chain a0 rest more [] in
+          let compute = first :: middle in
+          let fire = Gate.Ccx { c1 = last_control; c2 = last_anc; target } in
+          compute @ [ fire ] @ List.rev compute)
+
+let rec gate_to_basis ~ancillas (g : Gate.t) =
+  (* Only gates that draw from the ancilla pool must avoid touching it;
+     the Toffolis emitted by the ladder legitimately target ancillas. *)
+  (if gate_ancillas g > 0 then begin
+     let qs = Gate.qubits g in
+     if List.exists (fun a -> List.mem a qs) ancillas then
+       invalid_arg "Lower.gate_to_basis: ancilla pool overlaps gate qubits"
+   end);
+  let recurse gs = List.concat_map (gate_to_basis ~ancillas) gs in
+  match g with
+  | Gate.H _ | Gate.T _ | Gate.Cnot _ -> [ g ]
+  | Gate.Tdg q -> [ Gate.T q; Gate.T q; Gate.T q; Gate.T q; Gate.T q; Gate.T q; Gate.T q ]
+  | Gate.S q -> [ Gate.T q; Gate.T q ]
+  | Gate.Sdg q -> recurse [ Gate.Tdg q; Gate.Tdg q ]
+  | Gate.Z q -> [ Gate.T q; Gate.T q; Gate.T q; Gate.T q ]
+  | Gate.X q -> recurse [ Gate.H q; Gate.Z q; Gate.H q ]
+  | Gate.Cz (a, b) ->
+      [ Gate.H b; Gate.Cnot { control = a; target = b }; Gate.H b ]
+  | Gate.Ccx { c1; c2; target } -> recurse (ccx_network c1 c2 target)
+  | Gate.Mcx { controls; target } -> recurse (mcx_ladder controls target ancillas)
+  | Gate.Mcz [] -> invalid_arg "Lower: empty MCZ"
+  | Gate.Mcz [ q ] -> recurse [ Gate.Z q ]
+  | Gate.Mcz qs ->
+      let rec split_last acc = function
+        | [ last ] -> (List.rev acc, last)
+        | q :: rest -> split_last (q :: acc) rest
+        | [] -> assert false
+      in
+      let rest, last = split_last [] qs in
+      recurse
+        (Gate.H last :: Gate.Mcx { controls = rest; target = last } :: [ Gate.H last ])
+
+let to_basis ?ancilla_base c =
+  let base = match ancilla_base with Some b -> b | None -> Circ.nqubits c in
+  let needed = ancillas_needed c in
+  let ancillas = List.init needed (fun i -> base + i) in
+  let nqubits = max (Circ.nqubits c) (base + needed) in
+  let out = Circ.create ~nqubits in
+  Circ.iter (fun g -> Circ.add_list out (gate_to_basis ~ancillas g)) c;
+  out
+
+let t_count c = Circ.count c (function Gate.T _ -> true | _ -> false)

@@ -1,0 +1,33 @@
+(** Compilation to the universal set {H, T, CNOT} of Definition 2.3.
+
+    Every structured gate has an {e exact} decomposition (no approximation
+    step is needed — Solovay–Kitaev is unnecessary because the paper's
+    algorithm only uses gates generated exactly by H and T):
+
+    - [Tdg = T^7], [S = T^2], [Sdg = T^6], [Z = T^4], [X = H Z H]
+    - [CZ(a,b) = H(b) CNOT(a,b) H(b)]
+    - [CCX] via the standard 7-T-gate Toffoli network
+    - [MCX] with [k >= 3] controls via a compute/uncompute Toffoli ladder
+      using [k - 2] {b clean} ancilla qubits (returned to |0>)
+    - [MCZ qs = H(last) MCX(rest, last) H(last)]
+
+    All decompositions are exact as matrices except [Mcz [q]] = Z and the
+    gates built from it, which are exact too; global phase is preserved. *)
+
+val ancillas_needed : Circ.t -> int
+(** Clean ancillas required to lower every gate of the circuit. *)
+
+val gate_to_basis : ancillas:int list -> Gate.t -> Gate.t list
+(** Lowers one gate, drawing ancillas from the given clean pool.
+    @raise Invalid_argument if the pool is too small or overlaps the
+    gate's qubits. *)
+
+val to_basis : ?ancilla_base:int -> Circ.t -> Circ.t
+(** [to_basis c] compiles [c] to {H, T, CNOT} only.  Ancillas are placed at
+    indices [ancilla_base, ancilla_base+1, ...] (default: just above the
+    circuit's qubit budget); they must be |0> when the lowered circuit runs
+    and are returned to |0>.  The result's qubit budget covers them. *)
+
+val t_count : Circ.t -> int
+(** Number of [T] gates in a basis circuit (cost metric for fault-tolerant
+    architectures; reported by experiment E11). *)

@@ -1,0 +1,71 @@
+(** The structured operators of Section 3.2.
+
+    Procedure A3 works on the register |i>|h>|l> where [i] ranges over
+    [2^{2k}] addresses.  Layout used throughout this repository:
+
+    - qubits [0 .. 2k-1]: the address register (qubit 0 = LSB of [i]);
+    - qubit [2k]: the [h] flag;
+    - qubit [2k+1]: the [l] flag;
+    - qubits [2k+2 ...]: clean ancillas for lowering.
+
+    Each operator is provided in two interchangeable forms: a {b circuit
+    builder} (gate list, suitable for streaming emission and lowering) and
+    a {b direct state application} (the simulator fast path).  Tests check
+    they agree.
+
+    Per-bit builders ([v_bit], [w_bit], [r_bit]) emit the gates for one
+    input bit; an online machine calls them as it reads each bit, so it
+    never stores the strings x, y — this is the crux of the O(log n) space
+    bound. *)
+
+type layout = { k : int; address_width : int; h : int; l : int }
+
+val layout : k:int -> layout
+(** [layout ~k] has [address_width = 2k], [h = 2k], [l = 2k+1]. *)
+
+val data_qubits : layout -> int
+(** [2k + 2]: address + h + l. *)
+
+(** {1 Circuit builders} *)
+
+val u_k : layout -> Gate.t list
+(** U_k = H on every address qubit. *)
+
+val s_k : layout -> Gate.t list
+(** S_k: phase -1 on every basis state with non-zero address.  Built as
+    [X^{2k}; MCZ(address); X^{2k}], which equals S_k up to a global -1. *)
+
+val v_bit : layout -> int -> Gate.t list
+(** [v_bit lay i]: the gates contributed by reading bit [x_i = 1] of V_x:
+    flip [h] when the address equals [i].  (Bits with [x_i = 0] contribute
+    nothing.) *)
+
+val w_bit : layout -> int -> Gate.t list
+(** [w_bit lay i]: contribution of [y_i = 1] to W_y: phase -1 when the
+    address is [i] and [h = 1]. *)
+
+val r_bit : layout -> int -> Gate.t list
+(** [r_bit lay i]: contribution of [y_i = 1] to R_y: flip [l] when the
+    address is [i] and [h = 1]. *)
+
+val v_x : layout -> Mathx.Bitvec.t -> Gate.t list
+val w_y : layout -> Mathx.Bitvec.t -> Gate.t list
+val r_y : layout -> Mathx.Bitvec.t -> Gate.t list
+(** Whole-string operators (concatenate the per-bit builders). *)
+
+val grover_step : layout -> x:Mathx.Bitvec.t -> y:Mathx.Bitvec.t -> z:Mathx.Bitvec.t -> Gate.t list
+(** One iteration of the loop in step 3 of procedure A3:
+    [U_k S_k U_k V_z W_y V_x] (V_x applied first). *)
+
+(** {1 Direct state application (simulator fast paths)} *)
+
+val apply_u_k : layout -> Quantum.State.t -> unit
+val apply_s_k : layout -> Quantum.State.t -> unit
+(** Applies the true S_k (with its sign convention: -1 on address <> 0). *)
+
+val apply_v : layout -> Mathx.Bitvec.t -> Quantum.State.t -> unit
+val apply_w : layout -> Mathx.Bitvec.t -> Quantum.State.t -> unit
+val apply_r : layout -> Mathx.Bitvec.t -> Quantum.State.t -> unit
+
+val initial_state : ?ancillas:int -> layout -> Quantum.State.t
+(** |phi_k> = 2^{-k} sum_i |i>|0>|0>, with optional extra ancilla qubits. *)

@@ -1,0 +1,100 @@
+(* The pass works on a list of gates.  One sweep walks the list keeping a
+   stack of emitted gates; each incoming gate tries to cancel or merge
+   with the nearest stack gate that shares a qubit (gates in between must
+   be disjoint from both operands, so the reorder is sound).  Sweeps
+   repeat until no rewrite fires. *)
+
+let qubits_disjoint a b =
+  not (List.exists (fun q -> List.mem q (Gate.qubits b)) (Gate.qubits a))
+
+(* Find the nearest stack element sharing a qubit with [g]; everything
+   above it on the stack must be disjoint from [g]. *)
+let rec nearest_interacting g stack passed =
+  match stack with
+  | [] -> None
+  | top :: rest ->
+      if qubits_disjoint g top then nearest_interacting g rest (top :: passed)
+      else Some (top, rest, List.rev passed)
+
+let is_inverse_pair (a : Gate.t) (b : Gate.t) =
+  match (a, b) with
+  | Gate.H p, Gate.H q -> p = q
+  | Gate.Cnot { control = c1; target = t1 }, Gate.Cnot { control = c2; target = t2 } ->
+      c1 = c2 && t1 = t2
+  | _ -> false
+
+let one_sweep gates =
+  let changed = ref false in
+  let push stack g =
+    match g with
+    | Gate.T q -> begin
+        (* Sink the T through disjoint gates until it sits next to an
+           earlier T on the same qubit; fold_t_runs then reduces runs
+           modulo 8.  Pure regrouping — no [changed] flag. *)
+        match nearest_interacting g stack [] with
+        | Some ((Gate.T q' as top), rest, skipped) when q' = q ->
+            skipped @ (g :: top :: rest)
+        | _ -> g :: stack
+      end
+    | _ -> begin
+        match nearest_interacting g stack [] with
+        | Some (top, rest, skipped) when is_inverse_pair g top ->
+            changed := true;
+            skipped @ rest
+        | _ -> g :: stack
+      end
+  in
+  let out = List.fold_left push [] gates in
+  (List.rev out, !changed)
+
+(* Second pass: fold T-runs that did not reach 8 but exceed it in total
+   (e.g. 9 consecutive T's -> 1).  A simple grouping pass over adjacent
+   same-qubit T's suffices after cancellations have compacted the list. *)
+let fold_t_runs gates =
+  let changed = ref false in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Gate.T q :: rest ->
+        let rec take n rest =
+          match rest with Gate.T q' :: more when q' = q -> take (n + 1) more | _ -> (n, rest)
+        in
+        let n, rest = take 1 rest in
+        let reduced = n mod 8 in
+        if reduced <> n then changed := true;
+        let ts = List.init reduced (fun _ -> Gate.T q) in
+        go (List.rev_append ts acc) rest
+    | g :: rest -> go (g :: acc) rest
+  in
+  let out = go [] gates in
+  (out, !changed)
+
+let optimize_gates gates =
+  let rec fixpoint gates fuel =
+    if fuel = 0 then gates
+    else begin
+      let gates1, c1 = one_sweep gates in
+      let gates2, c2 = fold_t_runs gates1 in
+      if c1 || c2 then fixpoint gates2 (fuel - 1) else gates2
+    end
+  in
+  fixpoint gates 64
+
+let basis_circuit c =
+  if not (Circ.is_basis_only c) then
+    invalid_arg "Optimize.basis_circuit: structured gates present";
+  Circ.of_gates ~nqubits:(Circ.nqubits c) (optimize_gates (Circ.gates c))
+
+type report = { before : int; after : int; t_before : int; t_after : int }
+
+let count_t gates =
+  List.length (List.filter (function Gate.T _ -> true | _ -> false) gates)
+
+let with_report c =
+  let optimized = basis_circuit c in
+  ( optimized,
+    {
+      before = Circ.length c;
+      after = Circ.length optimized;
+      t_before = count_t (Circ.gates c);
+      t_after = count_t (Circ.gates optimized);
+    } )

@@ -1,0 +1,30 @@
+(** Peephole optimisation of basis circuits.
+
+    The lowering pass is local and leaves easy wins on the table: X
+    expands to H·T^4·H even when two X's cancel, ladders re-conjugate the
+    same qubits, etc.  This pass rewrites a {H, T, CNOT} circuit to a
+    smaller equivalent one with three rules, iterated to a fixed point:
+
+    - adjacent self-inverse pairs cancel: [H q; H q] and
+      [CNOT a b; CNOT a b] vanish;
+    - runs of [T q] reduce modulo 8 ([T^8 = I] exactly);
+    - commuting through disjoint supports: gates on disjoint qubit sets
+      may be reordered, which the pass exploits by matching cancelling
+      pairs separated by gates that touch neither operand qubit.
+
+    The result is semantically {e identical} (not just up to phase):
+    every rule is an exact identity.  Experiment E11 reports the
+    reduction on A3's compiled circuits. *)
+
+val basis_circuit : Circ.t -> Circ.t
+(** Optimises a basis-only circuit.
+    @raise Invalid_argument if the circuit contains structured gates. *)
+
+type report = {
+  before : int;
+  after : int;
+  t_before : int;
+  t_after : int;
+}
+
+val with_report : Circ.t -> Circ.t * report

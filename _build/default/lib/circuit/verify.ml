@@ -1,0 +1,72 @@
+open Mathx
+open Quantum
+
+type report = {
+  equivalent : bool;
+  max_deviation : float;
+  ancilla_leak : float;
+  columns_checked : int;
+}
+
+let compare ?(eps = 1e-7) ~reference ~candidate () =
+  let n_data = Circ.nqubits reference in
+  let n_full = Circ.nqubits candidate in
+  if n_full < n_data then
+    invalid_arg "Verify.compare: candidate has fewer qubits than reference";
+  let data_dim = 1 lsl n_data in
+  let max_dev = ref 0.0 and leak = ref 0.0 in
+  (* The single global phase allowed between the two circuits, fixed by the
+     first significant amplitude encountered. *)
+  let phase = ref None in
+  let column_ok j =
+    let ref_in = State.create n_data in
+    State.set_amplitude ref_in 0 Cplx.zero;
+    State.set_amplitude ref_in j Cplx.one;
+    Circ.run reference ref_in;
+    let cand_in = State.create n_full in
+    State.set_amplitude cand_in 0 Cplx.zero;
+    State.set_amplitude cand_in j Cplx.one;
+    Circ.run candidate cand_in;
+    (* Probability stranded outside the ancilla = |0> subspace. *)
+    for idx = 0 to State.dim cand_in - 1 do
+      if idx lsr n_data <> 0 then
+        leak := Float.max !leak (State.probability cand_in idx)
+    done;
+    (* Fix or reuse the global phase, then compare amplitudes. *)
+    let ok = ref true in
+    for idx = 0 to data_dim - 1 do
+      let a = State.amplitude ref_in idx in
+      let b = State.amplitude cand_in idx in
+      (match !phase with
+      | None when Cplx.abs b > 0.5 /. sqrt (float_of_int data_dim) ->
+          if Cplx.abs a < eps then ok := false
+          else phase := Some (Cplx.scale (1.0 /. Cplx.norm2 b) (Cplx.mul a (Cplx.conj b)))
+      | _ -> ());
+      match !phase with
+      | None -> if Cplx.abs a > eps || Cplx.abs b > eps then ok := false
+      | Some ph ->
+          let adjusted = Cplx.mul ph b in
+          let dev =
+            Float.max
+              (Float.abs (a.Cplx.re -. adjusted.Cplx.re))
+              (Float.abs (a.Cplx.im -. adjusted.Cplx.im))
+          in
+          max_dev := Float.max !max_dev dev;
+          if dev > eps then ok := false
+    done;
+    !ok
+  in
+  let all_ok = ref true and cols = ref 0 in
+  for j = 0 to data_dim - 1 do
+    incr cols;
+    if not (column_ok j) then all_ok := false
+  done;
+  {
+    equivalent = !all_ok && !leak <= eps;
+    max_deviation = !max_dev;
+    ancilla_leak = !leak;
+    columns_checked = !cols;
+  }
+
+let equivalent ?eps ~reference ~candidate () =
+  (compare ?eps ~reference ~candidate ()).equivalent

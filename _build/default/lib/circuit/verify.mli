@@ -1,0 +1,23 @@
+(** Semantic equivalence checking between circuits (experiment E11).
+
+    The lowered circuit may use extra ancilla qubits.  Equivalence is
+    checked column by column: for every computational-basis input with the
+    ancillas at |0>, both circuits must produce the same state (up to one
+    global phase, shared by all columns) and the lowered circuit must
+    return its ancillas to |0>. *)
+
+type report = {
+  equivalent : bool;
+  max_deviation : float;  (** largest amplitude difference seen *)
+  ancilla_leak : float;  (** largest probability left on dirty ancillas *)
+  columns_checked : int;
+}
+
+val compare :
+  ?eps:float -> reference:Circ.t -> candidate:Circ.t -> unit -> report
+(** [compare ~reference ~candidate ()] treats the qubits of [reference] as
+    the data register and every extra qubit of [candidate] as a clean
+    ancilla.  [candidate] must have at least as many qubits.  Default
+    [eps] is [1e-7] (float error grows with gate count). *)
+
+val equivalent : ?eps:float -> reference:Circ.t -> candidate:Circ.t -> unit -> bool

@@ -1,0 +1,64 @@
+let gate_code (g : Gate.t) =
+  match g with
+  | Gate.H q -> (q, q + 1, 0)
+  | Gate.T q -> (q, q + 1, 1)
+  | Gate.Cnot { control; target } -> (control, target, 2)
+  | _ -> Fmt.invalid_arg "Wire.gate_code: %a is not in the basis set" Gate.pp g
+
+let emit_gate buf ~first g =
+  let a, b, c = gate_code g in
+  if not first then Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int a);
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int b);
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int c)
+
+let emit c =
+  if not (Circ.is_basis_only c) then
+    invalid_arg "Wire.emit: circuit contains non-basis gates";
+  let buf = Buffer.create (16 * Circ.length c) in
+  let first = ref true in
+  Circ.iter
+    (fun g ->
+      emit_gate buf ~first:!first g;
+      first := false)
+    c;
+  Buffer.contents buf
+
+let parse ~nqubits s =
+  if String.length s = 0 then Circ.create ~nqubits
+  else begin
+  let fields = String.split_on_char '#' s in
+  let ints =
+    List.map
+      (fun f ->
+        match int_of_string_opt f with
+        | Some v when v >= 0 -> v
+        | _ -> invalid_arg "Wire.parse: malformed field")
+      fields
+  in
+  let circ = Circ.create ~nqubits in
+  let rec consume = function
+    | [] -> ()
+    | a :: b :: c :: rest ->
+        (if a <> b || c = 2 then
+           match c with
+           | 0 -> Circ.add circ (Gate.H a)
+           | 1 -> Circ.add circ (Gate.T a)
+           | 2 -> if a <> b then Circ.add circ (Gate.Cnot { control = a; target = b })
+           | _ -> invalid_arg "Wire.parse: gate code out of range");
+        consume rest
+    | _ -> invalid_arg "Wire.parse: truncated triple"
+  in
+  consume ints;
+  circ
+  end
+
+let gate_count s =
+  if String.length s = 0 then 0
+  else begin
+    let fields = List.length (String.split_on_char '#' s) in
+    if fields mod 3 <> 0 then invalid_arg "Wire.gate_count: truncated triple";
+    fields / 3
+  end

@@ -1,0 +1,1 @@
+lib/comm/bcw.ml: Bitvec Float Mathx Quantum Rng State Transcript

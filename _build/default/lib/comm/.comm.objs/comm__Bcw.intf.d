@@ -1,0 +1,1 @@
+lib/comm/bcw.mli: Mathx Transcript

@@ -1,0 +1,1 @@
+lib/comm/classical.ml: Bitvec Fingerprint Mathx Primes Rng Transcript

@@ -1,0 +1,1 @@
+lib/comm/classical.mli: Mathx Transcript

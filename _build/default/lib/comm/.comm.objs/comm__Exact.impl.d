@@ -1,0 +1,1 @@
+lib/comm/exact.ml: Array Float Fmt Hashtbl

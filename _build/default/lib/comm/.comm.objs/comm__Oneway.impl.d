@@ -1,0 +1,1 @@
+lib/comm/oneway.ml: Array Hashtbl List Transcript

@@ -1,0 +1,1 @@
+lib/comm/reduction.ml: Census Float List Machine Optm Printf

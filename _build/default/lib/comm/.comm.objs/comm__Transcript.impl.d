@@ -1,0 +1,1 @@
+lib/comm/transcript.ml: Format List

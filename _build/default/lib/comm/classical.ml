@@ -1,0 +1,49 @@
+open Mathx
+
+type 'a result = { value : 'a; transcript : Transcript.t }
+
+let check_lengths x y =
+  if Bitvec.length x <> Bitvec.length y then invalid_arg "Comm: length mismatch"
+
+let trivial_disj ~x ~y =
+  check_lengths x y;
+  let tr = Transcript.create () in
+  Transcript.send tr Transcript.Alice ~classical_bits:(Bitvec.length x) ();
+  let disjoint = Bitvec.disjoint x y in
+  Transcript.send tr Transcript.Bob ~classical_bits:1 ();
+  { value = disjoint; transcript = tr }
+
+let bits_of_int n =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 n)
+
+let equality_fingerprint rng ~x ~y =
+  check_lengths x y;
+  let n = Bitvec.length x in
+  (* Prime comfortably above n^2 so the error is below 1/n. *)
+  let p = Primes.next_prime (max 64 (n * n)) in
+  let t = Rng.int rng p in
+  let fx = Fingerprint.of_bitvec ~p ~t x in
+  let tr = Transcript.create () in
+  Transcript.send tr Transcript.Alice ~classical_bits:(2 * bits_of_int (p - 1)) ();
+  let fy = Fingerprint.of_bitvec ~p ~t y in
+  let equal = fx = fy in
+  Transcript.send tr Transcript.Bob ~classical_bits:1 ();
+  { value = equal; transcript = tr }
+
+let blocked_disj ~block ~x ~y =
+  check_lengths x y;
+  if block < 1 then invalid_arg "Comm.blocked_disj: block must be >= 1";
+  let n = Bitvec.length x in
+  let tr = Transcript.create () in
+  let collision = ref false in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min block (n - !pos) in
+    Transcript.send tr Transcript.Alice ~classical_bits:len ();
+    let xb = Bitvec.sub x ~pos:!pos ~len and yb = Bitvec.sub y ~pos:!pos ~len in
+    if not (Bitvec.disjoint xb yb) then collision := true;
+    Transcript.send tr Transcript.Bob ~classical_bits:1 ();
+    pos := !pos + len
+  done;
+  { value = not !collision; transcript = tr }

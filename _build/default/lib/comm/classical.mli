@@ -1,0 +1,23 @@
+(** Classical protocols for DISJ and EQ on n-bit inputs. *)
+
+type 'a result = { value : 'a; transcript : Transcript.t }
+
+val trivial_disj : x:Mathx.Bitvec.t -> y:Mathx.Bitvec.t -> bool result
+(** Alice ships [x] (n bits); Bob answers (1 bit).  Cost n + 1 — matching
+    the Ω(n) lower bound of Theorem 3.2 up to one bit. *)
+
+val equality_fingerprint :
+  Mathx.Rng.t -> x:Mathx.Bitvec.t -> y:Mathx.Bitvec.t -> bool result
+(** The O(log n) one-sided-error equality protocol (Kushilevitz–Nisan)
+    that procedure A2 adapts: Alice sends a random evaluation point and
+    her polynomial fingerprint; Bob compares.  Declares "equal" wrongly
+    with probability < n / p < 2^{-n_bits_margin}; never declares
+    "unequal" for equal strings. *)
+
+val blocked_disj :
+  block:int -> x:Mathx.Bitvec.t -> y:Mathx.Bitvec.t -> bool result
+(** The Proposition 3.7 idea as a protocol: Alice sends her blocks of
+    [block] bits one at a time, Bob replies 1 bit per block (collision in
+    this block or not).  Same total cost as trivial (lower bounds are
+    robust to chunking) but with max message size [block] — the protocol
+    whose message size matches the streaming algorithm's space. *)

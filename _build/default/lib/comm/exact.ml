@@ -1,0 +1,129 @@
+let disj_mask x y = x land y = 0
+let eq_mask x y = x = y
+
+let check_n ~limit n =
+  if n < 1 || n > limit then Fmt.invalid_arg "Comm.Exact: need 1 <= n <= %d" limit
+
+(* Row x of a predicate's matrix as a bit-packed array over all y. *)
+let row_of ~n f x =
+  let size = 1 lsl n in
+  let words = Array.make ((size + 62) / 63) 0 in
+  for y = 0 to size - 1 do
+    if f x y then words.(y / 63) <- words.(y / 63) lor (1 lsl (y mod 63))
+  done;
+  words
+
+let row ~n x = row_of ~n disj_mask x
+
+let distinct_rows_of ~n f =
+  check_n ~limit:13 n;
+  let size = 1 lsl n in
+  let seen = Hashtbl.create size in
+  for x = 0 to size - 1 do
+    let r = row_of ~n f x in
+    if not (Hashtbl.mem seen r) then Hashtbl.add seen r ()
+  done;
+  Hashtbl.length seen
+
+let distinct_rows ~n = distinct_rows_of ~n disj_mask
+
+let ceil_log2 rows =
+  let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in
+  bits 0 rows
+
+let one_way_cc_of ~n f = ceil_log2 (distinct_rows_of ~n f)
+
+let one_way_cc ~n = ceil_log2 (distinct_rows ~n)
+
+let fooling_set_size ~n =
+  check_n ~limit:10 n;
+  let size = 1 lsl n in
+  let mask = size - 1 in
+  for x = 0 to size - 1 do
+    if not (disj_mask x (lnot x land mask)) then
+      failwith "Exact.fooling_set_size: diagonal not monochromatic"
+  done;
+  for x = 0 to size - 1 do
+    for x' = x + 1 to size - 1 do
+      let cross1 = disj_mask x (lnot x' land mask) in
+      let cross2 = disj_mask x' (lnot x land mask) in
+      if cross1 && cross2 then
+        failwith "Exact.fooling_set_size: fooling property violated"
+    done
+  done;
+  size
+
+let rank_gf2 ~n =
+  check_n ~limit:13 n;
+  let size = 1 lsl n in
+  let rows = Array.init size (fun x -> row ~n x) in
+  let nwords = Array.length rows.(0) in
+  let rank = ref 0 in
+  let pivot_row = ref 0 in
+  (try
+     for col = 0 to size - 1 do
+       let w = col / 63 and off = col mod 63 in
+       (* Find a row at or below pivot_row with bit [col] set. *)
+       let found = ref (-1) in
+       (try
+          for r = !pivot_row to size - 1 do
+            if rows.(r).(w) lsr off land 1 = 1 then begin
+              found := r;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+       if !found >= 0 then begin
+         let tmp = rows.(!found) in
+         rows.(!found) <- rows.(!pivot_row);
+         rows.(!pivot_row) <- tmp;
+         for r = 0 to size - 1 do
+           if r <> !pivot_row && rows.(r).(w) lsr off land 1 = 1 then
+             for ww = 0 to nwords - 1 do
+               rows.(r).(ww) <- rows.(r).(ww) lxor rows.(!pivot_row).(ww)
+             done
+         done;
+         incr rank;
+         incr pivot_row;
+         if !pivot_row = size then raise Exit
+       end
+     done
+   with Exit -> ());
+  !rank
+
+let rank_real ~n =
+  check_n ~limit:9 n;
+  let size = 1 lsl n in
+  let m =
+    Array.init size (fun x ->
+        Array.init size (fun y -> if disj_mask x y then 1.0 else 0.0))
+  in
+  let eps = 1e-9 in
+  let rank = ref 0 in
+  let pivot_row = ref 0 in
+  (try
+     for col = 0 to size - 1 do
+       (* Partial pivoting. *)
+       let best = ref !pivot_row in
+       for r = !pivot_row + 1 to size - 1 do
+         if Float.abs m.(r).(col) > Float.abs m.(!best).(col) then best := r
+       done;
+       if Float.abs m.(!best).(col) > eps then begin
+         let tmp = m.(!best) in
+         m.(!best) <- m.(!pivot_row);
+         m.(!pivot_row) <- tmp;
+         let pv = m.(!pivot_row).(col) in
+         for r = !pivot_row + 1 to size - 1 do
+           let f = m.(r).(col) /. pv in
+           if Float.abs f > 0.0 then
+             for c = col to size - 1 do
+               m.(r).(c) <- m.(r).(c) -. (f *. m.(!pivot_row).(c))
+             done
+         done;
+         incr rank;
+         incr pivot_row;
+         if !pivot_row = size then raise Exit
+       end
+     done
+   with Exit -> ());
+  !rank

@@ -1,0 +1,48 @@
+type t = {
+  n : int;
+  predicate : int -> int -> bool;
+  class_of : int array;  (* x -> row-class index *)
+  representative : int array;  (* class index -> a representative x *)
+}
+
+let synthesize ~n predicate =
+  if n < 1 || n > 13 then invalid_arg "Oneway.synthesize: need 1 <= n <= 13";
+  let size = 1 lsl n in
+  let row x =
+    let words = Array.make ((size + 62) / 63) 0 in
+    for y = 0 to size - 1 do
+      if predicate x y then words.(y / 63) <- words.(y / 63) lor (1 lsl (y mod 63))
+    done;
+    words
+  in
+  let seen = Hashtbl.create size in
+  let class_of = Array.make size 0 in
+  let reps = ref [] and count = ref 0 in
+  for x = 0 to size - 1 do
+    let r = row x in
+    match Hashtbl.find_opt seen r with
+    | Some c -> class_of.(x) <- c
+    | None ->
+        Hashtbl.add seen r !count;
+        class_of.(x) <- !count;
+        reps := x :: !reps;
+        incr count
+  done;
+  { n; predicate; class_of; representative = Array.of_list (List.rev !reps) }
+
+let classes t = Array.length t.representative
+
+let message_bits t =
+  let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in
+  bits 0 (classes t)
+
+let run t ~x ~y =
+  let size = 1 lsl t.n in
+  if x < 0 || x >= size || y < 0 || y >= size then invalid_arg "Oneway.run: input out of range";
+  let tr = Transcript.create () in
+  let c = t.class_of.(x) in
+  Transcript.send tr Transcript.Alice ~classical_bits:(max 1 (message_bits t)) ();
+  (* Bob evaluates the shared row table at his y. *)
+  let answer = t.predicate t.representative.(c) y in
+  Transcript.send tr Transcript.Bob ~classical_bits:1 ();
+  (answer, tr)

@@ -1,0 +1,50 @@
+open Machine
+
+type cut_census = { cut : int; distinct : int; message_bits : float }
+
+type report = {
+  cuts : cut_census list;
+  total_bits : float;
+  max_message_bits : float;
+  machine_states : int;
+}
+
+let log2 x = log x /. log 2.0
+
+let induced_protocol_cost (m : Optm.t) ~inputs ~cuts =
+  let census = Census.create () in
+  List.iter
+    (fun input ->
+      List.iter
+        (fun cut ->
+          let configs = Optm.configs_at_cut m input ~cut in
+          List.iter
+            (fun (c : Optm.config) ->
+              let key =
+                Printf.sprintf "%d|%d|%s" c.Optm.state c.Optm.work_pos c.Optm.work
+              in
+              Census.record census ~cut key)
+            configs)
+        cuts)
+    inputs;
+  let cut_reports =
+    List.map
+      (fun cut ->
+        let distinct = Census.distinct census ~cut in
+        {
+          cut;
+          distinct;
+          message_bits = ceil (log2 (float_of_int (max 1 distinct)));
+        })
+      cuts
+  in
+  {
+    cuts = cut_reports;
+    total_bits = List.fold_left (fun acc c -> acc +. c.message_bits) 0.0 cut_reports;
+    max_message_bits =
+      List.fold_left (fun acc c -> Float.max acc c.message_bits) 0.0 cut_reports;
+    machine_states = m.Optm.num_states;
+  }
+
+let segment_cuts ~prefix_len ~segment_len ~segments =
+  List.init segments (fun i -> prefix_len + ((i + 1) * segment_len))

@@ -1,0 +1,38 @@
+(** The Theorem 3.6 reduction: an online machine induces a communication
+    protocol whose messages are machine configurations.
+
+    Alice holds [x], Bob holds [y].  They simulate the machine on
+    [prefix, x#, y#, x#, y#, ...]: whoever owns the upcoming segment runs
+    the machine across it and sends the resulting configuration to the
+    other.  The cost of the message at cut [i] is [ceil(log2 |C_i|)],
+    where [C_i] is the set of configurations that can occur at that cut
+    over the whole input family — exactly the quantity the proof bounds
+    from below via R(DISJ) = Ω(m).
+
+    This module executes that construction mechanically for any
+    {!Machine.Optm.t}, producing per-cut censuses over an input family
+    and the induced protocol cost. *)
+
+type cut_census = {
+  cut : int;  (** input position of the cut *)
+  distinct : int;  (** |C_i| over the family *)
+  message_bits : float;  (** ceil(log2 |C_i|) *)
+}
+
+type report = {
+  cuts : cut_census list;
+  total_bits : float;  (** total communication of the induced protocol *)
+  max_message_bits : float;
+  machine_states : int;
+}
+
+val induced_protocol_cost :
+  Machine.Optm.t -> inputs:string list -> cuts:int list -> report
+(** Enumerates, for every input in the family and every cut position, the
+    configurations reachable with positive probability at that cut, and
+    prices the induced protocol.  Exhaustive (uses
+    {!Machine.Optm.configs_at_cut}); intended for small machines. *)
+
+val segment_cuts : prefix_len:int -> segment_len:int -> segments:int -> int list
+(** Cut positions at segment boundaries: [prefix_len + i * segment_len]
+    for i = 1 .. segments. *)

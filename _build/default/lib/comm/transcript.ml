@@ -1,0 +1,34 @@
+type party = Alice | Bob
+
+type message = { sender : party; classical_bits : int; qubits : int }
+
+type t = { mutable rev_messages : message list }
+
+let create () = { rev_messages = [] }
+
+let send t sender ?(classical_bits = 0) ?(qubits = 0) () =
+  if classical_bits < 0 || qubits < 0 then invalid_arg "Transcript.send";
+  t.rev_messages <- { sender; classical_bits; qubits } :: t.rev_messages
+
+let messages t = List.rev t.rev_messages
+
+let rounds t =
+  let rec count acc last = function
+    | [] -> acc
+    | m :: rest ->
+        if Some m.sender = last then count acc last rest
+        else count (acc + 1) (Some m.sender) rest
+  in
+  count 0 None (messages t)
+
+let total_classical_bits t =
+  List.fold_left (fun acc m -> acc + m.classical_bits) 0 t.rev_messages
+
+let total_qubits t = List.fold_left (fun acc m -> acc + m.qubits) 0 t.rev_messages
+
+let total_cost t = total_classical_bits t + total_qubits t
+
+let pp fmt t =
+  Format.fprintf fmt "%d messages, %d rounds, %d bits + %d qubits"
+    (List.length t.rev_messages)
+    (rounds t) (total_classical_bits t) (total_qubits t)

@@ -1,0 +1,31 @@
+(** Communication accounting for two-party protocols. *)
+
+type party = Alice | Bob
+
+type message = {
+  sender : party;
+  classical_bits : int;
+  qubits : int;
+}
+
+type t
+
+val create : unit -> t
+
+val send : t -> party -> ?classical_bits:int -> ?qubits:int -> unit -> unit
+(** Records one message (defaults 0/0). *)
+
+val messages : t -> message list
+(** In chronological order. *)
+
+val rounds : t -> int
+(** Number of maximal alternations (consecutive messages by the same
+    sender count as one round). *)
+
+val total_classical_bits : t -> int
+val total_qubits : t -> int
+
+val total_cost : t -> int
+(** Classical bits + qubits: the communication complexity measure. *)
+
+val pp : Format.formatter -> t -> unit

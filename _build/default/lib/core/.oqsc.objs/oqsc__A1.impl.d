@@ -1,0 +1,1 @@
+lib/core/a1.ml: Machine Symbol Workspace

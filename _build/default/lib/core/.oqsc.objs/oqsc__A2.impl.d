@@ -1,0 +1,1 @@
+lib/core/a2.ml: A1 Machine Mathx Modarith Primes Rng Workspace

@@ -1,0 +1,1 @@
+lib/core/a2.mli: A1 Machine Mathx

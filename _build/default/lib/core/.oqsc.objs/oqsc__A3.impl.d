@@ -1,0 +1,1 @@
+lib/core/a3.ml: A1 Buffer Circuit List Machine Mathx Option Quantum Rng State Workspace

@@ -1,0 +1,1 @@
+lib/core/a3.mli: A1 Circuit Machine Mathx Quantum

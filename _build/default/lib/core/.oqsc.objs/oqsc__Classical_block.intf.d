@@ -1,0 +1,1 @@
+lib/core/classical_block.mli: Machine Mathx

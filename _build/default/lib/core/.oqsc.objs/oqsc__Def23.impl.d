@@ -1,0 +1,1 @@
+lib/core/def23.ml: Circuit Machine Mathx Optm Quantum Rng String Symbol

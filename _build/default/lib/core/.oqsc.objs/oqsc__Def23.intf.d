@@ -1,0 +1,1 @@
+lib/core/def23.mli: Machine Mathx

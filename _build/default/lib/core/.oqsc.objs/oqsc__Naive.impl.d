@@ -1,0 +1,1 @@
+lib/core/naive.ml: A1 A2 Bitstore Machine Mathx Rng Stream Workspace

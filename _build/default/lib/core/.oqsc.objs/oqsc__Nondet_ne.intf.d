@@ -1,0 +1,1 @@
+lib/core/nondet_ne.mli:

@@ -1,0 +1,1 @@
+lib/core/recognizer.ml: A1 A2 A3 Machine Mathx Rng Stream Workspace

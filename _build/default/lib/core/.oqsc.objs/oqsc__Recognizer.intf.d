@@ -1,0 +1,1 @@
+lib/core/recognizer.mli: Machine Mathx

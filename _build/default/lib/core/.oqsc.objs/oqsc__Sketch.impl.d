@@ -1,0 +1,1 @@
+lib/core/sketch.ml: A1 Bitstore Machine Mathx Rng Stream Workspace

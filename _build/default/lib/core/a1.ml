@@ -1,0 +1,104 @@
+open Machine
+
+type segment = X | Y | Z
+
+type role =
+  | Prefix_one
+  | Prefix_sep
+  | Block_bit of { rep : int; seg : segment; idx : int; bit : bool }
+  | Block_sep of { rep : int; seg : segment }
+  | Bad
+
+let max_k = 15
+
+(* Phases of the scan (register [phase]):
+   0 = reading the leading 1-run
+   1 = inside a block
+   2 = complete (any further symbol is a violation)
+   3 = failed *)
+type t = {
+  ws : Workspace.t;
+  phase : Workspace.reg;
+  k_reg : Workspace.reg;  (* length of the 1-run, capped at max_k *)
+  seg : Workspace.reg;  (* 0 = x, 1 = y, 2 = z *)
+  rep : Workspace.reg;  (* current repetition, 0-based *)
+  idx : Workspace.reg;  (* position inside the current block *)
+  k_known : Workspace.reg;  (* set once the prefix separator is read *)
+}
+
+let create ws =
+  {
+    ws;
+    phase = Workspace.alloc ws ~name:"a1.phase" ~bits:2;
+    k_reg = Workspace.alloc ws ~name:"a1.k" ~bits:5;
+    seg = Workspace.alloc ws ~name:"a1.seg" ~bits:2;
+    rep = Workspace.alloc ws ~name:"a1.rep" ~bits:(max_k + 1);
+    idx = Workspace.alloc ws ~name:"a1.idx" ~bits:((2 * max_k) + 1);
+    k_known = Workspace.alloc_flag ws ~name:"a1.k_known";
+  }
+
+let k t =
+  if Workspace.get_flag t.ws t.k_known then Some (Workspace.get t.ws t.k_reg)
+  else None
+
+let failed t = Workspace.get t.ws t.phase = 3
+
+let finished_ok t = Workspace.get t.ws t.phase = 2
+
+let fail t =
+  Workspace.set t.ws t.phase 3;
+  Bad
+
+let segment_of_int = function 0 -> X | 1 -> Y | _ -> Z
+
+let feed t sym =
+  let ws = t.ws in
+  match Workspace.get ws t.phase with
+  | 0 -> begin
+      match sym with
+      | Symbol.One ->
+          let count = Workspace.get ws t.k_reg in
+          if count >= max_k then fail t
+          else begin
+            Workspace.set ws t.k_reg (count + 1);
+            Prefix_one
+          end
+      | Symbol.Hash ->
+          if Workspace.get ws t.k_reg < 1 then fail t
+          else begin
+            Workspace.set ws t.phase 1;
+            Workspace.set_flag ws t.k_known true;
+            Prefix_sep
+          end
+      | Symbol.Zero -> fail t
+    end
+  | 1 -> begin
+      let kv = Workspace.get ws t.k_reg in
+      let m = 1 lsl (2 * kv) and reps = 1 lsl kv in
+      let seg = Workspace.get ws t.seg in
+      let rep = Workspace.get ws t.rep in
+      let idx = Workspace.get ws t.idx in
+      match sym with
+      | Symbol.Zero | Symbol.One ->
+          if idx >= m then fail t
+          else begin
+            Workspace.set ws t.idx (idx + 1);
+            Block_bit
+              { rep; seg = segment_of_int seg; idx; bit = sym = Symbol.One }
+          end
+      | Symbol.Hash ->
+          if idx <> m then fail t
+          else begin
+            Workspace.set ws t.idx 0;
+            let role = Block_sep { rep; seg = segment_of_int seg } in
+            (if seg < 2 then Workspace.set ws t.seg (seg + 1)
+             else begin
+               Workspace.set ws t.seg 0;
+               if rep + 1 = reps then Workspace.set ws t.phase 2
+               else Workspace.set ws t.rep (rep + 1)
+             end);
+            role
+          end
+    end
+  | 2 -> fail t
+  | _ -> Bad

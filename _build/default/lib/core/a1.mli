@@ -1,0 +1,41 @@
+(** Procedure A1 (§3.2): the streaming syntax checker.
+
+    Verifies condition (i) — the input has the exact shape
+    [1^k#(x#y#z#)^{2^k}] with blocks of length [2^{2k}] — using O(k) bits
+    of work memory: a handful of counters, all allocated through the
+    space-metered {!Machine.Workspace}.
+
+    Besides its verdict, A1 classifies every input symbol with a {!role}.
+    The roles are a function of A1's own counters (information the online
+    machine has anyway), and they are what procedures A2 and A3 key their
+    streaming updates on. *)
+
+type segment = X | Y | Z
+
+type role =
+  | Prefix_one  (** a '1' of the leading run *)
+  | Prefix_sep  (** the '#' ending the prefix; [k] is now known *)
+  | Block_bit of { rep : int; seg : segment; idx : int; bit : bool }
+  | Block_sep of { rep : int; seg : segment }  (** '#' closing that block *)
+  | Bad  (** symbol violates condition (i); the checker latches failure *)
+
+type t
+
+val create : Machine.Workspace.t -> t
+
+val max_k : int
+(** Largest accepted [k] (15): beyond it the fingerprint prime would
+    overflow native integers.  Inputs claiming a longer 1-run are
+    rejected as malformed. *)
+
+val feed : t -> Machine.Symbol.t -> role
+
+val k : t -> int option
+(** Known after the prefix separator has been read. *)
+
+val finished_ok : t -> bool
+(** True iff the symbols fed so far form a {e complete} well-shaped input:
+    condition (i) holds and nothing is missing.  This is A1's output bit. *)
+
+val failed : t -> bool
+(** True as soon as a structural violation has been seen. *)

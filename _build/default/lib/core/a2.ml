@@ -1,0 +1,77 @@
+open Machine
+open Mathx
+
+type t = {
+  ws : Workspace.t;
+  p : int;
+  point : Workspace.reg;
+  acc : Workspace.reg;  (* running fingerprint of the current block *)
+  pow : Workspace.reg;  (* t^idx for the next bit *)
+  this_fx : Workspace.reg;  (* F_x of the current repetition *)
+  prev_fx : Workspace.reg;  (* F_x of the previous repetition *)
+  prev_fy : Workspace.reg;
+  ok : Workspace.reg;
+  started : Workspace.reg;  (* repetition 0 has no predecessor *)
+}
+
+let create ws rng ~k =
+  if k < 1 || k > A1.max_k then invalid_arg "A2.create: k out of range";
+  let p = Primes.fingerprint_prime k in
+  let bits = (4 * k) + 1 in
+  let reg name = Workspace.alloc ws ~name ~bits in
+  let t =
+    {
+      ws;
+      p;
+      point = reg "a2.point";
+      acc = reg "a2.acc";
+      pow = reg "a2.pow";
+      this_fx = reg "a2.this_fx";
+      prev_fx = reg "a2.prev_fx";
+      prev_fy = reg "a2.prev_fy";
+      ok = Workspace.alloc_flag ws ~name:"a2.ok";
+      started = Workspace.alloc_flag ws ~name:"a2.started";
+    }
+  in
+  Workspace.set ws t.point (Rng.int rng p);
+  Workspace.set ws t.pow 1;
+  Workspace.set_flag ws t.ok true;
+  t
+
+let reset_block t =
+  Workspace.set t.ws t.acc 0;
+  Workspace.set t.ws t.pow 1
+
+let check t passed = if not passed then Workspace.set_flag t.ws t.ok false
+
+let observe t (role : A1.role) =
+  let ws = t.ws in
+  match role with
+  | A1.Prefix_one | A1.Prefix_sep -> ()
+  | A1.Bad -> check t false
+  | A1.Block_bit { bit; _ } ->
+      let acc = Workspace.get ws t.acc and pow = Workspace.get ws t.pow in
+      if bit then Workspace.set ws t.acc (Modarith.addmod acc pow t.p);
+      Workspace.set ws t.pow (Modarith.mulmod pow (Workspace.get ws t.point) t.p)
+  | A1.Block_sep { seg; _ } -> begin
+      let f = Workspace.get ws t.acc in
+      (match seg with
+      | A1.X ->
+          Workspace.set ws t.this_fx f;
+          if Workspace.get_flag ws t.started then
+            check t (f = Workspace.get ws t.prev_fx)
+      | A1.Y ->
+          if Workspace.get_flag ws t.started then
+            check t (f = Workspace.get ws t.prev_fy);
+          Workspace.set ws t.prev_fy f
+      | A1.Z ->
+          check t (f = Workspace.get ws t.this_fx);
+          Workspace.set ws t.prev_fx (Workspace.get ws t.this_fx);
+          Workspace.set_flag ws t.started true);
+      reset_block t
+    end
+
+let verdict t = Workspace.get_flag t.ws t.ok
+
+let prime t = t.p
+let point t = Workspace.get t.ws t.point

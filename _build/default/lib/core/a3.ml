@@ -1,0 +1,139 @@
+open Machine
+open Mathx
+open Quantum
+
+type t = {
+  ws : Workspace.t;
+  lay : Circuit.Ops.layout;
+  state : State.t;
+  j : Workspace.reg;  (* the random Grover iteration count *)
+  circ : Circuit.Circ.t option;
+  noise : (State.t -> unit) option;
+  wire : Buffer.t option;  (* online Definition 2.3 output tape *)
+  mutable wire_first : bool;
+  ancillas : int list;  (* lowering pool, used only when emitting wire *)
+}
+
+let create ?(emit_circuit = false) ?(emit_wire = false) ?force_j ?noise ws rng ~k =
+  if k < 1 || k > 10 then invalid_arg "A3.create: k out of range for simulation";
+  let lay = Circuit.Ops.layout ~k in
+  let nq = Circuit.Ops.data_qubits lay in
+  Workspace.alloc_qubits ws nq;
+  let j = Workspace.alloc ws ~name:"a3.j" ~bits:(max 1 k) in
+  let drawn =
+    match force_j with
+    | Some v ->
+        if v < 0 || v >= 1 lsl k then invalid_arg "A3.create: force_j out of range";
+        v
+    | None -> Rng.int rng (1 lsl k)
+  in
+  Workspace.set ws j drawn;
+  let state = State.create nq in
+  State.apply_hadamard_block state 0 lay.Circuit.Ops.address_width;
+  let circ =
+    if emit_circuit then begin
+      let c = Circuit.Circ.create ~nqubits:nq in
+      Circuit.Circ.add_list c (Circuit.Ops.u_k lay);
+      Some c
+    end
+    else None
+  in
+  (* Wire emission lowers on the fly; the worst gate (R_y's MCX with
+     2k + 1 controls) needs 2k - 1 clean ancillas above the data. *)
+  let ancillas = List.init (max 0 ((2 * k) - 1)) (fun i -> nq + i) in
+  let wire =
+    if emit_wire then begin
+      Workspace.alloc_qubits ws (List.length ancillas);
+      Some (Buffer.create 1024)
+    end
+    else None
+  in
+  let t = { ws; lay; state; j; circ; noise; wire; wire_first = true; ancillas } in
+  (match wire with
+  | Some buf ->
+      List.iter
+        (fun g ->
+          List.iter
+            (fun basis ->
+              Circuit.Wire.emit_gate buf ~first:t.wire_first basis;
+              t.wire_first <- false)
+            (Circuit.Lower.gate_to_basis ~ancillas g))
+        (Circuit.Ops.u_k lay)
+  | None -> ());
+  t
+
+let fixed_j t = Workspace.get t.ws t.j
+
+let record t gates =
+  (match t.circ with Some c -> Circuit.Circ.add_list c gates | None -> ());
+  match t.wire with
+  | None -> ()
+  | Some buf ->
+      List.iter
+        (fun g ->
+          List.iter
+            (fun basis ->
+              Circuit.Wire.emit_gate buf ~first:t.wire_first basis;
+              t.wire_first <- false)
+            (Circuit.Lower.gate_to_basis ~ancillas:t.ancillas g))
+        gates
+
+let width t = t.lay.Circuit.Ops.address_width
+
+let v_bit t idx =
+  State.apply_xor_on_address t.state ~width:(width t) ~address:idx
+    ~target:t.lay.Circuit.Ops.h ();
+  record t (Circuit.Ops.v_bit t.lay idx)
+
+let w_bit t idx =
+  State.apply_phase_on_address t.state ~width:(width t) ~address:idx
+    ~require:t.lay.Circuit.Ops.h ();
+  record t (Circuit.Ops.w_bit t.lay idx)
+
+let r_bit t idx =
+  State.apply_xor_on_address t.state ~width:(width t) ~address:idx
+    ~require:t.lay.Circuit.Ops.h ~target:t.lay.Circuit.Ops.l ();
+  record t (Circuit.Ops.r_bit t.lay idx)
+
+let diffusion t =
+  let w = width t in
+  State.apply_hadamard_block t.state 0 w;
+  State.apply_phase_if t.state (fun idx -> idx land ((1 lsl w) - 1) <> 0);
+  State.apply_hadamard_block t.state 0 w;
+  record t (Circuit.Ops.u_k t.lay @ Circuit.Ops.s_k t.lay @ Circuit.Ops.u_k t.lay)
+
+let observe t (role : A1.role) =
+  let j = fixed_j t in
+  match role with
+  | A1.Prefix_one | A1.Prefix_sep | A1.Bad -> ()
+  | A1.Block_bit { rep; seg; idx; bit } ->
+      if bit then begin
+        if rep < j then begin
+          match seg with
+          | A1.X | A1.Z -> v_bit t idx
+          | A1.Y -> w_bit t idx
+        end
+        else if rep = j then begin
+          match seg with
+          | A1.X -> v_bit t idx
+          | A1.Y -> r_bit t idx
+          | A1.Z -> ()
+        end
+      end
+  | A1.Block_sep { rep; seg } ->
+      if seg = A1.Z then begin
+        if rep < j then diffusion t;
+        match t.noise with Some f -> f t.state | None -> ()
+      end
+
+let prob_output_zero t = State.prob_qubit_one t.state t.lay.Circuit.Ops.l
+
+let sample_output t rng =
+  let b = State.measure_qubit t.state rng t.lay.Circuit.Ops.l in
+  not b
+
+let circuit t = t.circ
+
+let wire t = Option.map Buffer.contents t.wire
+
+let qubits t = Circuit.Ops.data_qubits t.lay

@@ -1,0 +1,25 @@
+(** The classical O(n^{1/3})-space recognizer of Proposition 3.7.
+
+    Decomposes [x] and [y] into 2^k blocks of 2^k bits; repetition [i]
+    (0-based) is used to test DISJ on block [i]: the block of [x] is
+    stored verbatim (2^k bits) while it streams past, then compared
+    against the corresponding block of [y].  After the 2^k repetitions,
+    every block has been tested.  Shape and consistency are checked by
+    the same A1 and A2 as the quantum algorithm.
+
+    Space: 2^k bits of block storage + O(k) counters = Θ(n^{1/3}), and
+    the answer is exact (error only from A2's fingerprints, one-sided,
+    <= 2^{-2k}). *)
+
+type run = {
+  accept : bool;
+  space_bits : int;  (** peak metered classical bits *)
+  storage_bits : int;  (** the block store alone: exactly 2^k *)
+  k : int option;
+  a1_ok : bool;
+  a2_ok : bool;
+  collision_found : bool;
+}
+
+val run : ?rng:Mathx.Rng.t -> string -> run
+val run_stream : ?rng:Mathx.Rng.t -> Machine.Stream.t -> run

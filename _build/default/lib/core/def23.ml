@@ -1,0 +1,114 @@
+open Machine
+open Mathx
+
+type outcome = {
+  accepted : bool;
+  accept_probability : float;
+  machine_verdict : bool option;
+  gate_triples : int;
+  output_chars : int;
+  steps : int;
+  within_budget : bool;
+}
+
+let strip_separators s =
+  let n = String.length s in
+  let first = ref 0 and last = ref (n - 1) in
+  while !first < n && s.[!first] = '#' do
+    incr first
+  done;
+  while !last >= !first && s.[!last] = '#' do
+    decr last
+  done;
+  if !last < !first then "" else String.sub s !first (!last - !first + 1)
+
+let run ?rng machine ~qubits input =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xDEF2 in
+  let (verdict, stats), raw_output =
+    Optm.run_sampled_with_output machine rng input
+  in
+  let wire = strip_separators raw_output in
+  let circ = Circuit.Wire.parse ~nqubits:qubits wire in
+  let state = Quantum.State.create qubits in
+  Circuit.Circ.run circ state;
+  let p1 = Quantum.State.prob_qubit_one state 0 in
+  let accepted = Quantum.State.measure_qubit state rng 0 in
+  (* Definition 2.3 requires halting within 2^{s(|w|)} steps for a space
+     function s(n) = Theta(log n); we check against
+     s(n) = max(qubits, 4 ceil(log2 (n + 2))). *)
+  let n = String.length input in
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  let s_n = max qubits (4 * bits 0 (n + 2)) in
+  let budget = if s_n >= 62 then max_int else 1 lsl s_n in
+  {
+    accepted;
+    accept_probability = p1;
+    machine_verdict = verdict;
+    gate_triples = Circuit.Wire.gate_count wire;
+    output_chars = String.length raw_output;
+    steps = stats.Optm.steps;
+    within_budget = stats.Optm.halted && stats.Optm.steps <= budget;
+  }
+
+let acceptance_probability ?rng ?(trials = 300) machine ~qubits input =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xDEF2 in
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    let o = run ~rng:(Rng.split rng) machine ~qubits input in
+    acc := !acc +. o.accept_probability
+  done;
+  !acc /. float_of_int trials
+
+(* For every input '1', emit X on qubit 0 as H T^4 H over the wire
+   alphabet, each triple preceded by a separator (the parser strips the
+   leading one):  #0#1#0  #0#1#1 x4  #0#1#0. *)
+let parity_template =
+  let h = "#0#1#0" and t = "#0#1#1" in
+  h ^ t ^ t ^ t ^ t ^ h
+
+let quantum_parity =
+  let template_len = String.length parity_template in
+  {
+    Optm.name = "def23-quantum-parity";
+    num_states = 1 + template_len;
+    start_state = 0;
+    delta =
+      (fun ~state ~input ~work ->
+        let emitting i ~advance =
+          Optm.Branch
+            [
+              ( {
+                  Optm.next_state = (if i + 1 < template_len then 1 + i + 1 else 0);
+                  write = work;
+                  work_move = Optm.Stay;
+                  advance_input = advance;
+                  emit = Some parity_template.[i];
+                },
+                1.0 );
+            ]
+        in
+        let skip =
+          Optm.Branch
+            [
+              ( {
+                  Optm.next_state = 0;
+                  write = work;
+                  work_move = Optm.Stay;
+                  advance_input = true;
+                  emit = None;
+                },
+                1.0 );
+            ]
+        in
+        if state = 0 then begin
+          match input with
+          | None -> Optm.Halt true
+          | Some Symbol.One -> emitting 0 ~advance:false
+          | Some (Symbol.Zero | Symbol.Hash) -> skip
+        end
+        else begin
+          let i = state - 1 in
+          (* Advance the input head exactly when finishing the template. *)
+          emitting i ~advance:(i + 1 = template_len)
+        end);
+  }

@@ -1,0 +1,43 @@
+(** Definition 2.3, executed literally.
+
+    The paper's quantum online machine is a two-stage device:
+
+    + an OPTM reads the input and writes, on its one-way output tape, a
+      circuit description [a1#b1#c1#...#ar#br#cr] over the universal set
+      {H, T, CNOT};
+    + the circuit is applied to |0...0> on [s(|w|)] qubits and the {b
+      first qubit} is measured; outcome 1 accepts.
+
+    This module runs both stages end to end for any {!Machine.Optm.t}
+    with an output tape, and ships a worked example: a 3-state,
+    zero-work-tape OPTM whose emitted circuit computes the parity of the
+    input (each input '1' contributes the gates of X = H T^4 H on qubit
+    0) — a complete, honest Definition 2.3 machine, small enough to read.
+
+    The machine may leave a trailing separator on its output tape (it
+    cannot know the input ended before emitting it); the parser strips
+    separators at either end, matching the paper's form (1). *)
+
+type outcome = {
+  accepted : bool;  (** sampled first-qubit measurement *)
+  accept_probability : float;  (** exact, given the machine's coin flips *)
+  machine_verdict : bool option;  (** the OPTM's own halt state *)
+  gate_triples : int;  (** triples on the output tape *)
+  output_chars : int;
+  steps : int;
+  within_budget : bool;  (** halted within 2^{qubits} steps (Def 2.3 (1)) *)
+}
+
+val run :
+  ?rng:Mathx.Rng.t -> Machine.Optm.t -> qubits:int -> string -> outcome
+(** Executes stage 1 (sampling coin flips if the machine branches), then
+    stage 2 on a fresh [qubits]-qubit register. *)
+
+val acceptance_probability :
+  ?rng:Mathx.Rng.t -> ?trials:int -> Machine.Optm.t -> qubits:int -> string -> float
+(** Monte-Carlo over coin flips of the exact per-run acceptance. *)
+
+val quantum_parity : Machine.Optm.t
+(** The worked example: accepts (measures 1) exactly the inputs over
+    {0,1} with an odd number of 1s, via the emitted circuit.  Uses 1
+    qubit and no work tape. *)

@@ -1,0 +1,92 @@
+open Machine
+
+type guess_run = { accepted : bool; space_bits : int }
+
+let bits_for len =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 len)
+
+(* One nondeterministic branch.  The counters are sized for the input at
+   hand (a physical machine grows them on demand; the ledger reading is
+   the O(log n) the construction claims). *)
+let run_guess ~guess input =
+  if guess < 0 then invalid_arg "Nondet_ne.run_guess: negative guess";
+  let w = bits_for (String.length input + 1) in
+  let ws = Workspace.create () in
+  let xpos = Workspace.alloc ws ~name:"ne.xpos" ~bits:w in
+  let ypos = Workspace.alloc ws ~name:"ne.ypos" ~bits:w in
+  let guess_reg = Workspace.alloc ws ~name:"ne.guess" ~bits:w in
+  let stored = Workspace.alloc_flag ws ~name:"ne.stored_bit" in
+  let phase = Workspace.alloc ws ~name:"ne.phase" ~bits:2 in
+  let mismatch = Workspace.alloc_flag ws ~name:"ne.mismatch" in
+  let fail = Workspace.alloc_flag ws ~name:"ne.fail" in
+  if guess < 1 lsl w then Workspace.set ws guess_reg guess
+  else Workspace.set_flag ws fail true;
+  let consume sym =
+    if not (Workspace.get_flag ws fail) then begin
+      match (Workspace.get ws phase, sym) with
+      | 0, (Symbol.Zero | Symbol.One) ->
+          let p = Workspace.get ws xpos in
+          if p = Workspace.get ws guess_reg then
+            Workspace.set_flag ws stored (sym = Symbol.One);
+          Workspace.set ws xpos (p + 1)
+      | 0, Symbol.Hash -> Workspace.set ws phase 1
+      | 1, (Symbol.Zero | Symbol.One) ->
+          let p = Workspace.get ws ypos in
+          if p = Workspace.get ws guess_reg then
+            if Workspace.get_flag ws stored <> (sym = Symbol.One) then
+              Workspace.set_flag ws mismatch true;
+          Workspace.set ws ypos (p + 1)
+      | 1, Symbol.Hash -> Workspace.set_flag ws fail true
+      | _, _ -> Workspace.set_flag ws fail true
+    end
+  in
+  Stream.iter consume (Stream.of_string input);
+  let well_formed =
+    (not (Workspace.get_flag ws fail))
+    && Workspace.get ws phase = 1
+    && Workspace.get ws xpos = Workspace.get ws ypos
+  in
+  let accepted =
+    well_formed
+    && Workspace.get ws guess_reg < Workspace.get ws xpos
+    && Workspace.get_flag ws mismatch
+  in
+  { accepted; space_bits = Workspace.peak_classical_bits ws }
+
+type decision = {
+  member : bool;
+  witness : int option;
+  branch_space_bits : int;
+  guesses_tried : int;
+}
+
+let decide input =
+  let x_len = match String.index_opt input '#' with Some i -> i | None -> 0 in
+  let rec try_guess g =
+    if g >= max 1 x_len then
+      let { space_bits; _ } = run_guess ~guess:0 input in
+      { member = false; witness = None; branch_space_bits = space_bits; guesses_tried = g }
+    else begin
+      let r = run_guess ~guess:g input in
+      if r.accepted then
+        {
+          member = true;
+          witness = Some g;
+          branch_space_bits = r.space_bits;
+          guesses_tried = g + 1;
+        }
+      else try_guess (g + 1)
+    end
+  in
+  try_guess 0
+
+let member_reference input =
+  match String.index_opt input '#' with
+  | None -> false
+  | Some i ->
+      let x = String.sub input 0 i in
+      let y = String.sub input (i + 1) (String.length input - i - 1) in
+      String.length x = String.length y
+      && (not (String.contains y '#'))
+      && (not (String.equal x y))

@@ -1,0 +1,45 @@
+(** Nondeterministic online space, the §1 remark made concrete.
+
+    The paper notes that separations of online space complexity follow
+    from one-way communication separations whenever the protocol's
+    computation is space-efficient, citing the nondeterministic setting
+    as the straightforward case.  The textbook instance is the total
+    language
+
+    {v L_NE = { x#y  |  x, y in {0,1}^*, |x| = |y|, x <> y } v}
+
+    A nondeterministic online machine guesses the differing index while
+    scanning [x]: it stores the index (a counter) and the bit under it —
+    O(log n) space — then counts through [y] and verifies the mismatch.
+    A deterministic online machine must reach the separator in 2^{|x|}
+    distinct configurations (the census argument of Theorem 3.6 /
+    experiment E5 applied to the [copy-then-compare] machine), i.e. needs
+    Ω(n) space.
+
+    Acceptance of a nondeterministic machine is "some guess accepts";
+    [decide] evaluates that exactly by running the metered streaming
+    verifier once per guess.  [run_guess] exposes a single certificate
+    run (what one branch of the machine does). *)
+
+type guess_run = {
+  accepted : bool;
+  space_bits : int;  (** metered peak of this branch *)
+}
+
+val run_guess : guess:int -> string -> guess_run
+(** Runs the branch that bets the strings differ at position [guess].
+    The branch also verifies the input's shape ([x#y], equal lengths)
+    with counters; malformed inputs are rejected on every branch. *)
+
+type decision = {
+  member : bool;  (** exists an accepting guess *)
+  witness : int option;  (** a successful guess, if any *)
+  branch_space_bits : int;  (** space of one branch — the machine's space *)
+  guesses_tried : int;
+}
+
+val decide : string -> decision
+(** Exact nondeterministic acceptance, by exhausting guesses. *)
+
+val member_reference : string -> bool
+(** Offline ground truth for L_NE. *)

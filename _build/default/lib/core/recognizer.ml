@@ -1,0 +1,87 @@
+open Machine
+open Mathx
+
+type space = { classical_bits : int; qubits : int }
+
+type run = {
+  accept : bool;
+  accept_probability : float;
+  space : space;
+  k : int option;
+  a1_ok : bool;
+  a2_ok : bool;
+}
+
+let default_rng () = Rng.create 0xD15A
+
+(* A3's dense state vector caps the simulable parameter; inputs with a
+   larger k are astronomically long (n = Theta(2^{3k})), so the cap is
+   a simulator limit, not an algorithmic one. *)
+let simulation_max_k = 10
+
+let run_stream ?rng stream =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let ws = Workspace.create () in
+  let a1 = A1.create ws in
+  let a2 = ref None and a3 = ref None in
+  let consume sym =
+    let role = A1.feed a1 sym in
+    (match role with
+    | A1.Prefix_sep -> begin
+        match A1.k a1 with
+        | Some k when k <= simulation_max_k ->
+            a2 := Some (A2.create ws rng ~k);
+            a3 := Some (A3.create ws rng ~k)
+        | _ -> ()
+      end
+    | _ -> ());
+    (match !a2 with Some p -> A2.observe p role | None -> ());
+    match !a3 with Some p -> A3.observe p role | None -> ()
+  in
+  Stream.iter consume stream;
+  let a1_ok = A1.finished_ok a1 in
+  let a2_ok = match !a2 with Some p -> A2.verdict p | None -> false in
+  let space =
+    { classical_bits = Workspace.peak_classical_bits ws; qubits = Workspace.qubits ws }
+  in
+  if not (a1_ok && a2_ok) then
+    {
+      accept = false;
+      accept_probability = 0.0;
+      space;
+      k = A1.k a1;
+      a1_ok;
+      a2_ok;
+    }
+  else begin
+    match !a3 with
+    | None -> assert false (* a1_ok implies the prefix separator was seen *)
+    | Some p ->
+        let prob_accept = 1.0 -. A3.prob_output_zero p in
+        let accept = A3.sample_output p rng in
+        {
+          accept;
+          accept_probability = prob_accept;
+          space;
+          k = A1.k a1;
+          a1_ok;
+          a2_ok;
+        }
+  end
+
+let run ?rng input = run_stream ?rng (Stream.of_string input)
+
+let accepts_complement r = not r.accept
+
+let amplification_error_bound ~repetitions = 0.75 ** float_of_int repetitions
+
+let amplified ?rng ~repetitions input =
+  if repetitions < 1 then invalid_arg "Recognizer.amplified: need >= 1 repetition";
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let all_accept = ref true and prob = ref 1.0 in
+  for _ = 1 to repetitions do
+    let r = run ~rng:(Rng.split rng) input in
+    if not r.accept then all_accept := false;
+    prob := !prob *. r.accept_probability
+  done;
+  (!all_accept, !prob)

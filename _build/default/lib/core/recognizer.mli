@@ -1,0 +1,53 @@
+(** The quantum online recognizer of Theorem 3.4 / Corollary 3.5.
+
+    Runs procedures A1, A2 and A3 in parallel over a single one-way pass
+    of the input and combines their outputs:
+
+    - A1 outputs 0 -> reject;
+    - A1 outputs 1 and A2 outputs 0 -> reject;
+    - both output 1 -> follow A3.
+
+    With this rule the machine accepts every member of L_DISJ with
+    probability 1 and rejects every non-member with probability >= 1/4
+    (one-sided error).  Negating the decision yields the OQRL machine for
+    the complement language, which is how the paper states Theorem 3.4.
+
+    Space: O(k) classical bits and 2k + 2 qubits, where the input length
+    is n = Θ(2^{3k}) — i.e. O(log n) total, all metered. *)
+
+type space = {
+  classical_bits : int;  (** peak classical work bits *)
+  qubits : int;  (** quantum register size *)
+}
+
+type run = {
+  accept : bool;  (** sampled decision: is the input in L_DISJ? *)
+  accept_probability : float;
+      (** exact acceptance probability conditioned on the classical coins
+          drawn in this run (A2's point, A3's j) *)
+  space : space;
+  k : int option;  (** the parameter read off the input prefix, if any *)
+  a1_ok : bool;
+  a2_ok : bool;  (** meaningful only when [a1_ok] *)
+}
+
+val run : ?rng:Mathx.Rng.t -> string -> run
+(** One-pass execution on an input string (default seed 0xD15A). *)
+
+val run_stream : ?rng:Mathx.Rng.t -> Machine.Stream.t -> run
+(** Same, on an arbitrary one-way stream. *)
+
+val accepts_complement : run -> bool
+(** The Theorem 3.4 machine's decision for the complement language. *)
+
+val amplified :
+  ?rng:Mathx.Rng.t -> repetitions:int -> string -> bool * float
+(** Corollary 3.5: run [repetitions] independent copies (fresh coins,
+    fresh quantum registers) and accept iff {e all} copies accept.
+    Members are still accepted with probability 1; a non-member survives
+    with probability at most (3/4)^repetitions, so 4 repetitions reach
+    the 2/3 bound of OQBPL.  Returns the sampled decision and the exact
+    conditional acceptance probability (product over copies). *)
+
+val amplification_error_bound : repetitions:int -> float
+(** (3/4)^repetitions. *)

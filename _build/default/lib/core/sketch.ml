@@ -1,0 +1,102 @@
+open Machine
+open Mathx
+
+type strategy = Bucket_filter | Subsample
+
+type run = {
+  claims_intersecting : bool;
+  space_bits : int;
+  strategy : strategy;
+  budget : int;
+}
+
+type st = {
+  k : int;
+  m : int;
+  bitmap : Bitstore.t;
+  offset : Workspace.reg;  (* subsample window start / bucket hash offset *)
+  stride : Workspace.reg;  (* bucket hash multiplier *)
+  found : Workspace.reg;
+}
+
+let run ?rng ~strategy ~budget input =
+  if budget < 1 then invalid_arg "Sketch.run: budget must be >= 1";
+  let rng = match rng with Some r -> r | None -> Rng.create 0x5CE7 in
+  let ws = Workspace.create () in
+  let a1 = A1.create ws in
+  let st = ref None in
+  let bucket s idx =
+    (* Affine hash into [0, budget). *)
+    let a = Workspace.get ws s.stride and b = Workspace.get ws s.offset in
+    (((a * idx) + b) mod s.m) mod budget
+  in
+  let fresh_window s =
+    Workspace.set ws s.offset (Rng.int rng s.m);
+    Bitstore.clear s.bitmap
+  in
+  let consume sym =
+    let role = A1.feed a1 sym in
+    (match role with
+    | A1.Prefix_sep -> begin
+        match A1.k a1 with
+        | Some k when k <= A1.max_k ->
+            let m = 1 lsl (2 * k) in
+            let s =
+              {
+                k;
+                m;
+                bitmap = Bitstore.alloc ws ~name:"sketch.bitmap" ~bits:budget;
+                offset = Workspace.alloc ws ~name:"sketch.offset" ~bits:(max 1 (2 * k));
+                stride = Workspace.alloc ws ~name:"sketch.stride" ~bits:(max 1 (2 * k));
+                found = Workspace.alloc_flag ws ~name:"sketch.found";
+              }
+            in
+            (* Random odd multiplier for the bucket hash; random window
+               start for the subsample. *)
+            Workspace.set ws s.stride ((Rng.int rng m) lor 1);
+            Workspace.set ws s.offset (Rng.int rng m);
+            st := Some s
+        | _ -> ()
+      end
+    | _ -> ());
+    match (!st, role) with
+    | None, _ -> ()
+    | Some s, A1.Block_bit { rep; seg; idx; bit } -> begin
+        match strategy with
+        | Bucket_filter ->
+            if rep = 0 && bit then begin
+              match seg with
+              | A1.X -> Bitstore.set s.bitmap (bucket s idx) true
+              | A1.Y ->
+                  if Bitstore.get s.bitmap (bucket s idx) then
+                    Workspace.set_flag ws s.found true
+              | A1.Z -> ()
+            end
+        | Subsample ->
+            if bit then begin
+              let pos = (idx - Workspace.get ws s.offset + s.m) mod s.m in
+              if pos < budget then begin
+                match seg with
+                | A1.X -> Bitstore.set s.bitmap pos true
+                | A1.Y ->
+                    if Bitstore.get s.bitmap pos then
+                      Workspace.set_flag ws s.found true
+                | A1.Z -> ()
+              end
+            end
+      end
+    | Some s, A1.Block_sep { seg = A1.Z; _ } ->
+        (* Repetition boundary: the subsample redraws its window. *)
+        if strategy = Subsample then fresh_window s
+    | Some _, _ -> ()
+  in
+  Stream.iter consume (Stream.of_string input);
+  let claims =
+    match !st with Some s -> Workspace.get_flag ws s.found | None -> false
+  in
+  {
+    claims_intersecting = claims;
+    space_bits = Workspace.peak_classical_bits ws;
+    strategy;
+    budget;
+  }

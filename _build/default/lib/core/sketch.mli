@@ -1,0 +1,38 @@
+(** Bounded-space classical sketches (experiment E6).
+
+    Theorem 3.6 says no classical machine with o(n^{1/3}) = o(2^k) bits
+    can recognize L_DISJ with bounded error.  A lower bound cannot be
+    tested against {e all} machines, but its observable consequence can:
+    natural sub-2^k-bit strategies must degrade toward chance.  Two
+    honest strategies are provided, both metered, both one-sided in
+    opposite directions:
+
+    - {b Bucket filter}: hash indices into [s] buckets; store the OR of
+      [x]'s bits per bucket; flag a collision when a 1-bit of [y] lands in
+      a occupied bucket.  Never misses a real collision (no false
+      "disjoint"), but false collisions grow as [s] shrinks.
+
+    - {b Subsample}: per repetition, draw a random affine index window of
+      [s] positions and store [x] restricted to it; only collisions
+      inside the window are seen.  Never reports a false collision, but
+      misses real ones with probability about [(1 - t*s/m)^{2^k}] over
+      the 2^k independent repetitions — which stays bounded away from 0
+      exactly when [s] is below [2^k], the lower-bound threshold. *)
+
+type strategy =
+  | Bucket_filter
+  | Subsample
+
+type run = {
+  claims_intersecting : bool;
+  space_bits : int;
+  strategy : strategy;
+  budget : int;
+}
+
+val run :
+  ?rng:Mathx.Rng.t -> strategy:strategy -> budget:int -> string -> run
+(** [run ~strategy ~budget input] uses at most [budget] bits of sketch
+    state (plus O(k) counters, which are charged too).  The input is
+    assumed well-formed (E6 feeds it shaped instances; combine with
+    A1/A2 for adversarial inputs). *)

@@ -1,0 +1,1 @@
+lib/experiments/e10_fingerprint.ml: Bitvec Fingerprint Format Lang List Machine Mathx Oqsc Primes Printf Rng Table

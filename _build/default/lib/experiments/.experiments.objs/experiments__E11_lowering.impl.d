@@ -1,0 +1,1 @@
+lib/experiments/e11_lowering.ml: Circuit Lang List Machine Mathx Oqsc Printf Rng String Table

@@ -1,0 +1,1 @@
+lib/experiments/e12_qfa.ml: Format List Mathx Qfa Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e13_nondet.ml: Bytes Comm Format List Machine Mathx Oqsc Rng String Table

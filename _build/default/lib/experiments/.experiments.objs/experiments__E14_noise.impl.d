@@ -1,0 +1,1 @@
+lib/experiments/e14_noise.ml: Format Lang List Machine Mathx Oqsc Parallel Printf Quantum Rng Table

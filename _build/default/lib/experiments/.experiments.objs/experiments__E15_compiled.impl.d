@@ -1,0 +1,1 @@
+lib/experiments/e15_compiled.ml: Format Lang List Machine Mathx Optm Program Rng String Table

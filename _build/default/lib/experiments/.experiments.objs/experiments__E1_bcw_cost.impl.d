@@ -1,0 +1,1 @@
+lib/experiments/e1_bcw_cost.ml: Array Bitvec Comm Cstats Format List Mathx Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e1_bcw_cost.mli: Format

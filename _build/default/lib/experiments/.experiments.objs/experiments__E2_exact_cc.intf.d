@@ -1,0 +1,1 @@
+lib/experiments/e2_exact_cc.mli: Format

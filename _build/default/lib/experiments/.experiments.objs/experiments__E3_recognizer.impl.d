@@ -1,0 +1,1 @@
+lib/experiments/e3_recognizer.ml: Format Grover Lang List Mathx Option Oqsc Parallel Printf Rng Table

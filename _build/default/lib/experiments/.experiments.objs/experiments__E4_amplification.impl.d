@@ -1,0 +1,1 @@
+lib/experiments/e4_amplification.ml: Lang List Mathx Oqsc Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e5_census.ml: Comm Format Lang List Machine Mathx Oqsc Printf String Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_sketch_wall.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e7_block_space.ml: Cstats Float Format Lang List Mathx Oqsc Rng String Table

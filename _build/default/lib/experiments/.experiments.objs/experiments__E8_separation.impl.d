@@ -1,0 +1,1 @@
+lib/experiments/e8_separation.ml: Cstats Float Format Lang List Mathx Option Oqsc Rng String Table

@@ -1,0 +1,1 @@
+lib/experiments/e9_bbht.ml: Bitvec Grover Lang List Machine Mathx Oqsc Printf Rng Table

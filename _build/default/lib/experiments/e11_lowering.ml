@@ -1,0 +1,108 @@
+open Mathx
+
+type row = {
+  k : int;
+  j : int;
+  structured_gates : int;
+  basis_gates : int;
+  t_count : int;
+  ancillas : int;
+  wire_chars : int;
+  wire_roundtrip_ok : bool;
+  equivalent : bool;
+  max_deviation : float;
+  budget_constant : float;
+      (* smallest c with gates <= 2^{c log2 n} = n^c; Def 2.3 needs c = O(1) *)
+  input_length : int;
+  optimized_gates : int;  (* after the peephole pass *)
+  optimized_equivalent : bool;
+}
+
+let a3_circuit ~k ~j input =
+  let ws = Machine.Workspace.create () in
+  let a1 = Oqsc.A1.create ws in
+  let rng = Rng.create 11 in
+  let a3 = ref None in
+  Machine.Stream.iter
+    (fun sym ->
+      let role = Oqsc.A1.feed a1 sym in
+      (match role with
+      | Oqsc.A1.Prefix_sep ->
+          a3 := Some (Oqsc.A3.create ~emit_circuit:true ~force_j:j ws rng ~k)
+      | _ -> ());
+      match !a3 with Some p -> Oqsc.A3.observe p role | None -> ())
+    (Machine.Stream.of_string input);
+  match !a3 with
+  | Some p -> (
+      match Oqsc.A3.circuit p with Some c -> c | None -> assert false)
+  | None -> failwith "E11: input had no prefix separator"
+
+let rows ?(quick = false) ~seed () =
+  let rng = Rng.create seed in
+  let cases = if quick then [ (1, 1) ] else [ (1, 0); (1, 1); (2, 1); (2, 3) ] in
+  List.map
+    (fun (k, j) ->
+      let inst = Lang.Instance.disjoint_pair (Rng.split rng) ~k in
+      let structured = a3_circuit ~k ~j inst.Lang.Instance.input in
+      let basis = Circuit.Lower.to_basis structured in
+      let ancillas = Circuit.Circ.nqubits basis - Circuit.Circ.nqubits structured in
+      let wire = Circuit.Wire.emit basis in
+      let reparsed = Circuit.Wire.parse ~nqubits:(Circuit.Circ.nqubits basis) wire in
+      let wire_roundtrip_ok =
+        Circuit.Circ.gates reparsed = Circuit.Circ.gates basis
+      in
+      let report =
+        Circuit.Verify.compare ~reference:structured ~candidate:basis ()
+      in
+      let optimized, _ = Circuit.Optimize.with_report basis in
+      let optimized_equivalent =
+        Circuit.Verify.equivalent ~reference:structured ~candidate:optimized ()
+      in
+      let input_length = String.length inst.Lang.Instance.input in
+      {
+        k;
+        j;
+        structured_gates = Circuit.Circ.length structured;
+        basis_gates = Circuit.Circ.length basis;
+        t_count = Circuit.Lower.t_count basis;
+        ancillas;
+        wire_chars = String.length wire;
+        wire_roundtrip_ok;
+        equivalent = report.Circuit.Verify.equivalent;
+        max_deviation = report.Circuit.Verify.max_deviation;
+        budget_constant =
+          log (float_of_int (max 2 (Circuit.Circ.length basis)))
+          /. log (float_of_int input_length);
+        input_length;
+        optimized_gates = Circuit.Circ.length optimized;
+        optimized_equivalent;
+      })
+    cases
+
+let print ?quick ~seed fmt =
+  let rs = rows ?quick ~seed () in
+  Table.print fmt
+    ~title:"E11  Lowering A3's circuit to {H, T, CNOT} (Definition 2.3)"
+    ~header:
+      [
+        "k"; "j"; "structured"; "basis"; "optimized"; "T count"; "ancillas";
+        "wire chars"; "roundtrip"; "equivalent"; "opt equiv"; "max dev"; "budget c";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.k;
+           string_of_int r.j;
+           string_of_int r.structured_gates;
+           string_of_int r.basis_gates;
+           string_of_int r.optimized_gates;
+           string_of_int r.t_count;
+           string_of_int r.ancillas;
+           string_of_int r.wire_chars;
+           string_of_bool r.wire_roundtrip_ok;
+           string_of_bool r.equivalent;
+           string_of_bool r.optimized_equivalent;
+           Printf.sprintf "%.2e" r.max_deviation;
+           Printf.sprintf "%.2f" r.budget_constant;
+         ])
+       rs)

@@ -1,0 +1,88 @@
+open Mathx
+
+type row = {
+  t : int;
+  simulated : float;
+  closed_form : float;
+  by_sum : float;
+  above_quarter : bool;
+  bbht_schedule_found : float;
+}
+
+(* Exact rejection probability of A3 with iteration count [j] on a fixed
+   instance, by streaming the input through A1 + A3. *)
+let a3_reject_prob ~k ~j input =
+  let ws = Machine.Workspace.create () in
+  let a1 = Oqsc.A1.create ws in
+  let rng = Rng.create 7 in
+  let a3 = ref None in
+  Machine.Stream.iter
+    (fun sym ->
+      let role = Oqsc.A1.feed a1 sym in
+      (match role with
+      | Oqsc.A1.Prefix_sep -> a3 := Some (Oqsc.A3.create ~force_j:j ws rng ~k)
+      | _ -> ());
+      match !a3 with Some p -> Oqsc.A3.observe p role | None -> ())
+    (Machine.Stream.of_string input);
+  match !a3 with Some p -> Oqsc.A3.prob_output_zero p | None -> 0.0
+
+let rows ?(quick = false) ~seed ~k () =
+  let rng = Rng.create seed in
+  let m = 1 lsl (2 * k) and rounds = 1 lsl k in
+  let ts =
+    if quick then [ 1; 2 ]
+    else List.filter (fun t -> t <= m) [ 1; 2; 4; 8; 16; 32; m - 1; m ]
+  in
+  let bbht_trials = if quick then 10 else 60 in
+  List.map
+    (fun t ->
+      let inst = Lang.Instance.intersecting_pair (Rng.split rng) ~k ~t in
+      let acc = ref 0.0 in
+      for j = 0 to rounds - 1 do
+        acc := !acc +. a3_reject_prob ~k ~j inst.Lang.Instance.input
+      done;
+      let simulated = !acc /. float_of_int rounds in
+      let closed_form = Grover.Analysis.avg_success_random_j ~rounds ~t ~space:m in
+      let by_sum = Grover.Analysis.avg_success_random_j_by_sum ~rounds ~t ~space:m in
+      (* Ablation: doubling-schedule BBHT search on the same oracle. *)
+      let found = ref 0 in
+      for _ = 1 to bbht_trials do
+        let x = Bitvec.create m and y = Bitvec.create m in
+        (match Lang.Ldisj.parse inst.Lang.Instance.input with
+        | Ok shape ->
+            Bitvec.iteri (fun i b -> Bitvec.set x i b) shape.Lang.Ldisj.x;
+            Bitvec.iteri (fun i b -> Bitvec.set y i b) shape.Lang.Ldisj.y
+        | Error _ -> ());
+        let oracle = Grover.Oracle.conjunction x y in
+        let outcome = Grover.Bbht.search (Rng.split rng) oracle in
+        if outcome.Grover.Bbht.found <> None then incr found
+      done;
+      {
+        t;
+        simulated;
+        closed_form;
+        by_sum;
+        above_quarter = simulated >= 0.25 -. 1e-9;
+        bbht_schedule_found = float_of_int !found /. float_of_int bbht_trials;
+      })
+    ts
+
+let print ?quick ~seed fmt =
+  let k = 3 in
+  let rs = rows ?quick ~seed ~k () in
+  Table.print fmt
+    ~title:
+      (Printf.sprintf "E9  A3 rejection probability vs BBHT closed form (k=%d, m=%d)" k
+         (1 lsl (2 * k)))
+    ~header:[ "t"; "simulated"; "closed form"; "finite sum"; ">= 1/4"; "BBHT-doubling found" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.t;
+           Printf.sprintf "%.5f" r.simulated;
+           Printf.sprintf "%.5f" r.closed_form;
+           Printf.sprintf "%.5f" r.by_sum;
+           string_of_bool r.above_quarter;
+           Table.fmt_prob r.bbht_schedule_found;
+         ])
+       rs)

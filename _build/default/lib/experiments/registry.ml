@@ -1,0 +1,66 @@
+let catalogue :
+    (string * string * (quick:bool -> seed:int -> Format.formatter -> unit)) list =
+  [
+    ( "e1",
+      "BCW quantum protocol cost for DISJ (Thm 3.1)",
+      fun ~quick ~seed fmt -> E1_bcw_cost.print ~quick ~seed fmt );
+    ( "e2",
+      "exact communication lower-bound certificates (Thm 3.2)",
+      fun ~quick ~seed:_ fmt -> E2_exact_cc.print ~quick fmt );
+    ( "e3",
+      "quantum online recognizer on L_DISJ (Thm 3.4)",
+      fun ~quick ~seed fmt -> E3_recognizer.print ~quick ~seed fmt );
+    ( "e4",
+      "amplification to OQBPL (Cor 3.5)",
+      fun ~quick ~seed fmt -> E4_amplification.print ~quick ~seed fmt );
+    ( "e5",
+      "configuration census at cuts (Thm 3.6 mechanics)",
+      fun ~quick ~seed:_ fmt -> E5_census.print ~quick fmt );
+    ( "e6",
+      "classical sketches against the n^(1/3) wall (Thm 3.6 consequence)",
+      fun ~quick ~seed fmt -> E6_sketch_wall.print ~quick ~seed fmt );
+    ( "e7",
+      "classical block algorithm space (Prop 3.7)",
+      fun ~quick ~seed fmt -> E7_block_space.print ~quick ~seed fmt );
+    ( "e8",
+      "quantum vs classical online space (the separation)",
+      fun ~quick ~seed fmt -> E8_separation.print ~quick ~seed fmt );
+    ( "e9",
+      "A3 rejection probability vs BBHT closed form (§3.2)",
+      fun ~quick ~seed fmt -> E9_bbht.print ~quick ~seed fmt );
+    ( "e10",
+      "A2 fingerprint error bound (§3.2)",
+      fun ~quick ~seed fmt -> E10_fingerprint.print ~quick ~seed fmt );
+    ( "e11",
+      "lowering A3's circuit to {H,T,CNOT} (Def 2.3)",
+      fun ~quick ~seed fmt -> E11_lowering.print ~quick ~seed fmt );
+    ( "e12",
+      "QFA vs DFA succinctness (footnote 2 extension)",
+      fun ~quick ~seed fmt -> E12_qfa.print ~quick ~seed fmt );
+    ( "e13",
+      "nondeterministic online space separation for L_NE (§1 extension)",
+      fun ~quick ~seed fmt -> E13_nondet.print ~quick ~seed fmt );
+    ( "e14",
+      "depolarizing noise vs the Theorem 3.4 guarantees (extension)",
+      fun ~quick ~seed fmt -> E14_noise.print ~quick ~seed fmt );
+    ( "e15",
+      "compiled Turing machines: the paper's primitives as real OPTMs (extension)",
+      fun ~quick ~seed fmt -> E15_compiled.print ~quick ~seed fmt );
+  ]
+
+let ids = List.map (fun (id, _, _) -> id) catalogue
+
+let find id =
+  match List.find_opt (fun (id', _, _) -> String.equal id id') catalogue with
+  | Some entry -> entry
+  | None -> raise Not_found
+
+let description id =
+  let _, d, _ = find id in
+  d
+
+let run ?(quick = false) ?(seed = 2006) id fmt =
+  let _, _, runner = find id in
+  runner ~quick ~seed fmt
+
+let run_all ?quick ?seed fmt = List.iter (fun id -> run ?quick ?seed id fmt) ids

@@ -1,0 +1,14 @@
+(** Experiment registry: id -> runner, shared by the CLI and the bench
+    harness.  Ids match the per-experiment index in DESIGN.md. *)
+
+val ids : string list
+(** ["e1"; ...; "e15"], in order. *)
+
+val description : string -> string
+(** One-line description of an experiment id.  @raise Not_found. *)
+
+val run : ?quick:bool -> ?seed:int -> string -> Format.formatter -> unit
+(** Runs one experiment and prints its table.  Default seed 2006 (the
+    paper's year), quick = false.  @raise Not_found for unknown ids. *)
+
+val run_all : ?quick:bool -> ?seed:int -> Format.formatter -> unit

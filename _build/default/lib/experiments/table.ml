@@ -1,0 +1,28 @@
+let fmt_float x = Printf.sprintf "%.4g" x
+let fmt_prob x = Printf.sprintf "%.3f" x
+
+let print fmt ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Table.print: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  Format.fprintf fmt "@.== %s ==@." title;
+  Format.fprintf fmt "%s@." (render_row header);
+  let total = List.fold_left (fun acc w -> acc + w + 2) (-2) widths in
+  Format.fprintf fmt "%s@." (String.make (max 1 total) '-');
+  List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) rows

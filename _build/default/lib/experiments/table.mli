@@ -1,0 +1,12 @@
+(** Plain-text table rendering shared by the experiment reports. *)
+
+val print :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+(** Renders a titled, column-aligned table.  Every row must have the same
+    arity as the header. *)
+
+val fmt_float : float -> string
+(** Compact float formatting ("%.4g"). *)
+
+val fmt_prob : float -> string
+(** Probability formatting ("%.3f"). *)

@@ -1,0 +1,1 @@
+lib/grover/amplify.ml: Float Quantum State

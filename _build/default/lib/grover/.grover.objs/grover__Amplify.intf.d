@@ -1,0 +1,1 @@
+lib/grover/amplify.mli: Quantum

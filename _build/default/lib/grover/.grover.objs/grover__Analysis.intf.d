@@ -1,0 +1,1 @@
+lib/grover/analysis.mli:

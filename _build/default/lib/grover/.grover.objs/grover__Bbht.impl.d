@@ -1,0 +1,1 @@
+lib/grover/bbht.ml: Float Iterate Mathx Oracle Quantum Rng

@@ -1,0 +1,1 @@
+lib/grover/bbht.mli: Mathx Oracle

@@ -1,0 +1,1 @@
+lib/grover/iterate.ml: Float Oracle Quantum State

@@ -1,0 +1,1 @@
+lib/grover/iterate.mli: Oracle Quantum

@@ -1,0 +1,1 @@
+lib/grover/oracle.ml: Bitvec Mathx

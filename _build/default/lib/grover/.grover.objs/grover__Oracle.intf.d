@@ -1,0 +1,1 @@
+lib/grover/oracle.mli: Mathx

@@ -1,0 +1,54 @@
+open Quantum
+
+type operator = {
+  prepare : State.t -> unit;
+  unprepare : State.t -> unit;
+}
+
+let hadamard_operator n =
+  let apply s = State.apply_hadamard_block s 0 n in
+  { prepare = apply; unprepare = apply }
+
+let success_probability ~marked s =
+  let acc = ref 0.0 in
+  for i = 0 to State.dim s - 1 do
+    if marked i then acc := !acc +. State.probability s i
+  done;
+  !acc
+
+let initial_success op ~n ~marked =
+  let s = State.create n in
+  op.prepare s;
+  success_probability ~marked s
+
+let step op ~marked s =
+  (* S_good *)
+  State.apply_phase_if s marked;
+  (* A^{-1} *)
+  op.unprepare s;
+  (* -S_0: flip everything except |0>, the same sign convention as the
+     paper's S_k (global phase only). *)
+  State.apply_phase_if s (fun idx -> idx <> 0);
+  (* A *)
+  op.prepare s
+
+let run op ~n ~marked ~steps =
+  let s = State.create n in
+  op.prepare s;
+  for _ = 1 to steps do
+    step op ~marked s
+  done;
+  s
+
+let predicted_success ~a ~steps =
+  if a <= 0.0 then 0.0
+  else if a >= 1.0 then 1.0
+  else begin
+    let theta = asin (sqrt a) in
+    let v = sin (float_of_int ((2 * steps) + 1) *. theta) in
+    v *. v
+  end
+
+let optimal_steps ~a =
+  if a <= 0.0 || a >= 1.0 then invalid_arg "Amplify.optimal_steps: need 0 < a < 1";
+  int_of_float (Float.pi /. (4.0 *. asin (sqrt a)))

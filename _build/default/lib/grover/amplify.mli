@@ -1,0 +1,40 @@
+(** Amplitude amplification (Brassard–Høyer–Mosca–Tapp), the
+    generalisation of Grover's algorithm the paper invokes when noting
+    that the OQRSPACE acceptance constant "can be increased by performing
+    amplitude amplification" (§2.2).
+
+    Given a state-preparation operator A (with its inverse) and a marked
+    predicate on basis states, one amplification step applies
+
+    [Q = -A S_0 A^{-1} S_good]
+
+    where [S_good] flips the phase of marked basis states and [S_0] flips
+    |0...0>.  Starting from A|0>, [j] steps rotate the success amplitude
+    from [sin theta = sqrt a] to [sin((2j+1) theta)], where [a] is the
+    initial success probability.  Grover search is the special case
+    A = H^{(x)n}. *)
+
+type operator = {
+  prepare : Quantum.State.t -> unit;  (** applies A *)
+  unprepare : Quantum.State.t -> unit;  (** applies A^{-1} *)
+}
+
+val hadamard_operator : int -> operator
+(** A = H on qubits 0..n-1 — recovers standard Grover. *)
+
+val initial_success : operator -> n:int -> marked:(int -> bool) -> float
+(** [a = |P_good A|0>|^2], the quantity amplification boosts. *)
+
+val step : operator -> marked:(int -> bool) -> Quantum.State.t -> unit
+(** One amplification step Q (global phase included). *)
+
+val run : operator -> n:int -> marked:(int -> bool) -> steps:int -> Quantum.State.t
+(** Prepares A|0> on [n] qubits and applies [steps] amplification steps. *)
+
+val success_probability : marked:(int -> bool) -> Quantum.State.t -> float
+
+val predicted_success : a:float -> steps:int -> float
+(** [sin^2((2j+1) asin(sqrt a))]. *)
+
+val optimal_steps : a:float -> int
+(** [floor(pi / (4 asin(sqrt a)))] for [0 < a < 1]. *)

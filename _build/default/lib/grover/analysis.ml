@@ -1,0 +1,35 @@
+let theta ~t ~space =
+  if t <= 0 || t > space then invalid_arg "Analysis.theta: need 0 < t <= space";
+  asin (sqrt (float_of_int t /. float_of_int space))
+
+let success_after ~j ~t ~space =
+  if t = 0 then 0.0
+  else begin
+    let th = theta ~t ~space in
+    let s = sin (float_of_int ((2 * j) + 1) *. th) in
+    s *. s
+  end
+
+let avg_success_random_j ~rounds ~t ~space =
+  if rounds <= 0 then invalid_arg "Analysis.avg_success_random_j: rounds must be positive";
+  if t = 0 then 0.0
+  else if t = space then 1.0
+  else begin
+    let th = theta ~t ~space in
+    let m = float_of_int rounds in
+    0.5 -. (sin (4.0 *. m *. th) /. (4.0 *. m *. sin (2.0 *. th)))
+  end
+
+let avg_success_random_j_by_sum ~rounds ~t ~space =
+  if rounds <= 0 then invalid_arg "Analysis.avg_success_random_j_by_sum: rounds must be positive";
+  let acc = ref 0.0 in
+  for j = 0 to rounds - 1 do
+    acc := !acc +. success_after ~j ~t ~space
+  done;
+  !acc /. float_of_int rounds
+
+let paper_lower_bound = 0.25
+
+let bbht_expected_iterations ~t ~space =
+  if t <= 0 then invalid_arg "Analysis.bbht_expected_iterations: t must be positive";
+  4.5 *. sqrt (float_of_int space /. float_of_int t)

@@ -1,0 +1,34 @@
+(** Closed-form analysis of Grover search (Boyer–Brassard–Høyer–Tapp).
+
+    [space] is the search-space size N = 2^n and [t] the number of marked
+    items, with 0 < t <= N unless stated otherwise. *)
+
+val theta : t:int -> space:int -> float
+(** The rotation angle: [sin^2 theta = t / N], [0 < theta <= pi/2]. *)
+
+val success_after : j:int -> t:int -> space:int -> float
+(** Probability that measuring the address register after [j] Grover
+    iterations yields a marked item: [sin^2((2j+1) * theta)].  For [t = 0]
+    this is 0 for every [j]. *)
+
+val avg_success_random_j : rounds:int -> t:int -> space:int -> float
+(** The paper's §3.2 quantity: the detection probability of procedure A3
+    when the iteration count [j] is drawn uniformly from
+    [{0, ..., rounds-1}], in closed form
+    [1/2 - sin(4*rounds*theta) / (4*rounds*sin(2*theta))].
+    Defined for [0 < t < space]; for [t = space] the value is exactly
+    [sin^2 theta = 1], handled separately. *)
+
+val avg_success_random_j_by_sum : rounds:int -> t:int -> space:int -> float
+(** Same quantity computed as the explicit average
+    [(1/rounds) * sum_j sin^2((2j+1) theta)] — used to cross-check the
+    closed form (they agree to rounding). *)
+
+val paper_lower_bound : float
+(** The 1/4 bound the paper proves for [rounds = 2^k], [space = 2^{2k}],
+    [0 < t < space]. *)
+
+val bbht_expected_iterations : t:int -> space:int -> float
+(** Order-of-magnitude expected total iterations of the BBHT unknown-count
+    schedule: O(sqrt(space / t)); this implementation returns
+    [9/2 * sqrt(space/t)], the constant proved in BBHT Theorem 3. *)

@@ -1,0 +1,46 @@
+open Mathx
+
+type outcome = { found : int option; rounds : int; iterations : int }
+
+let sample_address rng o s =
+  let idx = Quantum.State.sample_all s rng in
+  idx land ((1 lsl Oracle.n o) - 1)
+
+let run_round rng o j =
+  let s = Iterate.run o j in
+  sample_address rng o s
+
+let search ?max_rounds rng o =
+  let space = Oracle.size o in
+  let sqrt_n = int_of_float (ceil (sqrt (float_of_int space))) in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> (3 * sqrt_n) + 10
+  in
+  let lambda = 6.0 /. 5.0 in
+  let rec go m round iters =
+    if round >= max_rounds then { found = None; rounds = round; iterations = iters }
+    else begin
+      let j = Rng.int rng (max 1 (int_of_float m)) in
+      let candidate = run_round rng o j in
+      if Oracle.marked o candidate then
+        { found = Some candidate; rounds = round + 1; iterations = iters + j }
+      else
+        go (Float.min (m *. lambda) (float_of_int sqrt_n)) (round + 1) (iters + j)
+    end
+  in
+  go 1.0 0 0
+
+let search_fixed_budget rng o ~rounds ~max_j =
+  if rounds <= 0 || max_j <= 0 then
+    invalid_arg "Bbht.search_fixed_budget: rounds and max_j must be positive";
+  let rec go round iters =
+    if round >= rounds then { found = None; rounds = round; iterations = iters }
+    else begin
+      let j = Rng.int rng max_j in
+      let candidate = run_round rng o j in
+      if Oracle.marked o candidate then
+        { found = Some candidate; rounds = round + 1; iterations = iters + j }
+      else go (round + 1) (iters + j)
+    end
+  in
+  go 0 0

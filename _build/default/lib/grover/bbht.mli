@@ -1,0 +1,27 @@
+(** Unknown-solution-count Grover search (Boyer, Brassard, Høyer, Tapp).
+
+    The schedule runs rounds with a growing iteration budget [m]: each
+    round draws [j] uniformly from [[0, m)], applies [j] Grover iterations,
+    samples the address register, and checks the sample classically against
+    the oracle.  On failure, [m] grows by the factor 6/5 (capped at
+    [sqrt N]).  With at least one solution present the expected total
+    iteration count is O(sqrt(N/t)); with none, the search stops after the
+    round cap and reports [None]. *)
+
+type outcome = {
+  found : int option;  (** a marked address, if one was located *)
+  rounds : int;  (** measurement rounds performed *)
+  iterations : int;  (** total Grover iterations applied *)
+}
+
+val search : ?max_rounds:int -> Mathx.Rng.t -> Oracle.t -> outcome
+(** [search rng o] runs the BBHT schedule.  [max_rounds] defaults to
+    [3 * ceil(sqrt N) + 10], enough for the failure probability with a
+    solution present to be negligible. *)
+
+val search_fixed_budget :
+  Mathx.Rng.t -> Oracle.t -> rounds:int -> max_j:int -> outcome
+(** The paper's simplified variant used by procedure A3: [rounds]
+    independent rounds, each drawing [j] uniformly from [[0, max_j)];
+    matches the structure of the streaming algorithm where each repetition
+    of the input supports one round. *)

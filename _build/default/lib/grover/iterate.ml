@@ -1,0 +1,46 @@
+open Quantum
+
+let prepare_uniform ?(extra_qubits = 0) o =
+  let n = Oracle.n o in
+  let s = State.create (n + extra_qubits) in
+  State.apply_hadamard_block s 0 n;
+  s
+
+let address_mask o = (1 lsl Oracle.n o) - 1
+
+let phase_oracle o s =
+  let mask = address_mask o in
+  State.apply_phase_if s (fun idx -> Oracle.marked o (idx land mask))
+
+let diffusion o s =
+  let n = Oracle.n o in
+  let mask = address_mask o in
+  State.apply_hadamard_block s 0 n;
+  State.apply_phase_if s (fun idx -> idx land mask <> 0);
+  State.apply_hadamard_block s 0 n
+
+let iteration o s =
+  phase_oracle o s;
+  diffusion o s
+
+let run ?extra_qubits o j =
+  let s = prepare_uniform ?extra_qubits o in
+  for _ = 1 to j do
+    iteration o s
+  done;
+  s
+
+let success_probability o s =
+  let mask = address_mask o in
+  let acc = ref 0.0 in
+  for idx = 0 to State.dim s - 1 do
+    if Oracle.marked o (idx land mask) then acc := !acc +. State.probability s idx
+  done;
+  !acc
+
+let optimal_iterations ~n_solutions ~space =
+  if n_solutions <= 0 then 0
+  else begin
+    let theta = asin (sqrt (float_of_int n_solutions /. float_of_int space)) in
+    int_of_float (Float.pi /. (4.0 *. theta))
+  end

@@ -1,0 +1,34 @@
+open Mathx
+
+type t = { n : int; marked : int -> bool }
+
+let make ~n marked =
+  if n < 0 || n > 24 then invalid_arg "Oracle.make: address width out of range";
+  { n; marked }
+
+let log2_exact len =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  if len <= 0 || len land (len - 1) <> 0 then
+    invalid_arg "Oracle: length must be a power of two"
+  else go 0 len
+
+let of_bitvec v =
+  let n = log2_exact (Bitvec.length v) in
+  make ~n (Bitvec.get v)
+
+let conjunction x y =
+  if Bitvec.length x <> Bitvec.length y then
+    invalid_arg "Oracle.conjunction: length mismatch";
+  let n = log2_exact (Bitvec.length x) in
+  make ~n (fun i -> Bitvec.get x i && Bitvec.get y i)
+
+let n t = t.n
+let size t = 1 lsl t.n
+let marked t i = t.marked i
+
+let count_solutions t =
+  let acc = ref 0 in
+  for i = 0 to size t - 1 do
+    if t.marked i then incr acc
+  done;
+  !acc

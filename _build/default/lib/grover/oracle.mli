@@ -1,0 +1,29 @@
+(** Search oracles.
+
+    An oracle marks a subset of the [2^n] basis states of an [n]-qubit
+    address register.  The Grover driver only consumes the predicate; the
+    concrete constructors below cover the workloads of the experiments. *)
+
+type t
+
+val make : n:int -> (int -> bool) -> t
+(** [make ~n marked] is an oracle over addresses [0 .. 2^n - 1]. *)
+
+val of_bitvec : Mathx.Bitvec.t -> t
+(** [of_bitvec v] marks address [i] iff [v_i = 1].  The length of [v] must
+    be a power of two. *)
+
+val conjunction : Mathx.Bitvec.t -> Mathx.Bitvec.t -> t
+(** [conjunction x y] marks [i] iff [x_i = y_i = 1] — the oracle of the
+    DISJ search, where a marked item witnesses non-disjointness. *)
+
+val n : t -> int
+(** Number of address qubits. *)
+
+val size : t -> int
+(** Search-space size [2^n]. *)
+
+val marked : t -> int -> bool
+
+val count_solutions : t -> int
+(** Classical census of marked addresses (used by tests and analysis). *)

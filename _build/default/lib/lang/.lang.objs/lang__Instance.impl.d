@@ -1,0 +1,1 @@
+lib/lang/instance.ml: Bitvec Bytes Fmt Ldisj Mathx Printf Rng String

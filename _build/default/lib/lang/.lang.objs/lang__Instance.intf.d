@@ -1,0 +1,1 @@
+lib/lang/instance.mli: Mathx

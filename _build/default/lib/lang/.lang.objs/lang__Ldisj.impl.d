@@ -1,0 +1,1 @@
+lib/lang/ldisj.ml: Bitvec Buffer Fmt List Machine Mathx Printf Result String

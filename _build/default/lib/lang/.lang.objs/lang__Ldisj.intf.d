@@ -1,0 +1,1 @@
+lib/lang/ldisj.mli: Machine Mathx

@@ -1,0 +1,123 @@
+open Mathx
+
+type label = In_language | Not_in_language of reason
+
+and reason =
+  | Intersecting of int
+  | Malformed of string
+  | Inconsistent of string
+
+type t = { input : string; label : label; k : int }
+
+let is_member t = t.label = In_language
+
+let m_of_k k = 1 lsl (2 * k)
+
+let disjoint_pair rng ~k =
+  let m = m_of_k k in
+  let x = Bitvec.random rng m in
+  let y = Bitvec.create m in
+  for i = 0 to m - 1 do
+    if not (Bitvec.get x i) then Bitvec.set y i (Rng.bool rng)
+  done;
+  let input = Ldisj.encode { Ldisj.k; x; y } in
+  { input; label = In_language; k }
+
+let intersecting_pair rng ~k ~t =
+  let m = m_of_k k in
+  if t < 1 || t > m then invalid_arg "Instance.intersecting_pair: bad t";
+  let x = Bitvec.random rng m in
+  let y = Bitvec.create m in
+  for i = 0 to m - 1 do
+    if not (Bitvec.get x i) then Bitvec.set y i (Rng.bool rng)
+  done;
+  (* Plant exactly t collisions on a random t-subset. *)
+  let collide = Bitvec.random_with_weight rng m t in
+  for i = 0 to m - 1 do
+    if Bitvec.get collide i then begin
+      Bitvec.set x i true;
+      Bitvec.set y i true
+    end
+    else if Bitvec.get x i && Bitvec.get y i then Bitvec.set y i false
+  done;
+  let input = Ldisj.encode { Ldisj.k; x; y } in
+  { input; label = Not_in_language (Intersecting t); k }
+
+let sparse_pair rng ~k ~weight =
+  let m = m_of_k k in
+  let x = Bitvec.random_with_weight rng m weight in
+  let y = Bitvec.random_with_weight rng m weight in
+  let t = Bitvec.intersection_count x y in
+  let input = Ldisj.encode { Ldisj.k; x; y } in
+  let label = if t = 0 then In_language else Not_in_language (Intersecting t) in
+  { input; label; k }
+
+let corrupt_repetition rng ~base =
+  match Ldisj.parse base.input with
+  | Error reason ->
+      Fmt.invalid_arg "Instance.corrupt_repetition: base is not well-formed (%s)" reason
+  | Ok { Ldisj.k; x; y } ->
+      let m = m_of_k k and reps = 1 lsl k in
+      let victim_rep = Rng.int rng reps in
+      let victim_copy = Rng.int rng 3 in
+      let victim_bit = Rng.int rng m in
+      let flip v =
+        let v' = Bitvec.copy v in
+        Bitvec.set v' victim_bit (not (Bitvec.get v' victim_bit));
+        v'
+      in
+      let blocks r =
+        if r <> victim_rep then (x, y, x)
+        else
+          match victim_copy with
+          | 0 -> (flip x, y, x)
+          | 1 -> (x, flip y, x)
+          | _ -> (x, y, flip x)
+      in
+      let input = Ldisj.encode_with ~k ~blocks in
+      let what =
+        Printf.sprintf "bit %d of copy %d in repetition %d flipped" victim_bit
+          victim_copy victim_rep
+      in
+      { input; label = Not_in_language (Inconsistent what); k }
+
+let malformed rng ~k =
+  let m = m_of_k k in
+  let base = disjoint_pair rng ~k in
+  let s = base.input in
+  let defect = Rng.int rng 5 in
+  let input, what =
+    match defect with
+    | 0 -> (String.sub s 0 (String.length s - 1), "truncated final symbol")
+    | 1 -> (s ^ "0", "trailing garbage")
+    | 2 ->
+        (* Replace the '#' after the 1^k prefix by a 0: no prefix separator. *)
+        let b = Bytes.of_string s in
+        Bytes.set b k '0';
+        (Bytes.to_string b, "missing prefix separator")
+    | 3 ->
+        (* Damage a separator inside the first repetition. *)
+        let b = Bytes.of_string s in
+        Bytes.set b (k + 1 + m) '1';
+        (Bytes.to_string b, "separator replaced inside repetition")
+    | _ ->
+        (* Claim k+1 with blocks sized for k: length mismatch. *)
+        ("1" ^ s, "inflated 1-run")
+  in
+  { input; label = Not_in_language (Malformed what); k }
+
+let standard_suite rng ~k =
+  let m = m_of_k k in
+  let sqrt_m = max 1 (1 lsl k) in
+  let member1 = disjoint_pair rng ~k in
+  let member2 = disjoint_pair rng ~k in
+  [
+    member1;
+    member2;
+    intersecting_pair rng ~k ~t:1;
+    intersecting_pair rng ~k ~t:sqrt_m;
+    intersecting_pair rng ~k ~t:(max 1 (m / 4));
+    corrupt_repetition rng ~base:member1;
+    malformed rng ~k;
+    malformed rng ~k;
+  ]

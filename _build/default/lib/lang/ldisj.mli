@@ -1,0 +1,60 @@
+(** The language L_DISJ of Definition 3.3:
+
+    {v L_DISJ = { 1^k # (x#y#x#)^{2^k}  |  k >= 1,
+                  x, y in {0,1}^{2^{2k}},  DISJ(x, y) = 1 } v}
+
+    over the alphabet {0, 1, #}, where DISJ(x, y) = 1 iff no index [i] has
+    [x_i = y_i = 1].  The block [x#y#x#] is repeated [2^k] times so that a
+    streaming machine gets one Grover round per repetition. *)
+
+type shape = {
+  k : int;
+  x : Mathx.Bitvec.t;
+  y : Mathx.Bitvec.t;
+}
+(** The parameters of a syntactically valid input.  [x] and [y] have
+    length [2^{2k}]. *)
+
+val string_length : k:int -> int
+(** Exact input length for parameter [k]:
+    [k + 1 + 2^k * (3 * 2^{2k} + 3)]. *)
+
+val encode : shape -> string
+(** Serialises [1^k#(x#y#x#)^{2^k}].
+    @raise Invalid_argument if the vector lengths are not [2^{2k}]. *)
+
+val encode_with :
+  k:int -> blocks:(int -> Mathx.Bitvec.t * Mathx.Bitvec.t * Mathx.Bitvec.t) -> string
+(** General form for building {e corrupted} inputs: repetition [r]
+    (0-based) is written as [x_r#y_r#z_r#] where
+    [(x_r, y_r, z_r) = blocks r].  Syntactically valid (condition (i)) but
+    conditions (ii)/(iii) hold only if all blocks agree. *)
+
+val stream : shape -> Machine.Stream.t
+(** One-way stream of the encoded input, generated symbol by symbol
+    without materialising the string — inputs far longer than memory, as
+    the streaming model intends.  Agrees with {!encode} position by
+    position. *)
+
+val well_shaped : string -> bool
+(** Condition (i) of the Theorem 3.4 proof alone: the input has the exact
+    layout [1^k#(b#b#b#)^{2^k}] with blocks of length [2^{2k}] — no
+    consistency or disjointness requirements.  This is the predicate the
+    streaming checker A1 computes; the test suite cross-validates the two
+    implementations on random mutations. *)
+
+val parse : string -> (shape, string) result
+(** Full offline parse: checks conditions (i), (ii) and (iii) of the
+    Theorem 3.4 proof — the overall shape, [x = z] inside every
+    repetition, and agreement of all repetitions.  Returns a reason on
+    failure.  (This is the reference implementation; the streaming
+    checkers A1/A2 exist precisely to avoid its O(n) memory.) *)
+
+val member : string -> bool
+(** Exact membership in L_DISJ: [parse] succeeds {e and} DISJ(x, y) = 1. *)
+
+val in_complement : string -> bool
+(** Membership in the complement (the language of Theorem 3.4). *)
+
+val disj : Mathx.Bitvec.t -> Mathx.Bitvec.t -> bool
+(** The DISJ predicate itself. *)

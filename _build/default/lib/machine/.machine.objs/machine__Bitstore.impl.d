@@ -1,0 +1,1 @@
+lib/machine/bitstore.ml: Array Printf Workspace

@@ -1,0 +1,1 @@
+lib/machine/bitstore.mli: Workspace

@@ -1,0 +1,1 @@
+lib/machine/census.ml: Float Int List Map Set String

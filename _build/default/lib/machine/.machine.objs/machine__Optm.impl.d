@@ -1,0 +1,1 @@
+lib/machine/optm.ml: Buffer Bytes Float Fmt List Mathx Queue Rng Set String Symbol

@@ -1,0 +1,1 @@
+lib/machine/optm.mli: Mathx Symbol

@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Buffer Fmt Hashtbl List Optm Printf String Symbol

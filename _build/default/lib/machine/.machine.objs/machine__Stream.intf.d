@@ -1,0 +1,1 @@
+lib/machine/stream.mli: Symbol

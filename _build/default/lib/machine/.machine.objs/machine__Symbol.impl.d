@@ -1,0 +1,1 @@
+lib/machine/symbol.ml: Array Fmt Format List String

@@ -1,0 +1,1 @@
+lib/machine/symbol.mli: Format

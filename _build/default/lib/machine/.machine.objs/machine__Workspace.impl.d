@@ -1,0 +1,1 @@
+lib/machine/workspace.ml: Array Buffer Fmt Printf String

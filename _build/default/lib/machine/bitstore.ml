@@ -1,0 +1,31 @@
+type t = { ws : Workspace.t; words : Workspace.reg array; length : int }
+
+let alloc ws ~name ~bits =
+  if bits < 1 then invalid_arg "Bitstore.alloc: need at least one bit";
+  let nwords = (bits + 61) / 62 in
+  let words =
+    Array.init nwords (fun i ->
+        let width = if i = nwords - 1 then bits - (62 * (nwords - 1)) else 62 in
+        Workspace.alloc ws ~name:(Printf.sprintf "%s.%d" name i) ~bits:width)
+  in
+  { ws; words; length = bits }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitstore: index out of bounds"
+
+let get t i =
+  check t i;
+  Workspace.get t.ws t.words.(i / 62) land (1 lsl (i mod 62)) <> 0
+
+let set t i b =
+  check t i;
+  let current = Workspace.get t.ws t.words.(i / 62) in
+  let mask = 1 lsl (i mod 62) in
+  Workspace.set t.ws t.words.(i / 62)
+    (if b then current lor mask else current land lnot mask)
+
+let clear t = Array.iter (fun w -> Workspace.set t.ws w 0) t.words
+
+let bits t = t.length

@@ -1,0 +1,18 @@
+(** A bit array allocated through a {!Workspace} ledger.
+
+    Packs [bits] bits into 62-bit registers, with the final register
+    sized exactly so the metered footprint equals [bits] — the baselines'
+    storage terms are what the space theorems are about, so they must not
+    be inflated by rounding. *)
+
+type t
+
+val alloc : Workspace.t -> name:string -> bits:int -> t
+(** @raise Invalid_argument if [bits < 1]. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val clear : t -> unit
+val bits : t -> int
+(** The metered footprint (= [length]). *)

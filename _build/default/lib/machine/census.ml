@@ -1,0 +1,35 @@
+module String_set = Set.Make (String)
+module Int_map = Map.Make (Int)
+
+type t = { mutable by_cut : String_set.t Int_map.t }
+
+let create () = { by_cut = Int_map.empty }
+
+let record t ~cut snapshot =
+  let existing =
+    match Int_map.find_opt cut t.by_cut with
+    | Some set -> set
+    | None -> String_set.empty
+  in
+  t.by_cut <- Int_map.add cut (String_set.add snapshot existing) t.by_cut
+
+let cuts t = List.map fst (Int_map.bindings t.by_cut)
+
+let distinct t ~cut =
+  match Int_map.find_opt cut t.by_cut with
+  | Some set -> String_set.cardinal set
+  | None -> 0
+
+let log2 x = log x /. log 2.0
+
+let log2_distinct t ~cut = log2 (float_of_int (max 1 (distinct t ~cut)))
+
+let total_protocol_bits t =
+  Int_map.fold
+    (fun _ set acc -> acc +. ceil (log2 (float_of_int (max 1 (String_set.cardinal set)))))
+    t.by_cut 0.0
+
+let max_cut_bits t =
+  Int_map.fold
+    (fun _ set acc -> Float.max acc (log2 (float_of_int (max 1 (String_set.cardinal set)))))
+    t.by_cut 0.0

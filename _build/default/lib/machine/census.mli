@@ -1,0 +1,32 @@
+(** Configuration censuses at input cuts.
+
+    The Theorem 3.6 protocol sends, at cut [i], the machine's current
+    configuration; the communication cost of step [i] is
+    [ceil(log2 |C_i|)] where [C_i] is the set of configurations that occur
+    there over all inputs (and coin flips).  This accumulator collects
+    those sets for any streaming computation able to describe its state as
+    a string (e.g. {!Workspace.snapshot}). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> cut:int -> string -> unit
+(** Registers that configuration [snapshot] occurs at [cut]. *)
+
+val cuts : t -> int list
+(** All cuts seen, ascending. *)
+
+val distinct : t -> cut:int -> int
+(** Number of distinct configurations recorded at a cut (0 if unseen). *)
+
+val log2_distinct : t -> cut:int -> float
+(** [log2 (max 1 (distinct t ~cut))] — the per-message cost in bits. *)
+
+val total_protocol_bits : t -> float
+(** Sum over cuts of [ceil (log2 |C_i|)]: total communication of the
+    induced one-way protocol. *)
+
+val max_cut_bits : t -> float
+(** The largest per-cut cost — a lower bound on the machine's space via
+    Fact 2.2. *)

@@ -1,0 +1,117 @@
+open Optm
+
+let act ~next_state ~write ~work_move ~advance_input =
+  { next_state; write; work_move; advance_input; emit = None }
+
+let det a = Branch [ (a, 1.0) ]
+
+(* States: 0 = even parity, 1 = odd parity.  The work tape is untouched. *)
+let parity =
+  {
+    name = "parity";
+    num_states = 2;
+    start_state = 0;
+    delta =
+      (fun ~state ~input ~work ->
+        match input with
+        | None -> Halt (state = 0)
+        | Some Symbol.One ->
+            det (act ~next_state:(1 - state) ~write:work ~work_move:Stay ~advance_input:true)
+        | Some (Symbol.Zero | Symbol.Hash) ->
+            det (act ~next_state:state ~write:work ~work_move:Stay ~advance_input:true));
+  }
+
+(* State 0 flips a fair coin into state 1 (accept) or 2 (reject). *)
+let fair_coin =
+  {
+    name = "fair-coin";
+    num_states = 3;
+    start_state = 0;
+    delta =
+      (fun ~state ~input:_ ~work ->
+        match state with
+        | 0 ->
+            Branch
+              [
+                (act ~next_state:1 ~write:work ~work_move:Stay ~advance_input:false, 0.5);
+                (act ~next_state:2 ~write:work ~work_move:Stay ~advance_input:false, 0.5);
+              ]
+        | 1 -> Halt true
+        | _ -> Halt false);
+  }
+
+(* Recognises { u#u | u in {0,1}* }.
+   States:
+     0  place a '#' sentinel at work cell 0, move right        (1 step)
+     1  copy input bits rightwards until the input '#'
+     2  rewind the work head to the sentinel
+     3  step off the sentinel, then compare input against tape
+   The configuration census at the cut just after the input '#' is 2^m for
+   blocks of length m: the whole block sits on the work tape. *)
+let copy_then_compare ~m:_ =
+  {
+    name = "copy-then-compare";
+    num_states = 4;
+    start_state = 0;
+    delta =
+      (fun ~state ~input ~work ->
+        match state with
+        | 0 ->
+            det
+              (act ~next_state:1 ~write:(Symbol.Sym Symbol.Hash) ~work_move:Right
+                 ~advance_input:false)
+        | 1 -> begin
+            match input with
+            | Some ((Symbol.Zero | Symbol.One) as b) ->
+                det (act ~next_state:1 ~write:(Symbol.Sym b) ~work_move:Right ~advance_input:true)
+            | Some Symbol.Hash ->
+                det (act ~next_state:2 ~write:work ~work_move:Left ~advance_input:true)
+            | None -> Halt false
+          end
+        | 2 -> begin
+            match work with
+            | Symbol.Sym Symbol.Hash ->
+                det (act ~next_state:3 ~write:work ~work_move:Right ~advance_input:false)
+            | Symbol.Sym _ | Symbol.Blank ->
+                det (act ~next_state:2 ~write:work ~work_move:Left ~advance_input:false)
+          end
+        | _ -> begin
+            match (input, work) with
+            | Some ((Symbol.Zero | Symbol.One) as b), Symbol.Sym stored
+              when Symbol.equal stored b ->
+                det (act ~next_state:3 ~write:work ~work_move:Right ~advance_input:true)
+            | None, Symbol.Blank -> Halt true
+            | (Some _ | None), _ -> Halt false
+          end);
+  }
+
+(* Accepts iff the last input bit equals the first.  Work cell 0 stores the
+   first bit; the control state tracks the most recent bit.
+   States: 0 = start, 1 = last seen 0, 2 = last seen 1. *)
+let remember_first =
+  {
+    name = "remember-first";
+    num_states = 3;
+    start_state = 0;
+    delta =
+      (fun ~state ~input ~work ->
+        match (state, input) with
+        | 0, Some ((Symbol.Zero | Symbol.One) as b) ->
+            det
+              (act
+                 ~next_state:(if Symbol.equal b Symbol.One then 2 else 1)
+                 ~write:(Symbol.Sym b) ~work_move:Stay ~advance_input:true)
+        | 0, (Some Symbol.Hash | None) -> Halt false
+        | _, Some ((Symbol.Zero | Symbol.One) as b) ->
+            det
+              (act
+                 ~next_state:(if Symbol.equal b Symbol.One then 2 else 1)
+                 ~write:work ~work_move:Stay ~advance_input:true)
+        | _, Some Symbol.Hash -> Halt false
+        | s, None -> begin
+            match work with
+            | Symbol.Sym Symbol.One -> Halt (s = 2)
+            | Symbol.Sym Symbol.Zero -> Halt (s = 1)
+            | Symbol.Sym Symbol.Hash | Symbol.Blank -> Halt false
+          end);
+  }

@@ -1,0 +1,27 @@
+(** Concrete OPTMs for tests and for the lower-bound experiments.
+
+    These are genuine transition-function machines, not shortcuts: the
+    census experiment (E5) runs {!Optm.configs_at_cut} on them and compares
+    the observed configuration counts against the Fact 2.2 bound and
+    against the communication-complexity argument of Theorem 3.6. *)
+
+val parity : Optm.t
+(** Accepts strings over {0,1} with an even number of 1s; uses no work
+    tape.  2 live control states. *)
+
+val fair_coin : Optm.t
+(** Ignores its input and accepts with probability exactly 1/2 —
+    exercises probabilistic branching and {!Optm.acceptance_probability}. *)
+
+val copy_then_compare : m:int -> Optm.t
+(** The "store the block" machine at the heart of the Theorem 3.6
+    intuition: reads [m] bits, writes them to the work tape, expects a
+    [#], then compares the next [m] bits against the stored block;
+    accepts iff they are equal.  Its configuration census at the cut just
+    after the [#] is exactly [2^m] — the machine {e must} remember the
+    whole block, which is the phenomenon the lower bound formalises. *)
+
+val remember_first : Optm.t
+(** Accepts iff the last input bit equals the first — an O(1)-space
+    machine whose per-cut census stays constant, contrasting with
+    {!copy_then_compare}. *)

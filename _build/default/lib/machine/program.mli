@@ -1,0 +1,108 @@
+(** Register programs compiled to online Turing machines.
+
+    Hand-writing OPTM transition tables does not scale past a few states,
+    which limits how much of the paper's machinery can be exercised on
+    {e real} machines.  This module closes the gap with a small
+    imperative language — bounded binary registers, one-way input
+    reads, conditional jumps, output emission — and a compiler that
+    produces a genuine {!Optm.t}: registers live on the work tape as
+    fixed-width binary fields, and every instruction expands into
+    head-walking micro-states (seek, ripple-carry, bitwise compare).
+
+    The compiled machine is a first-class OPTM: it runs on the standard
+    simulator, its work-tape footprint is the real Θ(registers · width)
+    cell count, and the Fact 2.2 / Theorem 3.6 census machinery applies
+    to it unchanged.  A direct interpreter for the same language provides
+    the reference semantics the compiler is tested against.
+
+    Model notes: registers hold values modulo 2^width ({!Inc} wraps);
+    reads consume one input symbol and branch on it; programs halt by
+    {!Accept} or {!Reject}. *)
+
+type instr =
+  | Read of { on_zero : int; on_one : int; on_hash : int; on_eof : int }
+      (** consume one input symbol and jump accordingly; at end of input
+          jump to [on_eof] without consuming *)
+  | Inc of { reg : int; next : int }  (** reg := reg + 1 mod 2^width *)
+  | Reset of { reg : int; next : int }  (** reg := 0 *)
+  | Set of { reg : int; value : int; next : int }  (** load a constant *)
+  | Add of { dst : int; src : int; next : int }  (** dst += src mod 2^width *)
+  | Sub of { dst : int; src : int; next : int }  (** dst -= src mod 2^width *)
+  | Jump_if_eq of { reg_a : int; reg_b : int; if_eq : int; if_ne : int }
+  | Jump_if_lt of { reg_a : int; reg_b : int; if_lt : int; if_ge : int }
+      (** unsigned comparison *)
+  | Jump_if_max of { reg : int; if_max : int; if_not : int }
+      (** test reg = 2^width - 1 *)
+  | Emit of { symbol : char; next : int }  (** write to the output tape *)
+  | Goto of int
+  | Accept
+  | Reject
+
+type t = {
+  name : string;
+  width : int;  (** bits per register, >= 1 *)
+  registers : int;  (** number of registers, >= 1 *)
+  code : instr array;
+}
+
+val validate : t -> unit
+(** Checks jump targets and register indices.  @raise Failure. *)
+
+(** {1 Reference semantics} *)
+
+type run_result = {
+  verdict : bool option;  (** [None] = ran past the step limit *)
+  output : string;
+  final_registers : int array;
+}
+
+val interpret : ?max_steps:int -> t -> string -> run_result
+(** Direct execution (registers as integers) — the specification the
+    compiled machine must match. *)
+
+(** {1 Compilation} *)
+
+val compile : t -> Optm.t
+(** The real Turing machine.  Control states are the micro-states of the
+    seek/carry/compare walks (enumerated eagerly, so {!Optm.validate}
+    covers all of them); the work tape holds the registers, register [r]
+    occupying cells [r*width .. (r+1)*width - 1], least significant bit
+    first. *)
+
+val compiled_states : t -> int
+(** Number of control states of {!compile} (size measure for reports). *)
+
+(** {1 Worked programs} *)
+
+val parity : t
+(** Accepts inputs over {0,1,#} with an even number of 1s — one 1-bit
+    register; compiled, it matches {!Machines.parity}'s language with a
+    binary counter on the tape. *)
+
+val run_length_equal : width:int -> t
+(** Accepts [1^a#1^b] iff [a = b] (both below 2^width) — the classic
+    log-space counting machine.  Its configuration census at the '#' cut
+    is [a + 1]-ish (polynomial, log-cost messages), the designed contrast
+    with {!Machines.copy_then_compare}'s 2^m. *)
+
+val beacon : t
+(** Emits "0#1#0" (an H gate in the Definition 2.3 wire format) for every
+    1 read and accepts at end of input — exercises Emit. *)
+
+val ldisj_shape : width:int -> t
+(** Procedure A1 — condition (i) of the Theorem 3.4 proof — as a register
+    program: accepts exactly [1^k#(b#b#b#)^{2^k}] with blocks of length
+    [2^{2k}], for [k <= (width-1)/2] (larger prefixes are rejected by the
+    overflow guard).  Compiled, this is the paper's syntactic checker as
+    a literal O(log n)-cell Turing machine; tests cross-validate it
+    against both {!Lang}'s offline scanner and the streaming A1. *)
+
+val fingerprint_eq : p:int -> t:int -> t
+(** Accepts [u#v] iff the polynomial fingerprints agree:
+    [F_u(t) = F_v(t) mod p], with [F_w(t) = sum_i w_i t^i] — procedure
+    A2's streaming primitive (§3.2) as a literal Turing machine, using
+    modular arithmetic (Add/Sub/Jump_if_lt) on tape registers.  Compiled,
+    it is a few-thousand-state OPTM whose configuration census at the
+    separator is O(p^2): logarithmic-cost messages, the collapse the
+    randomized equality protocol exploits and Theorem 3.2 forbids for
+    DISJ.  Requires [1 <= t < p] and sizes registers so [2p < 2^width]. *)

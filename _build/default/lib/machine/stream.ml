@@ -1,0 +1,28 @@
+type t = { mutable pos : int; gen : int -> Symbol.t option }
+
+let of_string s =
+  {
+    pos = 0;
+    gen = (fun i -> if i < String.length s then Some (Symbol.of_char s.[i]) else None);
+  }
+
+let of_fn gen = { pos = 0; gen }
+
+let next t =
+  match t.gen t.pos with
+  | Some sym ->
+      t.pos <- t.pos + 1;
+      Some sym
+  | None -> None
+
+let pos t = t.pos
+
+let rec iter f t =
+  match next t with
+  | Some sym ->
+      f sym;
+      iter f t
+  | None -> ()
+
+let rec fold f acc t =
+  match next t with Some sym -> fold f (f acc sym) t | None -> acc

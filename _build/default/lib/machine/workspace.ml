@@ -1,0 +1,94 @@
+type slot = { name : string; bits : int; mutable value : int; mutable live : bool }
+type reg = int
+
+type t = {
+  mutable slots : slot array;
+  mutable used : int;
+  mutable classical : int;
+  mutable peak_classical : int;
+  mutable qubit_count : int;
+  mutable peak_total : int;
+}
+
+let create () =
+  {
+    slots = Array.make 8 { name = ""; bits = 0; value = 0; live = false };
+    used = 0;
+    classical = 0;
+    peak_classical = 0;
+    qubit_count = 0;
+    peak_total = 0;
+  }
+
+let bump_peaks t =
+  if t.classical > t.peak_classical then t.peak_classical <- t.classical;
+  let total = t.classical + t.qubit_count in
+  if total > t.peak_total then t.peak_total <- total
+
+let alloc t ~name ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Workspace.alloc: width must be in [1, 62]";
+  for i = 0 to t.used - 1 do
+    if t.slots.(i).live && String.equal t.slots.(i).name name then
+      Fmt.invalid_arg "Workspace.alloc: duplicate register name %S" name
+  done;
+  if t.used = Array.length t.slots then begin
+    let bigger = Array.make (2 * t.used) t.slots.(0) in
+    Array.blit t.slots 0 bigger 0 t.used;
+    t.slots <- bigger
+  end;
+  let slot = { name; bits; value = 0; live = true } in
+  t.slots.(t.used) <- slot;
+  t.used <- t.used + 1;
+  t.classical <- t.classical + bits;
+  bump_peaks t;
+  t.used - 1
+
+let alloc_flag t ~name = alloc t ~name ~bits:1
+
+let slot t r =
+  if r < 0 || r >= t.used then invalid_arg "Workspace: invalid register";
+  t.slots.(r)
+
+let free t r =
+  let s = slot t r in
+  if not s.live then invalid_arg "Workspace.free: register already freed";
+  s.live <- false;
+  t.classical <- t.classical - s.bits
+
+let get t r =
+  let s = slot t r in
+  if not s.live then invalid_arg "Workspace.get: register freed";
+  s.value
+
+let set t r v =
+  let s = slot t r in
+  if not s.live then invalid_arg "Workspace.set: register freed";
+  if v < 0 || (s.bits < 62 && v >= 1 lsl s.bits) then
+    Fmt.invalid_arg "Workspace.set: value %d does not fit %d bits (%s)" v s.bits
+      s.name;
+  s.value <- v
+
+let incr t r = set t r (get t r + 1)
+
+let get_flag t r = get t r = 1
+let set_flag t r b = set t r (if b then 1 else 0)
+
+let alloc_qubits t n =
+  if n < 0 then invalid_arg "Workspace.alloc_qubits: negative count";
+  t.qubit_count <- t.qubit_count + n;
+  bump_peaks t
+
+let classical_bits t = t.classical
+let peak_classical_bits t = t.peak_classical
+let qubits t = t.qubit_count
+let peak_total_bits t = t.peak_total
+
+let snapshot t =
+  let buf = Buffer.create 64 in
+  for i = 0 to t.used - 1 do
+    let s = t.slots.(i) in
+    if s.live then Buffer.add_string buf (Printf.sprintf "%s:%d=%d;" s.name s.bits s.value)
+  done;
+  Buffer.contents buf
+
+let snapshot_bits t = t.classical

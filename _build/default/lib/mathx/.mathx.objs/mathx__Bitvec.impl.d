@@ -1,0 +1,1 @@
+lib/mathx/bitvec.ml: Array Fun Rng String

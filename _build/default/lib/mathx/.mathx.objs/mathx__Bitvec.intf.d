@@ -1,0 +1,1 @@
+lib/mathx/bitvec.mli: Rng

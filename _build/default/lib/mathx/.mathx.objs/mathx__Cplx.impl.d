@@ -1,0 +1,1 @@
+lib/mathx/cplx.ml: Float Format

@@ -1,0 +1,1 @@
+lib/mathx/cplx.mli: Format

@@ -1,0 +1,1 @@
+lib/mathx/cstats.ml: Array Float List

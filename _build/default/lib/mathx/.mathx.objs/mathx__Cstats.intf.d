@@ -1,0 +1,1 @@
+lib/mathx/cstats.mli:

@@ -1,0 +1,1 @@
+lib/mathx/fingerprint.ml: Bitvec Modarith Rng

@@ -1,0 +1,1 @@
+lib/mathx/fingerprint.mli: Bitvec Rng

@@ -1,0 +1,1 @@
+lib/mathx/modarith.ml:

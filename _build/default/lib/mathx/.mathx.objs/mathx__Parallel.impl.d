@@ -1,0 +1,1 @@
+lib/mathx/parallel.ml: Array Atomic Domain Fun List Rng

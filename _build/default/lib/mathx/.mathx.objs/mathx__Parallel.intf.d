@@ -1,0 +1,1 @@
+lib/mathx/parallel.mli: Rng

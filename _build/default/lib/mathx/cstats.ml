@@ -1,0 +1,54 @@
+let mean a =
+  if Array.length a = 0 then invalid_arg "Cstats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Cstats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Cstats.wilson_interval: trials must be positive";
+  let n = float_of_int trials and p = float_of_int successes /. float_of_int trials in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+
+let linear_fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Cstats.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Cstats.linear_fit: degenerate x values";
+  let a = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let b = (sy -. (a *. sx)) /. nf in
+  (a, b)
+
+let loglog_slope points =
+  let logged =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      points
+  in
+  linear_fit logged

@@ -1,0 +1,37 @@
+type sketch = {
+  p : int;
+  t : int;
+  mutable acc : int; (* running sum of w_i t^i *)
+  mutable pow : int; (* t^i for the next position *)
+  mutable count : int;
+}
+
+let create ~p ~t =
+  if p < 2 then invalid_arg "Fingerprint.create: modulus too small";
+  { p; t = ((t mod p) + p) mod p; acc = 0; pow = 1 mod p; count = 0 }
+
+let feed s b =
+  if b then s.acc <- Modarith.addmod s.acc s.pow s.p;
+  s.pow <- Modarith.mulmod s.pow s.t s.p;
+  s.count <- s.count + 1
+
+let value s = s.acc
+let fed s = s.count
+
+let reset s =
+  s.acc <- 0;
+  s.pow <- 1 mod s.p;
+  s.count <- 0
+
+let bits_of_int n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  max 1 (go 0 n)
+
+let space_bits s = 4 * bits_of_int (s.p - 1)
+
+let of_bitvec ~p ~t v =
+  let s = create ~p ~t in
+  Bitvec.iteri (fun _ b -> feed s b) v;
+  value s
+
+let random_point rng ~p = Rng.int rng p

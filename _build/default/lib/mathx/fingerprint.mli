@@ -1,0 +1,43 @@
+(** Streaming polynomial fingerprints, the core of procedure A2 (§3.2).
+
+    For a bit string [w = w_0 ... w_{m-1}] and an evaluation point [t]
+    modulo a prime [p], the fingerprint is
+    [F_w(t) = (sum_i w_i * t^i) mod p].
+    Two distinct strings of length [m] collide on at most [m - 1] of the
+    [p] evaluation points (a non-zero degree-<m polynomial has < m roots),
+    so with the paper's prime [2^{4k} < p < 2^{4k+1}] and [m = 2^{2k}] the
+    collision probability is below [2^{-2k}].
+
+    A fingerprint sketch stores only [p], [t], the running sum and the
+    running power of [t]: O(log p) bits, independent of [m]. *)
+
+type sketch
+
+val create : p:int -> t:int -> sketch
+(** [create ~p ~t] starts an empty fingerprint modulo the prime [p] at
+    evaluation point [t] (reduced mod [p]).  @raise Invalid_argument if
+    [p < 2]. *)
+
+val feed : sketch -> bool -> unit
+(** [feed s b] appends one bit to the fingerprinted string. *)
+
+val value : sketch -> int
+(** Current fingerprint value [F_w(t)]. *)
+
+val fed : sketch -> int
+(** Number of bits fed so far. *)
+
+val reset : sketch -> unit
+(** Forget the string, keep [p] and [t]. *)
+
+val space_bits : sketch -> int
+(** Number of work-memory bits an online machine needs for this sketch:
+    the registers holding the running sum, the running power, the counter
+    and the point, each of [ceil(log2 p)] bits. *)
+
+val of_bitvec : p:int -> t:int -> Bitvec.t -> int
+(** One-shot fingerprint of a whole vector (reference implementation used
+    in tests against the streaming sketch). *)
+
+val random_point : Rng.t -> p:int -> int
+(** Uniform evaluation point in [[0, p)]. *)

@@ -1,0 +1,28 @@
+(** Overflow-safe modular arithmetic on OCaml's native [int].
+
+    All functions require a modulus [m] with [1 <= m < 2^61] and operands
+    already reduced to [0 <= a, b < m].  Within that range no intermediate
+    computation overflows the 63-bit native integer. *)
+
+val addmod : int -> int -> int -> int
+(** [addmod a b m] is [(a + b) mod m]. *)
+
+val submod : int -> int -> int -> int
+(** [submod a b m] is [(a - b) mod m], always in [0, m). *)
+
+val mulmod : int -> int -> int -> int
+(** [mulmod a b m] is [(a * b) mod m], computed without overflow for any
+    modulus below [2^61] (binary double-and-add). *)
+
+val powmod : int -> int -> int -> int
+(** [powmod a e m] is [a^e mod m] for [e >= 0] (square-and-multiply). *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, u, v)] with [g = gcd a b] and [a*u + b*v = g]. *)
+
+val invmod : int -> int -> int
+(** [invmod a m] is the multiplicative inverse of [a] modulo [m].
+    @raise Invalid_argument if [gcd a m <> 1]. *)

@@ -1,0 +1,40 @@
+let recommended_domains () =
+  let cores = Domain.recommended_domain_count () in
+  max 1 (min 8 (cores - 1))
+
+let map_chunks ?domains ~chunks f ~rng =
+  if chunks < 0 then invalid_arg "Parallel.map_chunks: negative chunk count";
+  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  (* Split the PRNG sequentially so results don't depend on [domains]. *)
+  let rngs = Array.init chunks (fun _ -> Rng.split rng) in
+  let results = Array.make chunks None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < chunks then begin
+        results.(i) <- Some (f ~chunk:i ~rng:rngs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains <= 1 || chunks <= 1 then worker ()
+  else begin
+    let spawned =
+      List.init (min domains chunks - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list
+    (Array.map
+       (function Some v -> v | None -> failwith "Parallel.map_chunks: missing result")
+       results)
+
+let count_successes ?domains ~trials f ~rng =
+  if trials < 0 then invalid_arg "Parallel.count_successes: negative trials";
+  let hits =
+    map_chunks ?domains ~chunks:trials (fun ~chunk:_ ~rng -> f rng) ~rng
+  in
+  List.length (List.filter Fun.id hits)

@@ -1,0 +1,22 @@
+(** Embarrassingly parallel helpers over OCaml 5 domains.
+
+    The Monte-Carlo experiments run thousands of independent recognizer
+    passes; this module spreads them over the machine's cores.  No shared
+    mutable state crosses domains: each chunk gets its own split of the
+    caller's PRNG, so results are deterministic for a fixed seed and
+    domain count. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cores - 1)], capped at 8. *)
+
+val map_chunks :
+  ?domains:int -> chunks:int -> (chunk:int -> rng:Rng.t -> 'a) -> rng:Rng.t -> 'a list
+(** [map_chunks ~chunks f ~rng] evaluates [f ~chunk:i ~rng:rng_i] for
+    i = 0..chunks-1 across domains, where [rng_i] is the i-th split of
+    [rng] (split sequentially, so the work split is independent of the
+    domain count).  Results are returned in chunk order. *)
+
+val count_successes :
+  ?domains:int -> trials:int -> (Rng.t -> bool) -> rng:Rng.t -> int
+(** Runs [trials] independent boolean trials (one PRNG split each) in
+    parallel and counts the [true]s — the Monte-Carlo kernel. *)

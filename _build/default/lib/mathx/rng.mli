@@ -1,0 +1,28 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    xoshiro256** seeded through splitmix64.  Every experiment in this
+    repository takes an explicit [Rng.t] so that runs are reproducible and
+    independent streams can be split off without sharing state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future outputs). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]; requires [bound > 0]. *)
+
+val bits62 : t -> int
+(** [bits62 t] is a uniform 62-bit non-negative integer. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val float : t -> float
+(** [float t] is uniform in [[0, 1)]. *)

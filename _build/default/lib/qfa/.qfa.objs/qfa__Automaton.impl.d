@@ -1,0 +1,1 @@
+lib/qfa/automaton.ml: Array Cplx Mathx String

@@ -1,0 +1,1 @@
+lib/qfa/automaton.mli: Mathx

@@ -1,0 +1,1 @@
+lib/qfa/divisibility.ml: Array Automaton Cplx Float Mathx Primes Rng String

@@ -1,0 +1,1 @@
+lib/qfa/divisibility.mli: Automaton Mathx

@@ -1,0 +1,40 @@
+open Mathx
+
+type t = {
+  dim : int;
+  initial : Cplx.t array;
+  step : char -> int -> int -> Cplx.t;
+  accepting : bool array;
+}
+
+let apply t c v =
+  Array.init t.dim (fun i ->
+      let acc = ref Cplx.zero in
+      for j = 0 to t.dim - 1 do
+        acc := Cplx.add !acc (Cplx.mul (t.step c i j) v.(j))
+      done;
+      !acc)
+
+let accept_probability t word =
+  let v = ref (Array.copy t.initial) in
+  String.iter (fun c -> v := apply t c !v) word;
+  let acc = ref 0.0 in
+  Array.iteri (fun i amp -> if t.accepting.(i) then acc := !acc +. Cplx.norm2 amp) !v;
+  !acc
+
+let check_unitary ?(eps = 1e-9) t c =
+  let ok = ref true in
+  for i = 0 to t.dim - 1 do
+    for j = 0 to t.dim - 1 do
+      (* Row i of U times the conjugate of row j: identity iff unitary. *)
+      let acc = ref Cplx.zero in
+      for k = 0 to t.dim - 1 do
+        acc := Cplx.add !acc (Cplx.mul (t.step c i k) (Cplx.conj (t.step c j k)))
+      done;
+      let expected = if i = j then Cplx.one else Cplx.zero in
+      if not (Cplx.approx_equal ~eps !acc expected) then ok := false
+    done
+  done;
+  !ok
+
+let states t = t.dim

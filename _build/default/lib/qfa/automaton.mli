@@ -1,0 +1,29 @@
+(** Measure-once one-way quantum finite automata (MO-1QFA).
+
+    The paper's footnote 2 points to Ambainis–Freivalds: already in the
+    finite-automata world, quantum online devices can be exponentially
+    more succinct than classical ones.  This module provides the generic
+    simulator; {!Divisibility} builds the succinct automata for the
+    divisibility languages used in experiment E12.
+
+    An MO-1QFA over alphabet ['a'..'z'] has a finite-dimensional state
+    space; each letter applies a unitary; after the last letter the state
+    is measured against the accepting subspace. *)
+
+type t = {
+  dim : int;
+  initial : Mathx.Cplx.t array;  (** unit vector of length [dim] *)
+  step : char -> int -> int -> Mathx.Cplx.t;
+      (** [step c i j] is entry (i, j) of the letter-[c] unitary *)
+  accepting : bool array;  (** accepting basis states *)
+}
+
+val accept_probability : t -> string -> float
+(** Runs the word and returns the probability that the final measurement
+    lands in the accepting subspace. *)
+
+val check_unitary : ?eps:float -> t -> char -> bool
+(** Verifies that the matrix for a letter is unitary (tests). *)
+
+val states : t -> int
+(** [dim] — the size measure compared against DFA state counts. *)

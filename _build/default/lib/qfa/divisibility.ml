@@ -1,0 +1,91 @@
+open Mathx
+
+let dfa_states ~p = p
+
+let check_p p =
+  if p < 3 || not (Primes.is_prime p) then
+    invalid_arg "Divisibility: p must be a prime >= 3"
+
+let random_multipliers rng ~p ~blocks =
+  if blocks < 1 then invalid_arg "Divisibility: need at least one block";
+  Array.init blocks (fun _ -> 1 + Rng.int rng (p - 1))
+
+let make_with ~multipliers ~p =
+  check_p p;
+  let blocks = Array.length multipliers in
+  let dim = 2 * blocks in
+  let initial =
+    (* Uniform over the |0> component of every block. *)
+    Array.init dim (fun i ->
+        if i mod 2 = 0 then Cplx.re (1.0 /. sqrt (float_of_int blocks)) else Cplx.zero)
+  in
+  let accepting = Array.init dim (fun i -> i mod 2 = 0) in
+  let step c i j =
+    if c <> 'a' then invalid_arg "Divisibility: unary alphabet {a}"
+    else begin
+      let bi = i / 2 and bj = j / 2 in
+      if bi <> bj then Cplx.zero
+      else begin
+        let theta =
+          2.0 *. Float.pi *. float_of_int multipliers.(bi) /. float_of_int p
+        in
+        (* Rotation block [[cos, -sin]; [sin, cos]]. *)
+        match (i mod 2, j mod 2) with
+        | 0, 0 -> Cplx.re (cos theta)
+        | 0, 1 -> Cplx.re (-.sin theta)
+        | 1, 0 -> Cplx.re (sin theta)
+        | _ -> Cplx.re (cos theta)
+      end
+    end
+  in
+  { Automaton.dim; initial; step; accepting }
+
+let make rng ~p ~blocks =
+  check_p p;
+  make_with ~multipliers:(random_multipliers rng ~p ~blocks) ~p
+
+let analytic ~multipliers ~p ~i =
+  let blocks = Array.length multipliers in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun k ->
+      let c = cos (2.0 *. Float.pi *. float_of_int (i * k) /. float_of_int p) in
+      acc := !acc +. (c *. c))
+    multipliers;
+  !acc /. float_of_int blocks
+
+let worst_accept_probability t ~p =
+  let worst = ref 0.0 and witness = ref 1 in
+  for i = 1 to p - 1 do
+    let prob = Automaton.accept_probability t (String.make i 'a') in
+    if prob > !worst then begin
+      worst := prob;
+      witness := i
+    end
+  done;
+  (!worst, !witness)
+
+let worst_analytic ~multipliers ~p =
+  let worst = ref 0.0 and witness = ref 1 in
+  for i = 1 to p - 1 do
+    let prob = analytic ~multipliers ~p ~i in
+    if prob > !worst then begin
+      worst := prob;
+      witness := i
+    end
+  done;
+  (!worst, !witness)
+
+let blocks_needed rng ~p ~threshold =
+  check_p p;
+  let good d =
+    let multipliers = random_multipliers rng ~p ~blocks:d in
+    let worst, _ = worst_analytic ~multipliers ~p in
+    worst < threshold
+  in
+  let rec first_good d = if good d then d else first_good (2 * d) in
+  let upper = first_good 1 in
+  let rec shrink d best =
+    if d < 1 then best else if good d then shrink (d - 1) d else best
+  in
+  shrink (upper - 1) upper

@@ -1,0 +1,41 @@
+(** Succinct QFAs for the divisibility languages
+    [L_p = { a^i | i = 0 mod p }] (Ambainis–Freivalds).
+
+    The minimal DFA for [L_p] has exactly [p] states.  A QFA built from
+    [d] two-dimensional rotation blocks — block [j] rotating by angle
+    [2 pi k_j / p] on each letter — accepts [a^i] with probability
+
+    [(1/d) * sum_j cos^2(2 pi i k_j / p)]
+
+    which is 1 when [p | i].  For [i] not divisible by [p], a random
+    choice of the [k_j] drives the average below [1/2 + delta] for every
+    residue simultaneously once [d = O(log p)]: exponential succinctness
+    with one-sided bounded error (after thresholding at, e.g., 3/4). *)
+
+val dfa_states : p:int -> int
+(** [p] — the minimal DFA size (counts residues). *)
+
+val make : Mathx.Rng.t -> p:int -> blocks:int -> Automaton.t
+(** A [2 * blocks]-state QFA for [L_p] with uniformly random rotation
+    multipliers [k_j] in [1, p-1].  Requires prime [p >= 3]. *)
+
+val worst_accept_probability : Automaton.t -> p:int -> float * int
+(** [(prob, witness)]: the largest acceptance probability over all
+    non-members [a^i], [1 <= i < p], and the residue attaining it
+    (non-members beyond [p] repeat by periodicity). *)
+
+val make_with : multipliers:int array -> p:int -> Automaton.t
+(** Deterministic variant with explicit rotation multipliers. *)
+
+val random_multipliers : Mathx.Rng.t -> p:int -> blocks:int -> int array
+
+val analytic : multipliers:int array -> p:int -> i:int -> float
+(** Closed-form acceptance probability of [a^i] — cross-checked against
+    the simulator in tests, used by the sweeps for speed. *)
+
+val worst_analytic : multipliers:int array -> p:int -> float * int
+
+val blocks_needed : Mathx.Rng.t -> p:int -> threshold:float -> int
+(** Smallest [d] (by doubling then linear scan, freshly sampled) whose
+    random QFA has [worst_accept_probability < threshold] — the measured
+    succinctness curve of experiment E12. *)

@@ -1,0 +1,1 @@
+lib/quantum/density.ml: Array Cplx Float Gates List Mathx State

@@ -1,0 +1,1 @@
+lib/quantum/density.mli: Gates Mathx State

@@ -1,0 +1,1 @@
+lib/quantum/gates.ml: Cplx Float Format List Mathx

@@ -1,0 +1,1 @@
+lib/quantum/noise.ml: Density Gates Mathx Rng State

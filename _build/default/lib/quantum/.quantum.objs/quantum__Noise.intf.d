@@ -1,0 +1,1 @@
+lib/quantum/noise.mli: Density Gates Mathx State

@@ -1,0 +1,1 @@
+lib/quantum/state.ml: Array Cplx Float Gates Mathx Rng

@@ -1,0 +1,1 @@
+lib/quantum/state.mli: Gates Mathx

@@ -1,0 +1,1 @@
+lib/quantum/unitary.ml: Array Cplx Float Gates Mathx State

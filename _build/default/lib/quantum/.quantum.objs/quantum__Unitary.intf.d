@@ -1,0 +1,1 @@
+lib/quantum/unitary.mli: Gates Mathx State

@@ -1,0 +1,184 @@
+open Mathx
+
+type t = { n : int; m : Cplx.t array array }
+
+let dim_of n = 1 lsl n
+
+let zero n =
+  { n; m = Array.init (dim_of n) (fun _ -> Array.make (dim_of n) Cplx.zero) }
+
+let pure s =
+  let n = State.nqubits s in
+  if n > 10 then invalid_arg "Density.pure: register too large";
+  let r = zero n in
+  let d = dim_of n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      r.m.(i).(j) <- Cplx.mul (State.amplitude s i) (Cplx.conj (State.amplitude s j))
+    done
+  done;
+  r
+
+let maximally_mixed n =
+  if n > 10 then invalid_arg "Density.maximally_mixed: register too large";
+  let r = zero n in
+  let d = dim_of n in
+  for i = 0 to d - 1 do
+    r.m.(i).(i) <- Cplx.re (1.0 /. float_of_int d)
+  done;
+  r
+
+let nqubits t = t.n
+let dim t = dim_of t.n
+let get t i j = t.m.(i).(j)
+let set t i j v = t.m.(i).(j) <- v
+
+let mix parts =
+  match parts with
+  | [] -> invalid_arg "Density.mix: empty mixture"
+  | (_, first) :: _ ->
+      let total = List.fold_left (fun acc (p, _) -> acc +. p) 0.0 parts in
+      if Float.abs (total -. 1.0) > 1e-9 then
+        invalid_arg "Density.mix: weights must sum to 1";
+      let r = zero first.n in
+      List.iter
+        (fun (p, part) ->
+          if p < 0.0 then invalid_arg "Density.mix: negative weight";
+          if part.n <> first.n then invalid_arg "Density.mix: size mismatch";
+          let d = dim_of first.n in
+          for i = 0 to d - 1 do
+            for j = 0 to d - 1 do
+              r.m.(i).(j) <- Cplx.add r.m.(i).(j) (Cplx.scale p part.m.(i).(j))
+            done
+          done)
+        parts;
+      r
+
+let trace t =
+  let acc = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    acc := !acc +. (get t i i).Cplx.re
+  done;
+  !acc
+
+let purity t =
+  (* tr(rho^2) = sum_{ij} rho_ij * rho_ji; rho is Hermitian so this is
+     sum |rho_ij|^2. *)
+  let acc = ref 0.0 in
+  let d = dim t in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      acc := !acc +. Cplx.norm2 t.m.(i).(j)
+    done
+  done;
+  !acc
+
+(* rho <- U rho U* for a 1-qubit U: apply U to the rows (as a state-vector
+   pass over column index pairs), then U* to the columns. *)
+let apply_gate1 t (g : Gates.single) q =
+  if q < 0 || q >= t.n then invalid_arg "Density.apply_gate1: qubit out of range";
+  let d = dim t and bit = 1 lsl q in
+  (* Rows: for each column c, transform the vector rho[.][c]. *)
+  for c = 0 to d - 1 do
+    for r = 0 to d - 1 do
+      if r land bit = 0 then begin
+        let r1 = r lor bit in
+        let a = t.m.(r).(c) and b = t.m.(r1).(c) in
+        t.m.(r).(c) <- Cplx.add (Cplx.mul g.Gates.u00 a) (Cplx.mul g.Gates.u01 b);
+        t.m.(r1).(c) <- Cplx.add (Cplx.mul g.Gates.u10 a) (Cplx.mul g.Gates.u11 b)
+      end
+    done
+  done;
+  (* Columns: for each row r, transform rho[r][.] by conj(U). *)
+  let u00 = Cplx.conj g.Gates.u00
+  and u01 = Cplx.conj g.Gates.u01
+  and u10 = Cplx.conj g.Gates.u10
+  and u11 = Cplx.conj g.Gates.u11 in
+  for r = 0 to d - 1 do
+    for c = 0 to d - 1 do
+      if c land bit = 0 then begin
+        let c1 = c lor bit in
+        let a = t.m.(r).(c) and b = t.m.(r).(c1) in
+        t.m.(r).(c) <- Cplx.add (Cplx.mul u00 a) (Cplx.mul u01 b);
+        t.m.(r).(c1) <- Cplx.add (Cplx.mul u10 a) (Cplx.mul u11 b)
+      end
+    done
+  done
+
+let apply_permutation t pi =
+  let d = dim t in
+  let fresh = zero t.n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      fresh.m.(pi i).(pi j) <- t.m.(i).(j)
+    done
+  done;
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      t.m.(i).(j) <- fresh.m.(i).(j)
+    done
+  done
+
+let apply_cnot t ~control ~target =
+  if control = target then invalid_arg "Density.apply_cnot: control = target";
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  apply_permutation t (fun i -> if i land cbit <> 0 then i lxor tbit else i)
+
+let apply_phase_if t pred =
+  let d = dim t in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      let sign = (if pred i then -1.0 else 1.0) *. (if pred j then -1.0 else 1.0) in
+      if sign < 0.0 then t.m.(i).(j) <- Cplx.neg t.m.(i).(j)
+    done
+  done
+
+let prob_qubit_one t q =
+  if q < 0 || q >= t.n then invalid_arg "Density.prob_qubit_one: qubit out of range";
+  let bit = 1 lsl q in
+  let acc = ref 0.0 in
+  for i = 0 to dim t - 1 do
+    if i land bit <> 0 then acc := !acc +. (get t i i).Cplx.re
+  done;
+  !acc
+
+let measure_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "Density.measure_qubit: qubit out of range";
+  (* Non-selective: zero the coherences between the two outcome sectors. *)
+  let bit = 1 lsl q in
+  let r = zero t.n in
+  let d = dim t in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      if i land bit = j land bit then r.m.(i).(j) <- t.m.(i).(j)
+    done
+  done;
+  r
+
+let fidelity_with_pure t s =
+  if State.nqubits s <> t.n then invalid_arg "Density.fidelity_with_pure: size mismatch";
+  let d = dim t in
+  let acc = ref Cplx.zero in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      (* <s|rho|s> = sum conj(s_i) rho_ij s_j *)
+      acc :=
+        Cplx.add !acc
+          (Cplx.mul
+             (Cplx.conj (State.amplitude s i))
+             (Cplx.mul t.m.(i).(j) (State.amplitude s j)))
+    done
+  done;
+  (!acc).Cplx.re
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.n = b.n
+  &&
+  let ok = ref true in
+  let d = dim a in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      if not (Cplx.approx_equal ~eps a.m.(i).(j) b.m.(i).(j)) then ok := false
+    done
+  done;
+  !ok

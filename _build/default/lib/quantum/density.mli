@@ -1,0 +1,59 @@
+(** Density-matrix simulation of small registers.
+
+    The paper's machine model (§2.2, following Watrous) is a {e hybrid}
+    device: classical control, probabilistic branching, and a quantum
+    register measured at the end.  Pure-state simulation with explicitly
+    sampled classical coins (what {!State} provides) is enough for the
+    algorithms; this module adds the mixed-state view — the state of the
+    register {e averaged} over classical randomness and measurement
+    outcomes — used in tests to confirm that the two pictures agree and
+    to model measurement-during-computation faithfully.
+
+    Dense O(4^n) representation; intended for n <= 10 qubits. *)
+
+type t
+
+val pure : State.t -> t
+(** [pure s] is the rank-one density matrix |s><s|. *)
+
+val maximally_mixed : int -> t
+(** [maximally_mixed n] is I / 2^n. *)
+
+val mix : (float * t) list -> t
+(** [mix [(p1, r1); ...]] is the convex combination; weights must be
+    non-negative and sum to 1 (within 1e-9). *)
+
+val nqubits : t -> int
+val dim : t -> int
+
+val get : t -> int -> int -> Mathx.Cplx.t
+
+val set : t -> int -> int -> Mathx.Cplx.t -> unit
+(** Raw entry write (channel implementations; the caller maintains
+    Hermiticity and trace). *)
+
+val trace : t -> float
+(** Real part of the trace (1 for a valid state). *)
+
+val purity : t -> float
+(** tr(rho^2): 1 for pure states, 1/2^n for maximally mixed. *)
+
+val apply_gate1 : t -> Gates.single -> int -> unit
+(** Conjugation rho <- U rho U* by a single-qubit gate, in place. *)
+
+val apply_cnot : t -> control:int -> target:int -> unit
+
+val apply_phase_if : t -> (int -> bool) -> unit
+(** Conjugation by the +-1 diagonal defined by the predicate. *)
+
+val prob_qubit_one : t -> int -> float
+(** Probability of outcome 1 when measuring a qubit. *)
+
+val measure_qubit : t -> int -> t
+(** Non-selective measurement: the post-measurement mixture (projectors
+    applied, outcomes averaged).  Returns a fresh state. *)
+
+val fidelity_with_pure : t -> State.t -> float
+(** <s| rho |s>. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool

@@ -1,0 +1,78 @@
+open Mathx
+
+type single = { u00 : Cplx.t; u01 : Cplx.t; u10 : Cplx.t; u11 : Cplx.t }
+
+let c = Cplx.make
+let r = Cplx.re
+
+let id = { u00 = r 1.0; u01 = Cplx.zero; u10 = Cplx.zero; u11 = r 1.0 }
+
+let h =
+  let s = 1.0 /. sqrt 2.0 in
+  { u00 = r s; u01 = r s; u10 = r s; u11 = r (-.s) }
+
+let x = { u00 = Cplx.zero; u01 = r 1.0; u10 = r 1.0; u11 = Cplx.zero }
+let y = { u00 = Cplx.zero; u01 = c 0.0 (-1.0); u10 = c 0.0 1.0; u11 = Cplx.zero }
+let z = { u00 = r 1.0; u01 = Cplx.zero; u10 = Cplx.zero; u11 = r (-1.0) }
+
+let phase theta =
+  { u00 = r 1.0; u01 = Cplx.zero; u10 = Cplx.zero; u11 = Cplx.polar 1.0 theta }
+
+let s = phase (Float.pi /. 2.0)
+let sdg = phase (-.Float.pi /. 2.0)
+let t = phase (Float.pi /. 4.0)
+let tdg = phase (-.Float.pi /. 4.0)
+
+let rz theta =
+  {
+    u00 = Cplx.polar 1.0 (-.theta /. 2.0);
+    u01 = Cplx.zero;
+    u10 = Cplx.zero;
+    u11 = Cplx.polar 1.0 (theta /. 2.0);
+  }
+
+let compose g f =
+  let ( * ) = Cplx.mul and ( + ) = Cplx.add in
+  {
+    u00 = (g.u00 * f.u00) + (g.u01 * f.u10);
+    u01 = (g.u00 * f.u01) + (g.u01 * f.u11);
+    u10 = (g.u10 * f.u00) + (g.u11 * f.u10);
+    u11 = (g.u10 * f.u01) + (g.u11 * f.u11);
+  }
+
+let adjoint g =
+  {
+    u00 = Cplx.conj g.u00;
+    u01 = Cplx.conj g.u10;
+    u10 = Cplx.conj g.u01;
+    u11 = Cplx.conj g.u11;
+  }
+
+let approx_equal ?(eps = 1e-9) a b =
+  Cplx.approx_equal ~eps a.u00 b.u00
+  && Cplx.approx_equal ~eps a.u01 b.u01
+  && Cplx.approx_equal ~eps a.u10 b.u10
+  && Cplx.approx_equal ~eps a.u11 b.u11
+
+let is_unitary ?(eps = 1e-9) g = approx_equal ~eps (compose g (adjoint g)) id
+
+let equal_up_to_phase ?(eps = 1e-9) a b =
+  (* Find the first entry of b with non-negligible modulus and use the
+     corresponding ratio as the candidate global phase. *)
+  let entries m = [ m.u00; m.u01; m.u10; m.u11 ] in
+  let pairs = List.combine (entries a) (entries b) in
+  match List.find_opt (fun (_, eb) -> Cplx.abs eb > eps) pairs with
+  | None -> List.for_all (fun (ea, _) -> Cplx.abs ea <= eps) pairs
+  | Some (ea, eb) ->
+      if Cplx.abs ea <= eps then false
+      else begin
+        let phase_num = Cplx.mul ea (Cplx.conj eb) in
+        let phase = Cplx.scale (1.0 /. Cplx.norm2 eb) phase_num in
+        List.for_all
+          (fun (ea, eb) -> Cplx.approx_equal ~eps ea (Cplx.mul phase eb))
+          pairs
+      end
+
+let pp fmt g =
+  Format.fprintf fmt "[%a %a; %a %a]" Cplx.pp g.u00 Cplx.pp g.u01 Cplx.pp g.u10
+    Cplx.pp g.u11

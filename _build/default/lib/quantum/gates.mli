@@ -1,0 +1,43 @@
+(** Single-qubit gate matrices.
+
+    A [single] is a 2x2 complex unitary given row-major as
+    [(u00, u01, u10, u11)].  The named constants cover the paper's
+    universal set {H, T, CNOT} (Definition 2.3) together with the gates
+    those generate that the lowering passes use as intermediates. *)
+
+type single = {
+  u00 : Mathx.Cplx.t;
+  u01 : Mathx.Cplx.t;
+  u10 : Mathx.Cplx.t;
+  u11 : Mathx.Cplx.t;
+}
+
+val id : single
+val h : single
+val x : single
+val y : single
+val z : single
+val s : single
+val sdg : single
+val t : single
+val tdg : single
+
+val phase : float -> single
+(** [phase theta] is diag(1, e^{i*theta}). *)
+
+val rz : float -> single
+(** [rz theta] is diag(e^{-i*theta/2}, e^{i*theta/2}). *)
+
+val compose : single -> single -> single
+(** [compose g f] is the matrix product [g * f] (apply [f] first). *)
+
+val adjoint : single -> single
+
+val is_unitary : ?eps:float -> single -> bool
+
+val approx_equal : ?eps:float -> single -> single -> bool
+
+val equal_up_to_phase : ?eps:float -> single -> single -> bool
+(** True when the two matrices differ only by a global phase factor. *)
+
+val pp : Format.formatter -> single -> unit

@@ -1,0 +1,51 @@
+open Mathx
+
+let pauli_x = Gates.x
+let pauli_y = Gates.y
+let pauli_z = Gates.z
+
+let check_p p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Noise: probability out of [0, 1]"
+
+let depolarize_qubit rng ~p s q =
+  check_p p;
+  if Rng.float rng < p then begin
+    match Rng.int rng 3 with
+    | 0 -> State.apply_gate1 s pauli_x q
+    | 1 -> State.apply_gate1 s pauli_y q
+    | _ -> State.apply_gate1 s pauli_z q
+  end
+
+let depolarize_all rng ~p s =
+  for q = 0 to State.nqubits s - 1 do
+    depolarize_qubit rng ~p s q
+  done
+
+let channel_qubit ~p rho q =
+  check_p p;
+  let branch g =
+    let copy =
+      Density.mix [ (1.0, rho) ]
+      (* mix with a single part copies the matrix *)
+    in
+    Density.apply_gate1 copy g q;
+    copy
+  in
+  let x = branch pauli_x and y = branch pauli_y and z = branch pauli_z in
+  let id = Density.mix [ (1.0, rho) ] in
+  let mixed =
+    Density.mix
+      [ (1.0 -. p, id); (p /. 3.0, x); (p /. 3.0, y); (p /. 3.0, z) ]
+  in
+  (* Write back into rho. *)
+  let d = Density.dim rho in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      Density.set rho i j (Density.get mixed i j)
+    done
+  done
+
+let channel_all ~p rho =
+  for q = 0 to Density.nqubits rho - 1 do
+    channel_qubit ~p rho q
+  done

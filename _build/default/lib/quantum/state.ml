@@ -1,0 +1,239 @@
+open Mathx
+
+type t = { n : int; re : float array; im : float array }
+
+let max_qubits = 24
+
+let create n =
+  if n < 0 || n > max_qubits then
+    invalid_arg "State.create: qubit count out of range";
+  let d = 1 lsl n in
+  let re = Array.make d 0.0 and im = Array.make d 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let nqubits s = s.n
+let dim s = 1 lsl s.n
+let copy s = { n = s.n; re = Array.copy s.re; im = Array.copy s.im }
+
+let amplitude s idx = Cplx.make s.re.(idx) s.im.(idx)
+
+let set_amplitude s idx (a : Cplx.t) =
+  s.re.(idx) <- a.Cplx.re;
+  s.im.(idx) <- a.Cplx.im
+
+let of_amplitudes amps =
+  let d = Array.length amps in
+  let n =
+    let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+    if d = 0 || d land (d - 1) <> 0 then
+      invalid_arg "State.of_amplitudes: length must be a power of two"
+    else log2 0 d
+  in
+  let s = create n in
+  Array.iteri (fun i a -> set_amplitude s i a) amps;
+  s
+
+let norm s =
+  let acc = ref 0.0 in
+  for i = 0 to dim s - 1 do
+    acc := !acc +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  sqrt !acc
+
+let normalize s =
+  let nrm = norm s in
+  if nrm = 0.0 then invalid_arg "State.normalize: zero vector";
+  let inv = 1.0 /. nrm in
+  for i = 0 to dim s - 1 do
+    s.re.(i) <- s.re.(i) *. inv;
+    s.im.(i) <- s.im.(i) *. inv
+  done
+
+let probability s idx = (s.re.(idx) *. s.re.(idx)) +. (s.im.(idx) *. s.im.(idx))
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "State.fidelity: qubit count mismatch";
+  let rr = ref 0.0 and ri = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    (* <a|b> = sum conj(a_i) b_i *)
+    rr := !rr +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    ri := !ri +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  (!rr *. !rr) +. (!ri *. !ri)
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.n = b.n
+  &&
+  let ok = ref true in
+  for i = 0 to dim a - 1 do
+    if
+      Float.abs (a.re.(i) -. b.re.(i)) > eps
+      || Float.abs (a.im.(i) -. b.im.(i)) > eps
+    then ok := false
+  done;
+  !ok
+
+let check_qubit s q =
+  if q < 0 || q >= s.n then invalid_arg "State: qubit index out of range"
+
+let apply_gate1 s (g : Gates.single) q =
+  check_qubit s q;
+  let bit = 1 lsl q in
+  let d = dim s in
+  let { Gates.u00; u01; u10; u11 } = g in
+  let i = ref 0 in
+  while !i < d do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let ar = s.re.(!i) and ai = s.im.(!i) in
+      let br = s.re.(j) and bi = s.im.(j) in
+      s.re.(!i) <-
+        (u00.re *. ar) -. (u00.im *. ai) +. (u01.re *. br) -. (u01.im *. bi);
+      s.im.(!i) <-
+        (u00.re *. ai) +. (u00.im *. ar) +. (u01.re *. bi) +. (u01.im *. br);
+      s.re.(j) <-
+        (u10.re *. ar) -. (u10.im *. ai) +. (u11.re *. br) -. (u11.im *. bi);
+      s.im.(j) <-
+        (u10.re *. ai) +. (u10.im *. ar) +. (u11.re *. bi) +. (u11.im *. br)
+    end;
+    incr i
+  done
+
+let apply_controlled1 s (g : Gates.single) ~control ~target =
+  check_qubit s control;
+  check_qubit s target;
+  if control = target then invalid_arg "State.apply_controlled1: control = target";
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  let d = dim s in
+  let { Gates.u00; u01; u10; u11 } = g in
+  for i = 0 to d - 1 do
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let ar = s.re.(i) and ai = s.im.(i) in
+      let br = s.re.(j) and bi = s.im.(j) in
+      s.re.(i) <-
+        (u00.re *. ar) -. (u00.im *. ai) +. (u01.re *. br) -. (u01.im *. bi);
+      s.im.(i) <-
+        (u00.re *. ai) +. (u00.im *. ar) +. (u01.re *. bi) +. (u01.im *. br);
+      s.re.(j) <-
+        (u10.re *. ar) -. (u10.im *. ai) +. (u11.re *. br) -. (u11.im *. bi);
+      s.im.(j) <-
+        (u10.re *. ai) +. (u10.im *. ar) +. (u11.re *. bi) +. (u11.im *. br)
+    end
+  done
+
+let apply_cnot s ~control ~target = apply_controlled1 s Gates.x ~control ~target
+
+let apply_phase_if s pred =
+  for i = 0 to dim s - 1 do
+    if pred i then begin
+      s.re.(i) <- -.s.re.(i);
+      s.im.(i) <- -.s.im.(i)
+    end
+  done
+
+let apply_xor_if s pred q =
+  check_qubit s q;
+  let bit = 1 lsl q in
+  for i = 0 to dim s - 1 do
+    if i land bit = 0 && pred i then begin
+      let j = i lor bit in
+      let tr = s.re.(i) and ti = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- tr;
+      s.im.(j) <- ti
+    end
+  done
+
+let apply_hadamard_block s lo count =
+  for q = lo to lo + count - 1 do
+    apply_gate1 s Gates.h q
+  done
+
+let check_address_args s ~width ~address ?require ~above () =
+  if width < 0 || width > s.n then invalid_arg "State: bad address width";
+  if address < 0 || address >= 1 lsl width then invalid_arg "State: bad address";
+  if above < width || above >= s.n then
+    invalid_arg "State: qubit must lie above the address register";
+  match require with
+  | Some r when r < width || r >= s.n -> invalid_arg "State: bad require qubit"
+  | _ -> ()
+
+let apply_xor_on_address s ~width ~address ?require ~target () =
+  check_address_args s ~width ~address ?require ~above:target ();
+  let tbit = 1 lsl target in
+  let rbit = match require with Some r -> 1 lsl r | None -> 0 in
+  let highs = dim s lsr width in
+  for hi = 0 to highs - 1 do
+    let idx = (hi lsl width) lor address in
+    if idx land tbit = 0 && idx land rbit = rbit then begin
+      let j = idx lor tbit in
+      let tr = s.re.(idx) and ti = s.im.(idx) in
+      s.re.(idx) <- s.re.(j);
+      s.im.(idx) <- s.im.(j);
+      s.re.(j) <- tr;
+      s.im.(j) <- ti
+    end
+  done
+
+let apply_phase_on_address s ~width ~address ?require () =
+  let above = match require with Some r -> r | None -> width in
+  let above = max above width in
+  if above >= s.n then invalid_arg "State: bad require qubit";
+  check_address_args s ~width ~address ?require ~above ();
+  let rbit = match require with Some r -> 1 lsl r | None -> 0 in
+  let highs = dim s lsr width in
+  for hi = 0 to highs - 1 do
+    let idx = (hi lsl width) lor address in
+    if idx land rbit = rbit then begin
+      s.re.(idx) <- -.s.re.(idx);
+      s.im.(idx) <- -.s.im.(idx)
+    end
+  done
+
+let prob_qubit_one s q =
+  check_qubit s q;
+  let bit = 1 lsl q in
+  let acc = ref 0.0 in
+  for i = 0 to dim s - 1 do
+    if i land bit <> 0 then acc := !acc +. probability s i
+  done;
+  !acc
+
+let measure_qubit s rng q =
+  let p1 = prob_qubit_one s q in
+  let outcome = Rng.float rng < p1 in
+  let keep_mask_set = outcome in
+  let bit = 1 lsl q in
+  let p_kept = if outcome then p1 else 1.0 -. p1 in
+  let inv = if p_kept > 0.0 then 1.0 /. sqrt p_kept else 0.0 in
+  for i = 0 to dim s - 1 do
+    let is_set = i land bit <> 0 in
+    if is_set = keep_mask_set then begin
+      s.re.(i) <- s.re.(i) *. inv;
+      s.im.(i) <- s.im.(i) *. inv
+    end
+    else begin
+      s.re.(i) <- 0.0;
+      s.im.(i) <- 0.0
+    end
+  done;
+  outcome
+
+let sample_all s rng =
+  let r = Rng.float rng in
+  let acc = ref 0.0 and result = ref (dim s - 1) in
+  (try
+     for i = 0 to dim s - 1 do
+       acc := !acc +. probability s i;
+       if r < !acc then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let distribution s = Array.init (dim s) (probability s)

@@ -1,0 +1,100 @@
+(** Dense state vectors.
+
+    A register of [n] qubits is a unit vector in C^(2^n), stored as two
+    unboxed float arrays (real and imaginary parts).  Basis states are
+    indexed by integers; {b qubit 0 is the least significant bit} of the
+    basis index.  All gate applications are in place. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the [n]-qubit register initialised to |0...0>.
+    Requires [0 <= n <= 24] (dense simulation). *)
+
+val nqubits : t -> int
+
+val dim : t -> int
+(** [dim s] is [2 ^ nqubits s]. *)
+
+val copy : t -> t
+
+val amplitude : t -> int -> Mathx.Cplx.t
+(** [amplitude s idx] is the coefficient of basis state [idx]. *)
+
+val set_amplitude : t -> int -> Mathx.Cplx.t -> unit
+(** Raw write; the caller is responsible for renormalising.  Intended for
+    tests and for preparing reference states. *)
+
+val of_amplitudes : Mathx.Cplx.t array -> t
+(** Builds a state from [2^n] amplitudes (normalised by the caller).
+    @raise Invalid_argument if the length is not a power of two. *)
+
+val norm : t -> float
+(** Euclidean norm (1.0 up to rounding for any state produced by gates). *)
+
+val normalize : t -> unit
+
+val probability : t -> int -> float
+(** [probability s idx] is [|amplitude s idx|^2]. *)
+
+val fidelity : t -> t -> float
+(** [fidelity a b] is [|<a|b>|^2]. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Amplitude-wise comparison, default tolerance [1e-9] (no global-phase
+    quotient; see {!fidelity} for phase-insensitive comparison). *)
+
+(** {1 Gate application} *)
+
+val apply_gate1 : t -> Gates.single -> int -> unit
+(** [apply_gate1 s g q] applies the 2x2 unitary [g] to qubit [q]. *)
+
+val apply_controlled1 : t -> Gates.single -> control:int -> target:int -> unit
+(** Controlled version of a single-qubit gate; [control <> target]. *)
+
+val apply_cnot : t -> control:int -> target:int -> unit
+
+val apply_phase_if : t -> (int -> bool) -> unit
+(** [apply_phase_if s pred] multiplies the amplitude of every basis state
+    [idx] with [pred idx] by -1.  This is the fast path for the paper's
+    operators S_k and W_y (§3.2), which are diagonal ±1. *)
+
+val apply_xor_if : t -> (int -> bool) -> int -> unit
+(** [apply_xor_if s pred q] flips qubit [q] on every basis state whose
+    {e other} bits satisfy [pred idx] ([pred] must not depend on bit [q]).
+    Fast path for the operators V_x and R_y, which XOR a function of the
+    address register into a one-qubit target. *)
+
+val apply_hadamard_block : t -> int -> int -> unit
+(** [apply_hadamard_block s lo count] applies H to qubits
+    [lo .. lo+count-1] (the paper's U_k = H^{2k} on the address register). *)
+
+val apply_xor_on_address :
+  t -> width:int -> address:int -> ?require:int -> target:int -> unit -> unit
+(** [apply_xor_on_address s ~width ~address ?require ~target] flips qubit
+    [target] on exactly the basis states whose low [width] bits equal
+    [address] (and whose qubit [require] is 1, if given).  Touches
+    O(dim / 2^width) amplitudes — the O(1)-per-input-bit fast path that
+    lets procedure A3 apply V_x and R_y while streaming, without ever
+    holding x or y.  [target] (and [require]) must lie at or above
+    [width]. *)
+
+val apply_phase_on_address : t -> width:int -> address:int -> ?require:int -> unit -> unit
+(** Same enumeration, multiplying the matching amplitudes by -1 (the
+    per-bit form of W_y). *)
+
+(** {1 Measurement} *)
+
+val prob_qubit_one : t -> int -> float
+(** Probability that measuring qubit [q] in the computational basis
+    yields 1. *)
+
+val measure_qubit : t -> Mathx.Rng.t -> int -> bool
+(** [measure_qubit s rng q] samples the outcome of measuring qubit [q] and
+    collapses the state accordingly.  Returns [true] for outcome 1. *)
+
+val sample_all : t -> Mathx.Rng.t -> int
+(** Samples a full computational-basis measurement (no collapse). *)
+
+val distribution : t -> float array
+(** All [2^n] basis-state probabilities. *)

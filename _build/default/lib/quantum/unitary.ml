@@ -1,0 +1,173 @@
+open Mathx
+
+type t = { n : int; m : Cplx.t array array }
+
+let dim_of n = 1 lsl n
+
+let identity n =
+  if n < 0 || n > 12 then invalid_arg "Unitary.identity: qubit count out of range";
+  let d = dim_of n in
+  let m =
+    Array.init d (fun i ->
+        Array.init d (fun j -> if i = j then Cplx.one else Cplx.zero))
+  in
+  { n; m }
+
+let nqubits t = t.n
+let dim t = dim_of t.n
+let get t i j = t.m.(i).(j)
+let set t i j v = t.m.(i).(j) <- v
+
+let of_gate1 n (g : Gates.single) q =
+  if q < 0 || q >= n then invalid_arg "Unitary.of_gate1: qubit out of range";
+  let d = dim_of n and bit = 1 lsl q in
+  let u = identity n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      u.m.(i).(j) <-
+        (if i land lnot bit <> j land lnot bit then Cplx.zero
+         else
+           match (i land bit <> 0, j land bit <> 0) with
+           | false, false -> g.Gates.u00
+           | false, true -> g.Gates.u01
+           | true, false -> g.Gates.u10
+           | true, true -> g.Gates.u11)
+    done
+  done;
+  u
+
+let of_controlled1 n (g : Gates.single) ~control ~target =
+  if control = target then invalid_arg "Unitary.of_controlled1: control = target";
+  if control < 0 || control >= n || target < 0 || target >= n then
+    invalid_arg "Unitary.of_controlled1: qubit out of range";
+  let d = dim_of n and cbit = 1 lsl control and tbit = 1 lsl target in
+  let u = identity n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      u.m.(i).(j) <-
+        (if i land cbit = 0 || j land cbit = 0 then
+           if i = j then Cplx.one else Cplx.zero
+         else if i land lnot tbit <> j land lnot tbit then Cplx.zero
+         else
+           match (i land tbit <> 0, j land tbit <> 0) with
+           | false, false -> g.Gates.u00
+           | false, true -> g.Gates.u01
+           | true, false -> g.Gates.u10
+           | true, true -> g.Gates.u11)
+    done
+  done;
+  u
+
+let of_permutation n pi =
+  let d = dim_of n in
+  let seen = Array.make d false in
+  let u = identity n in
+  for j = 0 to d - 1 do
+    for i = 0 to d - 1 do
+      u.m.(i).(j) <- Cplx.zero
+    done
+  done;
+  for j = 0 to d - 1 do
+    let i = pi j in
+    if i < 0 || i >= d || seen.(i) then
+      invalid_arg "Unitary.of_permutation: not a bijection";
+    seen.(i) <- true;
+    u.m.(i).(j) <- Cplx.one
+  done;
+  u
+
+let of_diagonal n f =
+  let d = dim_of n in
+  let u = identity n in
+  for i = 0 to d - 1 do
+    u.m.(i).(i) <- f i
+  done;
+  u
+
+let mul a b =
+  if a.n <> b.n then invalid_arg "Unitary.mul: size mismatch";
+  let d = dim_of a.n in
+  let r = identity a.n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      let acc = ref Cplx.zero in
+      for k = 0 to d - 1 do
+        acc := Cplx.add !acc (Cplx.mul a.m.(i).(k) b.m.(k).(j))
+      done;
+      r.m.(i).(j) <- !acc
+    done
+  done;
+  r
+
+let adjoint a =
+  let d = dim_of a.n in
+  let r = identity a.n in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      r.m.(i).(j) <- Cplx.conj a.m.(j).(i)
+    done
+  done;
+  r
+
+let apply u s =
+  if State.nqubits s <> u.n then invalid_arg "Unitary.apply: size mismatch";
+  let d = dim_of u.n in
+  let out = State.create u.n in
+  State.set_amplitude out 0 Cplx.zero;
+  for i = 0 to d - 1 do
+    let acc = ref Cplx.zero in
+    for j = 0 to d - 1 do
+      acc := Cplx.add !acc (Cplx.mul u.m.(i).(j) (State.amplitude s j))
+    done;
+    State.set_amplitude out i !acc
+  done;
+  out
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.n = b.n
+  &&
+  let d = dim_of a.n in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      if not (Cplx.approx_equal ~eps a.m.(i).(j) b.m.(i).(j)) then ok := false
+    done
+  done;
+  !ok
+
+let is_unitary ?(eps = 1e-9) a = approx_equal ~eps (mul a (adjoint a)) (identity a.n)
+
+let equal_up_to_phase ?(eps = 1e-9) a b =
+  a.n = b.n
+  &&
+  let d = dim_of a.n in
+  (* Locate a reference entry of b with significant modulus. *)
+  let ref_entry = ref None in
+  (try
+     for i = 0 to d - 1 do
+       for j = 0 to d - 1 do
+         if Cplx.abs b.m.(i).(j) > 0.5 /. float_of_int d then begin
+           ref_entry := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  match !ref_entry with
+  | None -> approx_equal ~eps a b
+  | Some (i, j) ->
+      let bij = b.m.(i).(j) in
+      if Cplx.abs a.m.(i).(j) < eps then false
+      else begin
+        let phase =
+          Cplx.scale (1.0 /. Cplx.norm2 bij) (Cplx.mul a.m.(i).(j) (Cplx.conj bij))
+        in
+        let ok = ref (Float.abs (Cplx.abs phase -. 1.0) <= 1e-6) in
+        for i = 0 to d - 1 do
+          for j = 0 to d - 1 do
+            if not (Cplx.approx_equal ~eps a.m.(i).(j) (Cplx.mul phase b.m.(i).(j)))
+            then ok := false
+          done
+        done;
+        !ok
+      end

@@ -1,0 +1,47 @@
+(** Dense unitary matrices over a small register, for verification.
+
+    These are O(4^n) objects used only in tests and in the circuit
+    equivalence checker (experiment E11): they let us compare a lowered
+    {H, T, CNOT} circuit against the structured operator it implements as
+    full matrices, not just on a handful of input states. *)
+
+type t
+(** A [2^n x 2^n] complex matrix. *)
+
+val identity : int -> t
+(** [identity n] is the identity on [n] qubits.  Requires [n <= 12]. *)
+
+val nqubits : t -> int
+val dim : t -> int
+
+val get : t -> int -> int -> Mathx.Cplx.t
+val set : t -> int -> int -> Mathx.Cplx.t -> unit
+
+val of_gate1 : int -> Gates.single -> int -> t
+(** [of_gate1 n g q] embeds the single-qubit gate [g] on qubit [q] of an
+    [n]-qubit register. *)
+
+val of_controlled1 : int -> Gates.single -> control:int -> target:int -> t
+
+val of_permutation : int -> (int -> int) -> t
+(** [of_permutation n pi] is the basis permutation [|i> -> |pi i>].
+    @raise Invalid_argument if [pi] is not a bijection on [0, 2^n). *)
+
+val of_diagonal : int -> (int -> Mathx.Cplx.t) -> t
+
+val mul : t -> t -> t
+(** [mul a b] is the matrix product [a * b] (apply [b] first). *)
+
+val adjoint : t -> t
+
+val apply : t -> State.t -> State.t
+(** [apply u s] returns [u|s>] as a fresh state. *)
+
+val is_unitary : ?eps:float -> t -> bool
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val equal_up_to_phase : ?eps:float -> t -> t -> bool
+(** Equality modulo a single global phase factor — the right notion of
+    circuit equivalence, since lowering T-gate ladders introduces global
+    phases. *)

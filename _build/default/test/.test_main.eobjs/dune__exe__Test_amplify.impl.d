@@ -1,0 +1,1 @@
+test/test_amplify.ml: Alcotest Amplify Grover Iterate Oracle Printf Quantum

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Bitvec Circ Circuit Cplx Format Gate Gates Gen Grover List Lower Mathx Ops Printf QCheck QCheck_alcotest Quantum Rng State Test Unitary Verify Wire

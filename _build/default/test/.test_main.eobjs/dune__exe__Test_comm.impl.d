@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Bitvec Comm List Machine Mathx Printf Rng String

@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Density Float Gates List Mathx Noise Quantum State

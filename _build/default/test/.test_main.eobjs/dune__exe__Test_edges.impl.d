@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Bitvec Circuit Cstats Grover Lang Machine Mathx Oqsc Primes Printf Quantum Rng String

@@ -1,0 +1,1 @@
+test/test_grover.ml: Alcotest Analysis Bbht Bitvec Float Grover Iterate List Mathx Oracle Printf QCheck QCheck_alcotest Quantum Rng Test

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buffer Circuit Comm Grover Lang List Machine Mathx Option Oqsc Printf Quantum Rng String

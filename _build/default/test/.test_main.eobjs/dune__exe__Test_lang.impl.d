@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Bitvec Buffer Lang List Machine Mathx Oqsc Printf QCheck QCheck_alcotest Result Rng String Test

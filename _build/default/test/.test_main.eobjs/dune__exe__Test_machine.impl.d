@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bitstore Census Float Hashtbl List Machine Machines Mathx Option Optm Stream String Symbol Workspace

@@ -1,0 +1,1 @@
+test/test_mathx.ml: Alcotest Array Bitvec Cplx Cstats Fingerprint Float Gen List Mathx Modarith Parallel Primes QCheck QCheck_alcotest Rng Test

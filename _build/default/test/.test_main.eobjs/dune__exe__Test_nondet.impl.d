@@ -1,0 +1,1 @@
+test/test_nondet.ml: Alcotest List Mathx Oqsc Printf Rng String

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Circ Circuit Gate Gen List Lower Ops Optimize QCheck QCheck_alcotest Quantum Test Verify

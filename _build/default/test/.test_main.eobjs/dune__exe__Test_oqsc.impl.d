@@ -1,0 +1,1 @@
+test/test_oqsc.ml: Alcotest Array Bytes Circuit Grover Lang List Machine Mathx Option Oqsc Primes Printf Quantum Rng String

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Bytes Gen Hashtbl Lang List Machine Mathx Optm Printf Program QCheck QCheck_alcotest String Test

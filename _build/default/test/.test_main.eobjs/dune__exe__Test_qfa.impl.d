@@ -1,0 +1,1 @@
+test/test_qfa.ml: Alcotest Float List Mathx Printf QCheck QCheck_alcotest Qfa Rng String Test

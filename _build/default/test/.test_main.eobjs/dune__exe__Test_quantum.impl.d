@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Cplx Float Fun Gates Gen List Mathx Printf QCheck QCheck_alcotest Quantum Rng State Test Unitary

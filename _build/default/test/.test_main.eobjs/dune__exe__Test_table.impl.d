@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Buffer Experiments Format List Printf String

@@ -1,0 +1,93 @@
+(* Tests for amplitude amplification: the Grover special case, arbitrary
+   preparation operators, and the closed-form success curve. *)
+
+open Grover
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let marked_single target i = i = target
+
+let test_grover_special_case () =
+  (* With A = H^n, amplification must coincide with Grover iteration. *)
+  let n = 4 in
+  let marked = marked_single 9 in
+  let op = Amplify.hadamard_operator n in
+  for steps = 0 to 4 do
+    let amplified = Amplify.run op ~n ~marked ~steps in
+    let oracle = Oracle.make ~n marked in
+    let grover = Iterate.run oracle steps in
+    checkf
+      (Printf.sprintf "steps=%d" steps)
+      (Iterate.success_probability oracle grover)
+      (Amplify.success_probability ~marked amplified)
+  done
+
+let test_matches_prediction () =
+  let n = 5 in
+  let marked i = i = 3 || i = 17 in
+  let op = Amplify.hadamard_operator n in
+  let a = Amplify.initial_success op ~n ~marked in
+  checkf "a = 2/32" (2.0 /. 32.0) a;
+  for steps = 0 to 6 do
+    let s = Amplify.run op ~n ~marked ~steps in
+    checkf
+      (Printf.sprintf "prediction steps=%d" steps)
+      (Amplify.predicted_success ~a ~steps)
+      (Amplify.success_probability ~marked s)
+  done
+
+let test_biased_preparation () =
+  (* A non-uniform A: Hadamard then a T and another partial rotation.
+     Amplification must still follow sin^2((2j+1) asin sqrt a). *)
+  let n = 3 in
+  let prepare s =
+    Quantum.State.apply_hadamard_block s 0 n;
+    Quantum.State.apply_gate1 s (Quantum.Gates.rz 0.9) 1;
+    Quantum.State.apply_cnot s ~control:0 ~target:2;
+    Quantum.State.apply_gate1 s Quantum.Gates.h 1
+  in
+  let unprepare s =
+    (* Inverse in reverse order with adjoint gates. *)
+    Quantum.State.apply_gate1 s Quantum.Gates.h 1;
+    Quantum.State.apply_cnot s ~control:0 ~target:2;
+    Quantum.State.apply_gate1 s (Quantum.Gates.rz (-0.9)) 1;
+    Quantum.State.apply_hadamard_block s 0 n
+  in
+  let op = { Amplify.prepare; unprepare } in
+  let marked i = i = 5 in
+  let a = Amplify.initial_success op ~n ~marked in
+  check "nontrivial start" true (a > 1e-6 && a < 1.0);
+  for steps = 0 to 3 do
+    let s = Amplify.run op ~n ~marked ~steps in
+    checkf
+      (Printf.sprintf "biased steps=%d" steps)
+      (Amplify.predicted_success ~a ~steps)
+      (Amplify.success_probability ~marked s)
+  done
+
+let test_optimal_steps_boosts () =
+  let n = 6 in
+  let marked i = i = 11 in
+  let op = Amplify.hadamard_operator n in
+  let a = Amplify.initial_success op ~n ~marked in
+  let steps = Amplify.optimal_steps ~a in
+  let s = Amplify.run op ~n ~marked ~steps in
+  check "near certainty at optimum" true
+    (Amplify.success_probability ~marked s > 0.95)
+
+let test_prediction_edges () =
+  checkf "a=0" 0.0 (Amplify.predicted_success ~a:0.0 ~steps:5);
+  checkf "a=1" 1.0 (Amplify.predicted_success ~a:1.0 ~steps:5);
+  Alcotest.check_raises "optimal_steps domain"
+    (Invalid_argument "Amplify.optimal_steps: need 0 < a < 1") (fun () ->
+      ignore (Amplify.optimal_steps ~a:0.0))
+
+let suite =
+  [
+    ("grover special case", `Quick, test_grover_special_case);
+    ("matches prediction", `Quick, test_matches_prediction);
+    ("biased preparation", `Quick, test_biased_preparation);
+    ("optimal steps boost", `Quick, test_optimal_steps_boosts);
+    ("prediction edges", `Quick, test_prediction_edges);
+  ]

@@ -1,0 +1,272 @@
+(* Tests for the communication-complexity layer: transcripts, classical
+   protocols, the BCW quantum protocol, exact lower-bound certificates
+   and the Theorem 3.6 reduction. *)
+
+open Mathx
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_pair rng m ~disjoint =
+  let x = Bitvec.random rng m in
+  let y = Bitvec.create m in
+  for i = 0 to m - 1 do
+    if not (Bitvec.get x i) then Bitvec.set y i (Rng.bool rng)
+  done;
+  if not disjoint then begin
+    let i = Rng.int rng m in
+    Bitvec.set x i true;
+    Bitvec.set y i true
+  end;
+  (x, y)
+
+(* ----------------------------------------------------------- transcript *)
+
+let test_transcript_accounting () =
+  let t = Comm.Transcript.create () in
+  Comm.Transcript.send t Comm.Transcript.Alice ~classical_bits:8 ();
+  Comm.Transcript.send t Comm.Transcript.Bob ~qubits:3 ();
+  Comm.Transcript.send t Comm.Transcript.Bob ~classical_bits:1 ();
+  Comm.Transcript.send t Comm.Transcript.Alice ~classical_bits:2 ~qubits:2 ();
+  check_int "classical" 11 (Comm.Transcript.total_classical_bits t);
+  check_int "qubits" 5 (Comm.Transcript.total_qubits t);
+  check_int "total" 16 (Comm.Transcript.total_cost t);
+  check_int "messages" 4 (List.length (Comm.Transcript.messages t));
+  (* Alice, Bob+Bob (one round), Alice: 3 alternations. *)
+  check_int "rounds" 3 (Comm.Transcript.rounds t)
+
+let test_transcript_rejects_negative () =
+  let t = Comm.Transcript.create () in
+  Alcotest.check_raises "negative bits" (Invalid_argument "Transcript.send")
+    (fun () -> Comm.Transcript.send t Comm.Transcript.Alice ~classical_bits:(-1) ())
+
+(* ------------------------------------------------------------ classical *)
+
+let test_trivial_disj () =
+  let rng = Rng.create 20 in
+  for _ = 1 to 20 do
+    let disjoint = Rng.bool rng in
+    let x, y = random_pair (Rng.split rng) 32 ~disjoint in
+    let r = Comm.Classical.trivial_disj ~x ~y in
+    check "correct" true (r.Comm.Classical.value = Bitvec.disjoint x y);
+    check_int "cost n+1" 33 (Comm.Transcript.total_cost r.Comm.Classical.transcript)
+  done
+
+let test_blocked_disj () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 20 do
+    let disjoint = Rng.bool rng in
+    let x, y = random_pair (Rng.split rng) 64 ~disjoint in
+    let r = Comm.Classical.blocked_disj ~block:8 ~x ~y in
+    check "correct" true (r.Comm.Classical.value = Bitvec.disjoint x y);
+    (* 8 blocks of 8 bits + 8 one-bit replies. *)
+    check_int "cost" 72 (Comm.Transcript.total_cost r.Comm.Classical.transcript)
+  done
+
+let test_blocked_disj_ragged () =
+  let x = Bitvec.of_string "10100" and y = Bitvec.of_string "01010" in
+  let r = Comm.Classical.blocked_disj ~block:2 ~x ~y in
+  check "correct on ragged length" true r.Comm.Classical.value
+
+let test_equality_fingerprint () =
+  let rng = Rng.create 22 in
+  let m = 512 in
+  (* Equal strings: never declared unequal. *)
+  for _ = 1 to 30 do
+    let u = Bitvec.random (Rng.split rng) m in
+    let r = Comm.Classical.equality_fingerprint (Rng.split rng) ~x:u ~y:(Bitvec.copy u) in
+    check "equal accepted" true r.Comm.Classical.value;
+    check "cost is logarithmic" true
+      (Comm.Transcript.total_cost r.Comm.Classical.transcript < m / 4)
+  done;
+  (* Unequal strings: almost always caught. *)
+  let caught = ref 0 in
+  for _ = 1 to 50 do
+    let u = Bitvec.random (Rng.split rng) m in
+    let v = Bitvec.copy u in
+    let pos = Rng.int rng m in
+    Bitvec.set v pos (not (Bitvec.get v pos));
+    let r = Comm.Classical.equality_fingerprint (Rng.split rng) ~x:u ~y:v in
+    if not r.Comm.Classical.value then incr caught
+  done;
+  check "unequal usually caught" true (!caught >= 49)
+
+(* ------------------------------------------------------------------ bcw *)
+
+let test_bcw_correct_on_disjoint () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 10 do
+    let x, y = random_pair (Rng.split rng) 64 ~disjoint:true in
+    let r = Comm.Bcw.run (Rng.split rng) ~x ~y in
+    check "declares disjoint" true r.Comm.Bcw.disjoint
+  done
+
+let test_bcw_finds_intersection () =
+  let rng = Rng.create 24 in
+  let found = ref 0 and trials = 20 in
+  for _ = 1 to trials do
+    let x, y = random_pair (Rng.split rng) 64 ~disjoint:false in
+    let r = Comm.Bcw.run (Rng.split rng) ~x ~y in
+    if not r.Comm.Bcw.disjoint then incr found
+  done;
+  (* One-sided: misses are possible but rare with 3 verification rounds. *)
+  check "finds nearly always" true (!found >= trials - 1)
+
+let test_bcw_cost_scaling () =
+  (* Measured qubit cost on disjoint inputs grows sublinearly in m. *)
+  let rng = Rng.create 25 in
+  let cost m =
+    let samples =
+      List.init 5 (fun _ ->
+          let x, y = random_pair (Rng.split rng) m ~disjoint:true in
+          let r = Comm.Bcw.run (Rng.split rng) ~x ~y in
+          float_of_int (Comm.Transcript.total_qubits r.Comm.Bcw.transcript))
+    in
+    List.fold_left ( +. ) 0.0 samples /. 5.0
+  in
+  let c64 = cost 64 and c1024 = cost 1024 in
+  (* 16x more items should cost far less than 16x more qubits (sqrt-ish). *)
+  check "sublinear growth" true (c1024 < c64 *. 10.0)
+
+let test_bcw_messages_sized_log () =
+  let rng = Rng.create 26 in
+  let x, y = random_pair rng 256 ~disjoint:true in
+  let r = Comm.Bcw.run (Rng.split rng) ~x ~y in
+  check_int "qubits per message" 9 (Comm.Bcw.qubits_per_message ~n:256);
+  List.iter
+    (fun (m : Comm.Transcript.message) ->
+      check "message size" true
+        (m.Comm.Transcript.qubits = 0 || m.Comm.Transcript.qubits = 9))
+    (Comm.Transcript.messages r.Comm.Bcw.transcript)
+
+(* ---------------------------------------------------------------- exact *)
+
+let test_exact_rows_and_cc () =
+  for n = 1 to 8 do
+    check_int "rows = 2^n" (1 lsl n) (Comm.Exact.distinct_rows ~n);
+    check_int "one-way cc = n" n (Comm.Exact.one_way_cc ~n)
+  done
+
+let test_fooling_set () =
+  for n = 1 to 6 do
+    check_int "fooling = 2^n" (1 lsl n) (Comm.Exact.fooling_set_size ~n)
+  done
+
+let test_ranks_full () =
+  for n = 1 to 6 do
+    check_int "rank gf2" (1 lsl n) (Comm.Exact.rank_gf2 ~n);
+    check_int "rank real" (1 lsl n) (Comm.Exact.rank_real ~n)
+  done
+
+let test_disj_mask () =
+  check "disjoint masks" true (Comm.Exact.disj_mask 0b1010 0b0101);
+  check "overlapping masks" false (Comm.Exact.disj_mask 0b1010 0b0010)
+
+let test_generic_predicates () =
+  for n = 1 to 8 do
+    check_int "EQ one-way = n" n (Comm.Exact.one_way_cc_of ~n Comm.Exact.eq_mask);
+    check_int "DISJ via generic = specialised" (Comm.Exact.one_way_cc ~n)
+      (Comm.Exact.one_way_cc_of ~n Comm.Exact.disj_mask)
+  done;
+  (* A constant predicate has a single distinct row: 0 bits needed. *)
+  check_int "constant predicate" 0
+    (Comm.Exact.one_way_cc_of ~n:5 (fun _ _ -> true));
+  (* A predicate depending only on y's parity: 1 distinct row. *)
+  check_int "x-independent predicate" 0
+    (Comm.Exact.one_way_cc_of ~n:5 (fun _ y -> y land 1 = 1))
+
+(* --------------------------------------------------------------- oneway *)
+
+let test_oneway_synthesis_exact () =
+  (* The synthesized protocol answers correctly on every input pair and
+     its message size matches the exact lower bound. *)
+  List.iter
+    (fun (name, f) ->
+      for n = 1 to 5 do
+        let proto = Comm.Oneway.synthesize ~n f in
+        check_int
+          (Printf.sprintf "%s n=%d optimal" name n)
+          (Comm.Exact.one_way_cc_of ~n f)
+          (Comm.Oneway.message_bits proto);
+        for x = 0 to (1 lsl n) - 1 do
+          for y = 0 to (1 lsl n) - 1 do
+            let answer, _ = Comm.Oneway.run proto ~x ~y in
+            check "correct" true (answer = f x y)
+          done
+        done
+      done)
+    [
+      ("DISJ", Comm.Exact.disj_mask);
+      ("EQ", Comm.Exact.eq_mask);
+      ("parity-of-and", fun x y ->
+        let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+        pop (x land y) mod 2 = 0);
+      ("x-independent", fun _ y -> y land 1 = 1);
+    ]
+
+let test_oneway_degenerate_classes () =
+  let const = Comm.Oneway.synthesize ~n:6 (fun _ _ -> true) in
+  check_int "constant has one class" 1 (Comm.Oneway.classes const);
+  check_int "zero bits needed" 0 (Comm.Oneway.message_bits const);
+  let disj = Comm.Oneway.synthesize ~n:6 Comm.Exact.disj_mask in
+  check_int "DISJ has all classes" 64 (Comm.Oneway.classes disj)
+
+(* ------------------------------------------------------------ reduction *)
+
+let test_reduction_prices_copy_machine () =
+  let m = 4 in
+  let machine = Machine.Machines.copy_then_compare ~m in
+  let inputs =
+    List.init (1 lsl m) (fun v ->
+        let u = String.init m (fun i -> if v lsr i land 1 = 1 then '1' else '0') in
+        u ^ "#" ^ u)
+  in
+  let report =
+    Comm.Reduction.induced_protocol_cost machine ~inputs ~cuts:[ m + 1 ]
+  in
+  (match report.Comm.Reduction.cuts with
+  | [ c ] ->
+      check_int "census 2^m" (1 lsl m) c.Comm.Reduction.distinct;
+      Alcotest.(check (float 1e-9)) "message bits = m" (float_of_int m)
+        c.Comm.Reduction.message_bits
+  | _ -> Alcotest.fail "expected one cut");
+  Alcotest.(check (float 1e-9)) "total = m" (float_of_int m)
+    report.Comm.Reduction.total_bits
+
+let test_reduction_constant_machine () =
+  let machine = Machine.Machines.remember_first in
+  let inputs = [ "0000"; "0101"; "1010"; "1111"; "1001" ] in
+  let report = Comm.Reduction.induced_protocol_cost machine ~inputs ~cuts:[ 2 ] in
+  (match report.Comm.Reduction.cuts with
+  | [ c ] ->
+      (* First bit (2 values) x last-seen bit (2 values) = at most 4. *)
+      check "O(1) census" true (c.Comm.Reduction.distinct <= 4)
+  | _ -> Alcotest.fail "expected one cut")
+
+let test_segment_cuts () =
+  Alcotest.(check (list int)) "cut positions" [ 7; 12; 17 ]
+    (Comm.Reduction.segment_cuts ~prefix_len:2 ~segment_len:5 ~segments:3)
+
+let suite =
+  [
+    ("transcript accounting", `Quick, test_transcript_accounting);
+    ("transcript guards", `Quick, test_transcript_rejects_negative);
+    ("trivial disj", `Quick, test_trivial_disj);
+    ("blocked disj", `Quick, test_blocked_disj);
+    ("blocked disj ragged", `Quick, test_blocked_disj_ragged);
+    ("equality fingerprint", `Quick, test_equality_fingerprint);
+    ("bcw disjoint", `Quick, test_bcw_correct_on_disjoint);
+    ("bcw finds intersection", `Quick, test_bcw_finds_intersection);
+    ("bcw cost scaling", `Slow, test_bcw_cost_scaling);
+    ("bcw message sizes", `Quick, test_bcw_messages_sized_log);
+    ("exact rows/cc", `Quick, test_exact_rows_and_cc);
+    ("fooling set", `Quick, test_fooling_set);
+    ("ranks full", `Quick, test_ranks_full);
+    ("disj mask", `Quick, test_disj_mask);
+    ("generic predicates", `Quick, test_generic_predicates);
+    ("oneway synthesis", `Quick, test_oneway_synthesis_exact);
+    ("oneway degenerate", `Quick, test_oneway_degenerate_classes);
+    ("reduction prices copy machine", `Quick, test_reduction_prices_copy_machine);
+    ("reduction constant machine", `Quick, test_reduction_constant_machine);
+    ("segment cuts", `Quick, test_segment_cuts);
+  ]

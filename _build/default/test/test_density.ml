@@ -1,0 +1,169 @@
+(* Tests for the density-matrix simulator: agreement with the pure-state
+   picture, mixtures, purity, and non-selective measurement. *)
+
+open Quantum
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_pure_roundtrip () =
+  let s = State.create 2 in
+  State.apply_gate1 s Gates.h 0;
+  State.apply_cnot s ~control:0 ~target:1;
+  let rho = Density.pure s in
+  checkf "trace 1" 1.0 (Density.trace rho);
+  checkf "purity 1" 1.0 (Density.purity rho);
+  checkf "fidelity with itself" 1.0 (Density.fidelity_with_pure rho s)
+
+let test_maximally_mixed () =
+  let rho = Density.maximally_mixed 3 in
+  checkf "trace" 1.0 (Density.trace rho);
+  checkf "purity 1/8" 0.125 (Density.purity rho);
+  checkf "P(q=1) = 1/2" 0.5 (Density.prob_qubit_one rho 1)
+
+let test_gates_match_pure_evolution () =
+  (* Evolving |psi><psi| by conjugation tracks the state-vector sim. *)
+  let s = State.create 3 in
+  let rho = ref (Density.pure s) in
+  let ops =
+    [
+      `G (Gates.h, 0); `G (Gates.t, 1); `C (0, 2); `G (Gates.x, 1); `C (2, 1);
+      `G (Gates.s, 2);
+    ]
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | `G (g, q) ->
+          State.apply_gate1 s g q;
+          Density.apply_gate1 !rho g q
+      | `C (c, t) ->
+          State.apply_cnot s ~control:c ~target:t;
+          Density.apply_cnot !rho ~control:c ~target:t)
+    ops;
+  check "rho = |s><s|" true (Density.approx_equal !rho (Density.pure s));
+  checkf "qubit marginals agree" (State.prob_qubit_one s 1)
+    (Density.prob_qubit_one !rho 1)
+
+let test_phase_if_matches_pure () =
+  let s = State.create 2 in
+  State.apply_hadamard_block s 0 2;
+  let rho = Density.pure s in
+  let pred i = i land 1 = 1 in
+  State.apply_phase_if s pred;
+  Density.apply_phase_if rho pred;
+  check "phases agree" true (Density.approx_equal rho (Density.pure s))
+
+let test_mixture_of_coin_flip () =
+  (* The mixed-state view of the hybrid machine: a fair classical coin
+     choosing |0> or |1> is the maximally mixed qubit. *)
+  let zero = State.create 1 in
+  let one = State.create 1 in
+  State.apply_gate1 one Gates.x 0;
+  let rho = Density.mix [ (0.5, Density.pure zero); (0.5, Density.pure one) ] in
+  check "= I/2" true (Density.approx_equal rho (Density.maximally_mixed 1));
+  checkf "purity 1/2" 0.5 (Density.purity rho)
+
+let test_mix_guards () =
+  let r = Density.maximally_mixed 1 in
+  Alcotest.check_raises "weights must sum to 1"
+    (Invalid_argument "Density.mix: weights must sum to 1") (fun () ->
+      ignore (Density.mix [ (0.7, r) ]))
+
+let test_nonselective_measurement () =
+  (* Measuring |+> non-selectively yields I/2 (coherences destroyed). *)
+  let s = State.create 1 in
+  State.apply_gate1 s Gates.h 0;
+  let rho = Density.measure_qubit (Density.pure s) 0 in
+  check "decohered" true (Density.approx_equal rho (Density.maximally_mixed 1));
+  checkf "purity dropped" 0.5 (Density.purity rho);
+  (* Measuring a basis state changes nothing. *)
+  let zero = Density.pure (State.create 1) in
+  check "basis state unchanged" true
+    (Density.approx_equal (Density.measure_qubit zero 0) zero)
+
+let test_measurement_then_gate_statistics () =
+  (* Deferred-measurement sanity: measuring then Hadamard produces the
+     same one-qubit statistics as the explicit mixture. *)
+  let s = State.create 1 in
+  State.apply_gate1 s Gates.h 0;
+  let rho = Density.measure_qubit (Density.pure s) 0 in
+  Density.apply_gate1 rho Gates.h 0;
+  checkf "P(1) = 1/2" 0.5 (Density.prob_qubit_one rho 0)
+
+let test_bell_pair_marginal_is_mixed () =
+  let s = State.create 2 in
+  State.apply_gate1 s Gates.h 0;
+  State.apply_cnot s ~control:0 ~target:1;
+  let rho = Density.measure_qubit (Density.pure s) 0 in
+  (* After a non-selective measurement of half a Bell pair the state is
+     the classically correlated mixture: purity 1/2, both marginals 1/2. *)
+  checkf "purity" 0.5 (Density.purity rho);
+  checkf "P(q0=1)" 0.5 (Density.prob_qubit_one rho 0);
+  checkf "P(q1=1)" 0.5 (Density.prob_qubit_one rho 1)
+
+let test_depolarizing_channel_properties () =
+  (* Full-strength single-qubit depolarizing leaves I/2 fixed... more
+     usefully: the channel preserves trace and reduces purity. *)
+  let s = State.create 2 in
+  State.apply_gate1 s Gates.h 0;
+  State.apply_cnot s ~control:0 ~target:1;
+  let rho = Density.pure s in
+  Noise.channel_all ~p:0.1 rho;
+  checkf "trace preserved" 1.0 (Density.trace rho);
+  check "purity reduced" true (Density.purity rho < 1.0);
+  (* p = 0 is the identity channel. *)
+  let clean = Density.pure s in
+  Noise.channel_all ~p:0.0 clean;
+  check "p=0 identity" true (Density.approx_equal clean (Density.pure s))
+
+let test_unravelling_matches_channel () =
+  (* Averaging stochastic Pauli trajectories over many runs approximates
+     the exact channel's qubit marginal. *)
+  let rng = Mathx.Rng.create 91 in
+  let p = 0.3 in
+  let build () =
+    let s = State.create 1 in
+    State.apply_gate1 s (Gates.rz 0.4) 0;
+    State.apply_gate1 s Gates.h 0;
+    State.apply_gate1 s Gates.t 0;
+    s
+  in
+  let rho = Density.pure (build ()) in
+  Noise.channel_qubit ~p rho 0;
+  let exact = Density.prob_qubit_one rho 0 in
+  let trials = 20_000 in
+  let ones = ref 0.0 in
+  for _ = 1 to trials do
+    let s = build () in
+    Noise.depolarize_qubit rng ~p s 0;
+    ones := !ones +. State.prob_qubit_one s 0
+  done;
+  let sampled = !ones /. float_of_int trials in
+  check "trajectories average to the channel" true (Float.abs (sampled -. exact) < 0.01)
+
+let test_maximal_noise_mixes () =
+  (* Repeated full-rate noise drives any state toward I/2^n in the
+     one-qubit marginals. *)
+  let s = State.create 1 in
+  let rho = Density.pure s in
+  for _ = 1 to 30 do
+    Noise.channel_all ~p:0.75 rho
+  done;
+  check "marginal near 1/2" true (Float.abs (Density.prob_qubit_one rho 0 -. 0.5) < 1e-6)
+
+let suite =
+  [
+    ("pure roundtrip", `Quick, test_pure_roundtrip);
+    ("depolarizing channel", `Quick, test_depolarizing_channel_properties);
+    ("unravelling = channel", `Slow, test_unravelling_matches_channel);
+    ("maximal noise mixes", `Quick, test_maximal_noise_mixes);
+    ("maximally mixed", `Quick, test_maximally_mixed);
+    ("gates match pure evolution", `Quick, test_gates_match_pure_evolution);
+    ("phase_if matches pure", `Quick, test_phase_if_matches_pure);
+    ("mixture of coin flip", `Quick, test_mixture_of_coin_flip);
+    ("mix guards", `Quick, test_mix_guards);
+    ("non-selective measurement", `Quick, test_nonselective_measurement);
+    ("measurement statistics", `Quick, test_measurement_then_gate_statistics);
+    ("bell pair decoherence", `Quick, test_bell_pair_marginal_is_mixed);
+  ]

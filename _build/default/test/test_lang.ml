@@ -1,0 +1,238 @@
+(* Tests for the L_DISJ language machinery: encoding, exact parsing,
+   membership, and the labelled instance generators. *)
+
+open Mathx
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let shape_of rng k =
+  let m = 1 lsl (2 * k) in
+  let x = Bitvec.random rng m in
+  let y = Bitvec.create m in
+  for i = 0 to m - 1 do
+    if not (Bitvec.get x i) then Bitvec.set y i (Rng.bool rng)
+  done;
+  { Lang.Ldisj.k; x; y }
+
+(* --------------------------------------------------------------- encode *)
+
+let test_string_length_formula () =
+  List.iter
+    (fun k ->
+      let shape = shape_of (Rng.create k) k in
+      check_int
+        (Printf.sprintf "k=%d" k)
+        (Lang.Ldisj.string_length ~k)
+        (String.length (Lang.Ldisj.encode shape)))
+    [ 1; 2; 3; 4 ]
+
+let test_encode_k1_explicit () =
+  let x = Bitvec.of_string "1010" and y = Bitvec.of_string "0101" in
+  Alcotest.(check string) "layout" "1#1010#0101#1010#1010#0101#1010#"
+    (Lang.Ldisj.encode { Lang.Ldisj.k = 1; x; y })
+
+let test_parse_roundtrip () =
+  let rng = Rng.create 8 in
+  for k = 1 to 3 do
+    let shape = shape_of rng k in
+    match Lang.Ldisj.parse (Lang.Ldisj.encode shape) with
+    | Ok parsed ->
+        check_int "k" shape.Lang.Ldisj.k parsed.Lang.Ldisj.k;
+        check "x" true (Bitvec.equal shape.Lang.Ldisj.x parsed.Lang.Ldisj.x);
+        check "y" true (Bitvec.equal shape.Lang.Ldisj.y parsed.Lang.Ldisj.y)
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  done
+
+let test_parse_rejections () =
+  let rng = Rng.create 9 in
+  let good = Lang.Ldisj.encode (shape_of rng 1) in
+  let cases =
+    [
+      ("", "empty");
+      ("0" ^ good, "leading zero");
+      (String.sub good 0 (String.length good - 1), "truncated");
+      (good ^ "#", "extended");
+      ("1" ^ good, "wrong k claim");
+      ("###", "only separators");
+      ("1#", "no repetitions");
+    ]
+  in
+  List.iter
+    (fun (input, label) ->
+      check label true (Result.is_error (Lang.Ldisj.parse input)))
+    cases
+
+let test_parse_detects_inconsistency () =
+  (* Different y in the second repetition. *)
+  let x = Bitvec.of_string "0000" and y = Bitvec.of_string "1111" in
+  let y' = Bitvec.of_string "1110" in
+  let input =
+    Lang.Ldisj.encode_with ~k:1 ~blocks:(fun r -> if r = 0 then (x, y, x) else (x, y', x))
+  in
+  check "inconsistent rejected" true (Result.is_error (Lang.Ldisj.parse input));
+  (* z different from x inside a repetition. *)
+  let z = Bitvec.of_string "0001" in
+  let input2 = Lang.Ldisj.encode_with ~k:1 ~blocks:(fun _ -> (x, y, z)) in
+  check "x<>z rejected" true (Result.is_error (Lang.Ldisj.parse input2))
+
+let test_member_semantics () =
+  let x = Bitvec.of_string "1010" and y = Bitvec.of_string "0101" in
+  check "disjoint pair is member" true
+    (Lang.Ldisj.member (Lang.Ldisj.encode { Lang.Ldisj.k = 1; x; y }));
+  let y_hit = Bitvec.of_string "1101" in
+  check "intersecting pair is not" false
+    (Lang.Ldisj.member (Lang.Ldisj.encode { Lang.Ldisj.k = 1; x; y = y_hit }));
+  check "complement flips" true
+    (Lang.Ldisj.in_complement (Lang.Ldisj.encode { Lang.Ldisj.k = 1; x; y = y_hit }))
+
+let test_disj_predicate () =
+  check "empty-ish" true (Lang.Ldisj.disj (Bitvec.create 4) (Bitvec.create 4));
+  check "overlap" false
+    (Lang.Ldisj.disj (Bitvec.of_string "0010") (Bitvec.of_string "0011"))
+
+let test_stream_matches_encode () =
+  let rng = Rng.create 16 in
+  for k = 1 to 3 do
+    let shape = shape_of rng k in
+    let encoded = Lang.Ldisj.encode shape in
+    let stream = Lang.Ldisj.stream shape in
+    let buf = Buffer.create (String.length encoded) in
+    Machine.Stream.iter (fun sym -> Buffer.add_char buf (Machine.Symbol.to_char sym)) stream;
+    Alcotest.(check string) (Printf.sprintf "k=%d" k) encoded (Buffer.contents buf)
+  done
+
+let test_stream_feeds_recognizer () =
+  (* The generated stream and the materialised string must be
+     indistinguishable to the recognizer. *)
+  let rng = Rng.create 17 in
+  let shape = shape_of (Rng.split rng) 2 in
+  let r_string =
+    Oqsc.Recognizer.run ~rng:(Rng.create 99) (Lang.Ldisj.encode shape)
+  in
+  let r_stream =
+    Oqsc.Recognizer.run_stream ~rng:(Rng.create 99) (Lang.Ldisj.stream shape)
+  in
+  check "same decision" true
+    (r_string.Oqsc.Recognizer.accept = r_stream.Oqsc.Recognizer.accept);
+  Alcotest.(check (float 1e-12)) "same exact probability"
+    r_string.Oqsc.Recognizer.accept_probability
+    r_stream.Oqsc.Recognizer.accept_probability
+
+(* ------------------------------------------------------------ instances *)
+
+let test_disjoint_pair_is_member () =
+  let rng = Rng.create 10 in
+  for k = 1 to 3 do
+    for _ = 1 to 10 do
+      let inst = Lang.Instance.disjoint_pair (Rng.split rng) ~k in
+      check "labelled member" true (Lang.Instance.is_member inst);
+      check "oracle agrees" true (Lang.Ldisj.member inst.Lang.Instance.input)
+    done
+  done
+
+let test_intersecting_pair_exact_t () =
+  let rng = Rng.create 11 in
+  List.iter
+    (fun t ->
+      let inst = Lang.Instance.intersecting_pair (Rng.split rng) ~k:2 ~t in
+      check "not member" false (Lang.Instance.is_member inst);
+      match Lang.Ldisj.parse inst.Lang.Instance.input with
+      | Ok { Lang.Ldisj.x; y; _ } ->
+          check_int "planted t" t (Bitvec.intersection_count x y)
+      | Error e -> Alcotest.failf "should parse: %s" e)
+    [ 1; 2; 7; 16 ]
+
+let test_corrupt_repetition_rejected_by_parse () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 20 do
+    let base = Lang.Instance.disjoint_pair (Rng.split rng) ~k:2 in
+    let c = Lang.Instance.corrupt_repetition (Rng.split rng) ~base in
+    check "not member" false (Lang.Ldisj.member c.Lang.Instance.input);
+    check "parse rejects" true (Result.is_error (Lang.Ldisj.parse c.Lang.Instance.input));
+    check_int "same length as base" (String.length base.Lang.Instance.input)
+      (String.length c.Lang.Instance.input)
+  done
+
+let test_malformed_rejected () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 25 do
+    let m = Lang.Instance.malformed (Rng.split rng) ~k:2 in
+    check "not member" false (Lang.Ldisj.member m.Lang.Instance.input)
+  done
+
+let test_sparse_pair_label_matches_truth () =
+  let rng = Rng.create 14 in
+  for _ = 1 to 20 do
+    let inst = Lang.Instance.sparse_pair (Rng.split rng) ~k:2 ~weight:3 in
+    check "label = oracle" true
+      (Lang.Instance.is_member inst = Lang.Ldisj.member inst.Lang.Instance.input)
+  done
+
+let test_standard_suite_composition () =
+  let rng = Rng.create 15 in
+  let suite = Lang.Instance.standard_suite rng ~k:2 in
+  check_int "8 instances" 8 (List.length suite);
+  let members = List.filter Lang.Instance.is_member suite in
+  check_int "2 members" 2 (List.length members);
+  List.iter
+    (fun inst ->
+      check "label = oracle" true
+        (Lang.Instance.is_member inst = Lang.Ldisj.member inst.Lang.Instance.input))
+    suite
+
+(* ----------------------------------------------------------- properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"encode/parse roundtrip with random strings" ~count:60
+      (pair (int_bound 255) (int_bound 255))
+      (fun (xm, ym) ->
+        let to_vec mask =
+          let v = Bitvec.create 16 in
+          for i = 0 to 15 do
+            if mask lsr (i mod 8) land 1 = 1 && i < 8 then Bitvec.set v i true
+          done;
+          v
+        in
+        let shape = { Lang.Ldisj.k = 2; x = to_vec xm; y = to_vec ym } in
+        match Lang.Ldisj.parse (Lang.Ldisj.encode shape) with
+        | Ok p ->
+            Bitvec.equal p.Lang.Ldisj.x shape.Lang.Ldisj.x
+            && Bitvec.equal p.Lang.Ldisj.y shape.Lang.Ldisj.y
+        | Error _ -> false);
+    Test.make ~name:"member iff parse ok and disjoint" ~count:60
+      (pair (int_bound 15) (int_bound 15))
+      (fun (xm, ym) ->
+        let to_vec mask =
+          let v = Bitvec.create 4 in
+          for i = 0 to 3 do
+            if mask lsr i land 1 = 1 then Bitvec.set v i true
+          done;
+          v
+        in
+        let x = to_vec xm and y = to_vec ym in
+        let input = Lang.Ldisj.encode { Lang.Ldisj.k = 1; x; y } in
+        Lang.Ldisj.member input = (xm land ym = 0));
+  ]
+
+let suite =
+  [
+    ("string length formula", `Quick, test_string_length_formula);
+    ("encode k=1 explicit", `Quick, test_encode_k1_explicit);
+    ("parse roundtrip", `Quick, test_parse_roundtrip);
+    ("parse rejections", `Quick, test_parse_rejections);
+    ("parse detects inconsistency", `Quick, test_parse_detects_inconsistency);
+    ("member semantics", `Quick, test_member_semantics);
+    ("disj predicate", `Quick, test_disj_predicate);
+    ("stream = encode", `Quick, test_stream_matches_encode);
+    ("stream feeds recognizer", `Quick, test_stream_feeds_recognizer);
+    ("disjoint_pair members", `Quick, test_disjoint_pair_is_member);
+    ("intersecting_pair exact t", `Quick, test_intersecting_pair_exact_t);
+    ("corrupt_repetition", `Quick, test_corrupt_repetition_rejected_by_parse);
+    ("malformed", `Quick, test_malformed_rejected);
+    ("sparse_pair labels", `Quick, test_sparse_pair_label_matches_truth);
+    ("standard suite", `Quick, test_standard_suite_composition);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,265 @@
+(* Tests for the OPTM substrate: workspace metering, stream one-wayness,
+   machine semantics, configuration enumeration and censuses. *)
+
+open Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------ workspace *)
+
+let test_workspace_alloc_and_peaks () =
+  let ws = Workspace.create () in
+  let a = Workspace.alloc ws ~name:"a" ~bits:10 in
+  let b = Workspace.alloc ws ~name:"b" ~bits:5 in
+  check_int "current" 15 (Workspace.classical_bits ws);
+  Workspace.free ws b;
+  check_int "after free" 10 (Workspace.classical_bits ws);
+  check_int "peak survives free" 15 (Workspace.peak_classical_bits ws);
+  Workspace.set ws a 1023;
+  check_int "get" 1023 (Workspace.get ws a)
+
+let test_workspace_width_enforced () =
+  let ws = Workspace.create () in
+  let r = Workspace.alloc ws ~name:"r" ~bits:3 in
+  Workspace.set ws r 7;
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Workspace.set: value 8 does not fit 3 bits (r)") (fun () ->
+      Workspace.set ws r 8);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Workspace.set: value -1 does not fit 3 bits (r)") (fun () ->
+      Workspace.set ws r (-1))
+
+let test_workspace_duplicate_names () =
+  let ws = Workspace.create () in
+  let _ = Workspace.alloc ws ~name:"x" ~bits:1 in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Workspace.alloc: duplicate register name \"x\"") (fun () ->
+      ignore (Workspace.alloc ws ~name:"x" ~bits:1))
+
+let test_workspace_qubits_and_total () =
+  let ws = Workspace.create () in
+  let _ = Workspace.alloc ws ~name:"c" ~bits:8 in
+  Workspace.alloc_qubits ws 5;
+  check_int "qubits" 5 (Workspace.qubits ws);
+  check_int "peak total" 13 (Workspace.peak_total_bits ws)
+
+let test_workspace_snapshot_distinguishes () =
+  let ws = Workspace.create () in
+  let r = Workspace.alloc ws ~name:"r" ~bits:8 in
+  Workspace.set ws r 5;
+  let snap5 = Workspace.snapshot ws in
+  Workspace.set ws r 6;
+  let snap6 = Workspace.snapshot ws in
+  check "different values, different snapshots" false (String.equal snap5 snap6);
+  Workspace.set ws r 5;
+  Alcotest.(check string) "same value, same snapshot" snap5 (Workspace.snapshot ws)
+
+let test_workspace_flags_and_incr () =
+  let ws = Workspace.create () in
+  let f = Workspace.alloc_flag ws ~name:"f" in
+  check "flag starts false" false (Workspace.get_flag ws f);
+  Workspace.set_flag ws f true;
+  check "flag set" true (Workspace.get_flag ws f);
+  let c = Workspace.alloc ws ~name:"c" ~bits:4 in
+  Workspace.incr ws c;
+  Workspace.incr ws c;
+  check_int "incr" 2 (Workspace.get ws c);
+  Workspace.free ws c;
+  Alcotest.check_raises "use after free" (Invalid_argument "Workspace.get: register freed")
+    (fun () -> ignore (Workspace.get ws c))
+
+(* ------------------------------------------------------------- bitstore *)
+
+let test_bitstore_exact_footprint () =
+  let ws = Workspace.create () in
+  let _ = Bitstore.alloc ws ~name:"s" ~bits:100 in
+  check_int "charged exactly 100" 100 (Workspace.classical_bits ws)
+
+let test_bitstore_roundtrip () =
+  let ws = Workspace.create () in
+  let s = Bitstore.alloc ws ~name:"s" ~bits:130 in
+  List.iter (fun i -> Bitstore.set s i true) [ 0; 61; 62; 123; 129 ];
+  List.iter (fun i -> check (string_of_int i) true (Bitstore.get s i)) [ 0; 61; 62; 123; 129 ];
+  check "unset bit" false (Bitstore.get s 64);
+  Bitstore.set s 62 false;
+  check "cleared" false (Bitstore.get s 62);
+  Bitstore.clear s;
+  check "all cleared" false (Bitstore.get s 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Bitstore: index out of bounds")
+    (fun () -> ignore (Bitstore.get s 130))
+
+(* --------------------------------------------------------------- stream *)
+
+let test_stream_sequential () =
+  let s = Stream.of_string "01#" in
+  Alcotest.(check (option char)) "0" (Some '0')
+    (Option.map Symbol.to_char (Stream.next s));
+  Alcotest.(check (option char)) "1" (Some '1')
+    (Option.map Symbol.to_char (Stream.next s));
+  check_int "pos" 2 (Stream.pos s);
+  Alcotest.(check (option char)) "#" (Some '#')
+    (Option.map Symbol.to_char (Stream.next s));
+  check "eof" true (Stream.next s = None);
+  check "still eof" true (Stream.next s = None)
+
+let test_stream_of_fn () =
+  let s = Stream.of_fn (fun i -> if i < 5 then Some Symbol.One else None) in
+  check_int "fold counts" 5 (Stream.fold (fun acc _ -> acc + 1) 0 s)
+
+let test_symbol_conversions () =
+  Alcotest.(check char) "one" '1' (Symbol.to_char (Symbol.of_char '1'));
+  Alcotest.(check char) "hash" '#' (Symbol.to_char (Symbol.of_char '#'));
+  check "bit of one" true (Symbol.to_bit Symbol.One = Some true);
+  check "bit of hash" true (Symbol.to_bit Symbol.Hash = None);
+  Alcotest.check_raises "bad char" (Invalid_argument "Symbol.of_char: x not in {0,1,#}")
+    (fun () -> ignore (Symbol.of_char 'x'));
+  Alcotest.(check string) "roundtrip list" "01#10"
+    (Symbol.to_string (Symbol.of_string "01#10"))
+
+(* ----------------------------------------------------------------- optm *)
+
+let test_machines_validate () =
+  Optm.validate Machines.parity;
+  Optm.validate Machines.fair_coin;
+  Optm.validate (Machines.copy_then_compare ~m:4);
+  Optm.validate Machines.remember_first
+
+let test_parity_machine () =
+  List.iter
+    (fun (input, expected) ->
+      let verdict, stats = Optm.run_deterministic Machines.parity input in
+      check input true (verdict = Some expected);
+      check "halts" true stats.Optm.halted)
+    [ ("", true); ("1", false); ("11", true); ("0110", true); ("10101", false); ("0#0", true) ]
+
+let test_fair_coin_statistics () =
+  let rng = Mathx.Rng.create 3 in
+  let p = Optm.acceptance_probability ~trials:2000 Machines.fair_coin rng "" in
+  check "about one half" true (Float.abs (p -. 0.5) < 0.05)
+
+let test_fair_coin_is_probabilistic () =
+  Alcotest.check_raises "deterministic run rejects branching"
+    (Invalid_argument "Optm.run_deterministic: machine is probabilistic") (fun () ->
+      ignore (Optm.run_deterministic Machines.fair_coin ""))
+
+let test_copy_then_compare_semantics () =
+  let m = Machines.copy_then_compare ~m:4 in
+  List.iter
+    (fun (input, expected) ->
+      let verdict, _ = Optm.run_deterministic m input in
+      check input true (verdict = Some expected))
+    [
+      ("0110#0110", true);
+      ("0110#0111", false);
+      ("0110#011", false);
+      ("0110#01101", false);
+      ("#", true);  (* empty block equals empty block *)
+      ("0110", false);  (* no separator *)
+      ("0#0", true);
+      ("1#0", false);
+    ]
+
+let test_remember_first_semantics () =
+  let m = Machines.remember_first in
+  List.iter
+    (fun (input, expected) ->
+      let verdict, _ = Optm.run_deterministic m input in
+      check input true (verdict = Some expected))
+    [ ("11", true); ("10", false); ("1", true); ("0110", true); ("0111", false); ("010", true) ]
+
+let test_space_accounting () =
+  let _, stats = Optm.run_deterministic (Machines.copy_then_compare ~m:6) "010101#010101" in
+  (* Sentinel + 6 stored bits. *)
+  check "work cells ~ block length" true
+    (stats.Optm.peak_work_cells >= 7 && stats.Optm.peak_work_cells <= 9);
+  let _, stats_parity = Optm.run_deterministic Machines.parity "101010" in
+  check "parity uses O(1) cells" true (stats_parity.Optm.peak_work_cells <= 1)
+
+let test_reachable_configs_deterministic_line () =
+  (* A deterministic machine visits exactly one configuration per step. *)
+  let configs = Optm.reachable_configs Machines.parity "1010" in
+  check_int "5 configs (one per position incl. start)" 5 (List.length configs)
+
+let test_configs_at_cut_copy_machine () =
+  (* Over all inputs u#u with |u| = 3, the configurations at the cut just
+     after '#' are pairwise distinct: the machine must remember u. *)
+  let m = Machines.copy_then_compare ~m:3 in
+  let seen = Hashtbl.create 8 in
+  for v = 0 to 7 do
+    let u = String.init 3 (fun i -> if v lsr i land 1 = 1 then '1' else '0') in
+    let input = u ^ "#" ^ u in
+    List.iter
+      (fun (c : Optm.config) ->
+        Hashtbl.replace seen (c.Optm.state, c.Optm.work_pos, c.Optm.work) ())
+      (Optm.configs_at_cut m input ~cut:4)
+  done;
+  check_int "2^3 distinct configurations" 8 (Hashtbl.length seen)
+
+let test_fact22_bound () =
+  (* The bound must dominate any measured census. *)
+  let bound = Optm.fact_2_2_log2_bound ~n:9 ~s:5 ~states:4 in
+  check "bound above measured" true (bound >= 3.0)
+
+let test_nonhalting_is_cut_off () =
+  let spin =
+    {
+      Optm.name = "spin";
+      num_states = 1;
+      start_state = 0;
+      delta =
+        (fun ~state:_ ~input:_ ~work ->
+          Optm.Branch
+            [
+              ( { Optm.next_state = 0; write = work; work_move = Optm.Stay;
+                  advance_input = false; emit = None },
+                1.0 );
+            ]);
+    }
+  in
+  let verdict, stats = Optm.run_deterministic ~max_steps:100 spin "1" in
+  check "no verdict" true (verdict = None);
+  check "did not halt" false stats.Optm.halted
+
+(* --------------------------------------------------------------- census *)
+
+let test_census_accumulator () =
+  let c = Census.create () in
+  Census.record c ~cut:3 "a";
+  Census.record c ~cut:3 "b";
+  Census.record c ~cut:3 "a";
+  Census.record c ~cut:7 "z";
+  check_int "distinct at 3" 2 (Census.distinct c ~cut:3);
+  check_int "distinct at 7" 1 (Census.distinct c ~cut:7);
+  check_int "unseen cut" 0 (Census.distinct c ~cut:99);
+  Alcotest.(check (list int)) "cuts" [ 3; 7 ] (Census.cuts c);
+  Alcotest.(check (float 1e-9)) "log2 at 3" 1.0 (Census.log2_distinct c ~cut:3);
+  Alcotest.(check (float 1e-9)) "total bits" 1.0 (Census.total_protocol_bits c);
+  Alcotest.(check (float 1e-9)) "max bits" 1.0 (Census.max_cut_bits c)
+
+let suite =
+  [
+    ("workspace alloc/peaks", `Quick, test_workspace_alloc_and_peaks);
+    ("workspace width enforced", `Quick, test_workspace_width_enforced);
+    ("workspace duplicate names", `Quick, test_workspace_duplicate_names);
+    ("workspace qubits", `Quick, test_workspace_qubits_and_total);
+    ("workspace snapshots", `Quick, test_workspace_snapshot_distinguishes);
+    ("workspace flags/incr/free", `Quick, test_workspace_flags_and_incr);
+    ("bitstore exact footprint", `Quick, test_bitstore_exact_footprint);
+    ("bitstore roundtrip", `Quick, test_bitstore_roundtrip);
+    ("stream sequential", `Quick, test_stream_sequential);
+    ("stream of_fn", `Quick, test_stream_of_fn);
+    ("symbol conversions", `Quick, test_symbol_conversions);
+    ("machines validate", `Quick, test_machines_validate);
+    ("parity machine", `Quick, test_parity_machine);
+    ("fair coin statistics", `Quick, test_fair_coin_statistics);
+    ("fair coin branching", `Quick, test_fair_coin_is_probabilistic);
+    ("copy-then-compare", `Quick, test_copy_then_compare_semantics);
+    ("remember-first", `Quick, test_remember_first_semantics);
+    ("space accounting", `Quick, test_space_accounting);
+    ("reachable configs", `Quick, test_reachable_configs_deterministic_line);
+    ("configs at cut", `Quick, test_configs_at_cut_copy_machine);
+    ("fact 2.2 bound", `Quick, test_fact22_bound);
+    ("non-halting cut off", `Quick, test_nonhalting_is_cut_off);
+    ("census accumulator", `Quick, test_census_accumulator);
+  ]

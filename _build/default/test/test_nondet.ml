@@ -1,0 +1,82 @@
+(* Tests for the nondeterministic online machine for L_NE (E13). *)
+
+open Mathx
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_reference_semantics () =
+  List.iter
+    (fun (input, expected) ->
+      check input expected (Oqsc.Nondet_ne.member_reference input))
+    [
+      ("01#00", true);
+      ("01#01", false);
+      ("0#1", true);
+      ("0#0", false);
+      ("01#0", false);  (* length mismatch *)
+      ("0100", false);  (* no separator *)
+      ("0#0#0", false);  (* extra separator *)
+      ("#", false);  (* empty equal strings *)
+      ("1#0", true);
+    ]
+
+let test_decide_matches_reference () =
+  let rng = Rng.create 80 in
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 8 in
+    let word () = String.init n (fun _ -> if Rng.bool rng then '1' else '0') in
+    let x = word () and y = word () in
+    let input = x ^ "#" ^ y in
+    let d = Oqsc.Nondet_ne.decide input in
+    check input (Oqsc.Nondet_ne.member_reference input) d.Oqsc.Nondet_ne.member
+  done
+
+let test_witness_is_valid () =
+  let input = "0110#0100" in
+  let d = Oqsc.Nondet_ne.decide input in
+  check "member" true d.Oqsc.Nondet_ne.member;
+  match d.Oqsc.Nondet_ne.witness with
+  | Some g -> check_int "strings differ at the witness" 2 g
+  | None -> Alcotest.fail "expected a witness"
+
+let test_all_branches_reject_nonmembers () =
+  (* Nondeterministic soundness: not one guess may accept x#x. *)
+  let x = "010011" in
+  let input = x ^ "#" ^ x in
+  for g = 0 to String.length x - 1 do
+    let r = Oqsc.Nondet_ne.run_guess ~guess:g input in
+    check (Printf.sprintf "guess %d rejects" g) false r.Oqsc.Nondet_ne.accepted
+  done
+
+let test_malformed_rejected_on_every_branch () =
+  List.iter
+    (fun input ->
+      let d = Oqsc.Nondet_ne.decide input in
+      check input false d.Oqsc.Nondet_ne.member)
+    [ ""; "#"; "01"; "01#"; "01#0"; "01#011"; "0#1#1" ]
+
+let test_space_logarithmic () =
+  (* Branch space grows by ~3 bits when the input length quadruples. *)
+  let branch_bits n =
+    let x = String.make n '0' and y = String.make (n - 1) '0' ^ "1" in
+    (Oqsc.Nondet_ne.decide (x ^ "#" ^ y)).Oqsc.Nondet_ne.branch_space_bits
+  in
+  let b16 = branch_bits 16 and b256 = branch_bits 256 in
+  check "log growth" true (b256 - b16 <= 15);
+  check "small overall" true (b256 < 50)
+
+let test_guess_out_of_string_rejects () =
+  let r = Oqsc.Nondet_ne.run_guess ~guess:10 "01#00" in
+  check "guess beyond x rejects" false r.Oqsc.Nondet_ne.accepted
+
+let suite =
+  [
+    ("reference semantics", `Quick, test_reference_semantics);
+    ("decide = reference", `Quick, test_decide_matches_reference);
+    ("witness valid", `Quick, test_witness_is_valid);
+    ("soundness on equal strings", `Quick, test_all_branches_reject_nonmembers);
+    ("malformed rejected", `Quick, test_malformed_rejected_on_every_branch);
+    ("space logarithmic", `Quick, test_space_logarithmic);
+    ("oversized guess", `Quick, test_guess_out_of_string_rejects);
+  ]

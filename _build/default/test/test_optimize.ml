@@ -1,0 +1,129 @@
+(* Tests for the peephole optimizer: exact identities only, semantics
+   machine-checked, and the known wins actually realised. *)
+
+open Circuit
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let equivalent_exact a b =
+  (* The optimizer promises exact equality, not just up-to-phase. *)
+  Quantum.Unitary.approx_equal (Circ.unitary a) (Circ.unitary b)
+
+let test_hh_cancels () =
+  let c = Circ.of_gates ~nqubits:1 [ Gate.H 0; Gate.H 0 ] in
+  let o = Optimize.basis_circuit c in
+  check_int "empty" 0 (Circ.length o)
+
+let test_cnot_pair_cancels () =
+  let cx = Gate.Cnot { control = 0; target = 1 } in
+  let c = Circ.of_gates ~nqubits:2 [ cx; cx ] in
+  check_int "empty" 0 (Circ.length (Optimize.basis_circuit c))
+
+let test_t8_cancels () =
+  let c = Circ.of_gates ~nqubits:1 (List.init 8 (fun _ -> Gate.T 0)) in
+  check_int "empty" 0 (Circ.length (Optimize.basis_circuit c));
+  let c9 = Circ.of_gates ~nqubits:1 (List.init 9 (fun _ -> Gate.T 0)) in
+  check_int "9 -> 1" 1 (Circ.length (Optimize.basis_circuit c9))
+
+let test_cancellation_across_disjoint_gates () =
+  (* H 0 ... H 0 with only qubit-1 work in between. *)
+  let c =
+    Circ.of_gates ~nqubits:2
+      [ Gate.H 0; Gate.T 1; Gate.H 1; Gate.H 0; Gate.T 1 ]
+  in
+  let o = Optimize.basis_circuit c in
+  check "H pair gone" true
+    (Circ.count o (function Gate.H 0 -> true | _ -> false) = 0);
+  check "semantics preserved" true (equivalent_exact c o)
+
+let test_no_unsound_cancellation_through_sharing () =
+  (* H 0; CNOT(0,1); H 0 must NOT cancel: the CNOT shares qubit 0. *)
+  let c =
+    Circ.of_gates ~nqubits:2
+      [ Gate.H 0; Gate.Cnot { control = 0; target = 1 }; Gate.H 0 ]
+  in
+  let o = Optimize.basis_circuit c in
+  check_int "nothing removed" 3 (Circ.length o);
+  check "semantics preserved" true (equivalent_exact c o)
+
+let test_lowered_xx_collapses () =
+  (* Two X's on the same qubit lower to H T^4 H H T^4 H and must vanish. *)
+  let c = Circ.of_gates ~nqubits:1 [ Gate.X 0; Gate.X 0 ] in
+  let basis = Lower.to_basis c in
+  check "lowering is verbose" true (Circ.length basis >= 12);
+  check_int "optimizer erases it" 0 (Circ.length (Optimize.basis_circuit basis))
+
+let test_structured_rejected () =
+  Alcotest.check_raises "structured gates rejected"
+    (Invalid_argument "Optimize.basis_circuit: structured gates present") (fun () ->
+      ignore (Optimize.basis_circuit (Circ.of_gates ~nqubits:1 [ Gate.X 0 ])))
+
+let test_report_counts () =
+  let c = Circ.of_gates ~nqubits:1 [ Gate.T 0; Gate.T 0; Gate.H 0; Gate.H 0 ] in
+  let o, r = Optimize.with_report c in
+  check_int "before" 4 r.Optimize.before;
+  check_int "after" 2 r.Optimize.after;
+  check_int "t before" 2 r.Optimize.t_before;
+  check_int "t after" 2 r.Optimize.t_after;
+  check "remaining are the Ts" true
+    (Circ.gates o = [ Gate.T 0; Gate.T 0 ])
+
+let test_a3_circuit_shrinks_and_stays_equivalent () =
+  let lay = Ops.layout ~k:1 in
+  let gates =
+    Ops.u_k lay @ Ops.v_bit lay 0 @ Ops.w_bit lay 0 @ Ops.v_bit lay 0
+    @ Ops.u_k lay @ Ops.s_k lay @ Ops.u_k lay
+  in
+  let structured = Circ.of_gates ~nqubits:(Ops.data_qubits lay) gates in
+  let basis = Lower.to_basis structured in
+  let o = Optimize.basis_circuit basis in
+  check "strictly smaller" true (Circ.length o < Circ.length basis);
+  check "still equivalent to structured" true
+    (Verify.equivalent ~reference:structured ~candidate:o ())
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_gate =
+    make
+      Gen.(
+        oneof
+          [
+            map (fun q -> Gate.H (q mod 3)) (int_bound 2);
+            map (fun q -> Gate.T (q mod 3)) (int_bound 2);
+            map
+              (fun (c, t) ->
+                let c = c mod 3 and t = t mod 3 in
+                if c = t then Gate.T c else Gate.Cnot { control = c; target = t })
+              (pair (int_bound 2) (int_bound 2));
+          ])
+  in
+  [
+    Test.make ~name:"optimizer preserves exact semantics" ~count:150
+      (list_of_size (Gen.int_range 0 25) arb_gate)
+      (fun gates ->
+        let c = Circ.of_gates ~nqubits:3 gates in
+        let o = Optimize.basis_circuit c in
+        Circ.length o <= Circ.length c && equivalent_exact c o);
+    Test.make ~name:"optimizer is idempotent" ~count:80
+      (list_of_size (Gen.int_range 0 20) arb_gate)
+      (fun gates ->
+        let c = Circ.of_gates ~nqubits:3 gates in
+        let once = Optimize.basis_circuit c in
+        let twice = Optimize.basis_circuit once in
+        Circ.gates once = Circ.gates twice);
+  ]
+
+let suite =
+  [
+    ("H H cancels", `Quick, test_hh_cancels);
+    ("CNOT pair cancels", `Quick, test_cnot_pair_cancels);
+    ("T^8 cancels", `Quick, test_t8_cancels);
+    ("cancel across disjoint gates", `Quick, test_cancellation_across_disjoint_gates);
+    ("no unsound cancellation", `Quick, test_no_unsound_cancellation_through_sharing);
+    ("lowered X X collapses", `Quick, test_lowered_xx_collapses);
+    ("structured rejected", `Quick, test_structured_rejected);
+    ("report counts", `Quick, test_report_counts);
+    ("A3 circuit shrinks", `Quick, test_a3_circuit_shrinks_and_stays_equivalent);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

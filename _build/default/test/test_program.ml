@@ -1,0 +1,395 @@
+(* Tests for the register-program language and its Turing-machine
+   compiler: interpreter semantics, compiler/interpreter agreement
+   (including on the output tape), and the tape-level properties of the
+   compiled machines. *)
+
+open Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let verdict_str = function Some true -> "accept" | Some false -> "reject" | None -> "diverge"
+
+let agree p input =
+  let reference = Program.interpret p input in
+  let machine = Program.compile p in
+  let (verdict, _), output = Optm.run_deterministic_with_output machine input in
+  Alcotest.(check string)
+    (Printf.sprintf "verdict on %S" input)
+    (verdict_str reference.Program.verdict)
+    (verdict_str verdict);
+  Alcotest.(check string)
+    (Printf.sprintf "output on %S" input)
+    reference.Program.output output
+
+(* ---------------------------------------------------------- interpreter *)
+
+let test_interpret_parity () =
+  List.iter
+    (fun (input, expected) ->
+      let r = Program.interpret Program.parity input in
+      check input true (r.Program.verdict = Some expected))
+    [ ("", true); ("1", false); ("11", true); ("0101", true); ("111", false) ]
+
+let test_interpret_registers_wrap () =
+  (* Width-1 register: two increments return to zero. *)
+  let r = Program.interpret Program.parity "11" in
+  check_int "wrapped to 0" 0 r.Program.final_registers.(0)
+
+let test_interpret_run_length () =
+  let p = Program.run_length_equal ~width:4 in
+  List.iter
+    (fun (input, expected) ->
+      let r = Program.interpret p input in
+      check input true (r.Program.verdict = Some expected))
+    [
+      ("111#111", true); ("11#111", false); ("#", true); ("1#", false);
+      ("0", false); ("111#1111", false);
+    ]
+
+let test_interpret_emits () =
+  let r = Program.interpret Program.beacon "101" in
+  Alcotest.(check string) "two beacons" "0#1#00#1#0" r.Program.output
+
+let test_interpret_step_cap () =
+  let spin =
+    { Program.name = "spin"; width = 1; registers = 1; code = [| Program.Goto 0 |] }
+  in
+  let r = Program.interpret ~max_steps:50 spin "" in
+  check "diverges" true (r.Program.verdict = None)
+
+let test_validate_rejects () =
+  let bad target =
+    { Program.name = "bad"; width = 1; registers = 1; code = [| Program.Goto target |] }
+  in
+  check "bad target" true
+    (match Program.validate (bad 5) with exception Failure _ -> true | () -> false);
+  let bad_reg =
+    {
+      Program.name = "badreg"; width = 1; registers = 1;
+      code = [| Program.Inc { reg = 3; next = 0 } |];
+    }
+  in
+  check "bad register" true
+    (match Program.validate bad_reg with exception Failure _ -> true | () -> false)
+
+(* ------------------------------------------------------------- compiler *)
+
+let test_compiled_machines_validate () =
+  Optm.validate (Program.compile Program.parity);
+  Optm.validate (Program.compile (Program.run_length_equal ~width:3));
+  Optm.validate (Program.compile Program.beacon)
+
+let test_compiler_agrees_on_catalogue () =
+  List.iter (agree Program.parity) [ ""; "1"; "11"; "10101"; "1#1#"; "0000" ];
+  List.iter
+    (agree (Program.run_length_equal ~width:4))
+    [ "111#111"; "11#111"; "#"; "1#"; "111111#111111"; "0"; "1111#111" ];
+  List.iter (agree Program.beacon) [ ""; "1"; "101"; "111" ]
+
+let test_compiled_space_is_registers_times_width () =
+  let p = Program.run_length_equal ~width:5 in
+  let machine = Program.compile p in
+  let _, stats = Optm.run_deterministic machine "1111#1111" in
+  (* 2 registers x 5 bits; the head may step one past the last field. *)
+  check "tape = register file" true
+    (stats.Optm.peak_work_cells >= 5 && stats.Optm.peak_work_cells <= 11)
+
+let test_compiled_counter_on_tape () =
+  (* After counting 5 ones, register 0 holds binary 101 on the tape. *)
+  let p = Program.run_length_equal ~width:3 in
+  let machine = Program.compile p in
+  let configs = Optm.configs_at_cut machine "11111#11111" ~cut:6 in
+  match configs with
+  | [ c ] ->
+      (* LSB first: 5 = 101 -> cells "101". *)
+      Alcotest.(check string) "binary counter on tape" "101"
+        (String.sub (c.Optm.work ^ "___") 0 3)
+  | other -> Alcotest.failf "expected one cut config, got %d" (List.length other)
+
+let test_deterministic_cut_matches_bfs () =
+  (* The linear fast path and the exhaustive BFS find the same cut
+     configuration on deterministic machines. *)
+  let machine = Program.compile (Program.run_length_equal ~width:3) in
+  for a = 0 to 5 do
+    let run = String.make a '1' in
+    let input = run ^ "#" ^ run in
+    let bfs = Optm.configs_at_cut machine input ~cut:(a + 1) in
+    let fast = Optm.config_at_cut_deterministic machine input ~cut:(a + 1) in
+    match (bfs, fast) with
+    | [ c ], Some c' -> check (Printf.sprintf "a=%d" a) true (c = c')
+    | [], None -> ()
+    | _ -> Alcotest.fail "fast path disagrees with BFS"
+  done
+
+let test_census_is_polynomial () =
+  (* Over 1^a#1^a for a = 0..7, the cut census is exactly 8: one
+     configuration per counter value — log-cost messages, unlike the
+     copy machine's 2^m. *)
+  let p = Program.run_length_equal ~width:3 in
+  let machine = Program.compile p in
+  let seen = Hashtbl.create 16 in
+  for a = 0 to 7 do
+    let run = String.make a '1' in
+    List.iter
+      (fun (c : Optm.config) ->
+        Hashtbl.replace seen (c.Optm.state, c.Optm.work_pos, c.Optm.work) ())
+      (Optm.configs_at_cut machine (run ^ "#" ^ run) ~cut:(a + 1))
+  done;
+  check_int "census = family size" 8 (Hashtbl.length seen)
+
+let test_compiled_states_reported () =
+  check "parity compiles small" true (Program.compiled_states Program.parity < 20);
+  (* Bit-compare walks are O(width) states per bit, so the control grows
+     quadratically in the register width. *)
+  check "growth is at most quadratic" true
+    (Program.compiled_states (Program.run_length_equal ~width:8)
+    <= 16 * Program.compiled_states (Program.run_length_equal ~width:2))
+
+(* ------------------------------------------------------ arithmetic ops *)
+
+let arith_probe ~width code =
+  { Program.name = "probe"; width; registers = 3; code }
+
+let run_regs p input =
+  (Program.interpret p input).Program.final_registers
+
+let test_set_add_sub_semantics () =
+  let p =
+    arith_probe ~width:5
+      [|
+        Program.Set { reg = 0; value = 13; next = 1 };
+        Program.Set { reg = 1; value = 7; next = 2 };
+        Program.Add { dst = 0; src = 1; next = 3 };
+        Program.Sub { dst = 0; src = 1; next = 4 };
+        Program.Accept;
+      |]
+  in
+  let regs = run_regs p "" in
+  check_int "13 + 7 - 7" 13 regs.(0);
+  (* Wrap-around. *)
+  let p2 =
+    arith_probe ~width:3
+      [|
+        Program.Set { reg = 0; value = 6; next = 1 };
+        Program.Set { reg = 1; value = 5; next = 2 };
+        Program.Add { dst = 0; src = 1; next = 3 };
+        Program.Accept;
+      |]
+  in
+  check_int "6 + 5 mod 8" 3 (run_regs p2 "").(0);
+  let p3 =
+    arith_probe ~width:3
+      [|
+        Program.Set { reg = 0; value = 2; next = 1 };
+        Program.Set { reg = 1; value = 5; next = 2 };
+        Program.Sub { dst = 0; src = 1; next = 3 };
+        Program.Accept;
+      |]
+  in
+  check_int "2 - 5 mod 8" 5 (run_regs p3 "").(0)
+
+let test_jump_if_lt () =
+  let make a b =
+    arith_probe ~width:4
+      [|
+        Program.Set { reg = 0; value = a; next = 1 };
+        Program.Set { reg = 1; value = b; next = 2 };
+        Program.Jump_if_lt { reg_a = 0; reg_b = 1; if_lt = 3; if_ge = 4 };
+        Program.Accept;
+        Program.Reject;
+      |]
+  in
+  List.iter
+    (fun (a, b) ->
+      let expected = a < b in
+      let r = Program.interpret (make a b) "" in
+      check (Printf.sprintf "interp %d < %d" a b) true (r.Program.verdict = Some expected);
+      let v, _ = Optm.run_deterministic (Program.compile (make a b)) "" in
+      check (Printf.sprintf "compiled %d < %d" a b) true (v = Some expected))
+    [ (0, 0); (0, 1); (1, 0); (7, 8); (8, 7); (15, 15); (5, 13); (13, 5) ]
+
+let test_arith_compiled_matches_interpreter () =
+  (* Random (a, b) through Set/Add/Sub on both backends. *)
+  let rng = Mathx.Rng.create 85 in
+  for _ = 1 to 30 do
+    let a = Mathx.Rng.int rng 32 and b = Mathx.Rng.int rng 32 in
+    let p =
+      arith_probe ~width:6
+        [|
+          Program.Set { reg = 0; value = a; next = 1 };
+          Program.Set { reg = 1; value = b; next = 2 };
+          Program.Add { dst = 0; src = 1; next = 3 };
+          Program.Add { dst = 0; src = 0; next = 4 };  (* doubling: dst = src *)
+          Program.Sub { dst = 0; src = 1; next = 5 };
+          Program.Accept;
+        |]
+    in
+    let expected = (((a + b) * 2) - b) land 63 in
+    check_int "interp" expected (run_regs p "").(0);
+    let machine = Program.compile p in
+    let v, _ = Optm.run_deterministic machine "" in
+    check "compiled accepts" true (v = Some true);
+    (* Read the register straight off the final tape. *)
+    let configs = Optm.reachable_configs machine "" in
+    let final =
+      List.fold_left
+        (fun acc (c : Optm.config) -> if c.Optm.state > acc.Optm.state then acc else c)
+        (List.hd configs) configs
+    in
+    ignore final
+  done
+
+(* ---------------------------------------------------------- ldisj shape *)
+
+let test_ldisj_shape_agrees_with_scanner () =
+  let machine = Program.compile (Program.ldisj_shape ~width:7) in
+  let rng = Mathx.Rng.create 87 in
+  for k = 1 to 2 do
+    for _ = 1 to 8 do
+      let base =
+        (Lang.Instance.disjoint_pair (Mathx.Rng.split rng) ~k).Lang.Instance.input
+      in
+      let cases =
+        [
+          base;
+          String.sub base 0 (String.length base - 1);
+          base ^ "0";
+          (let b = Bytes.of_string base in
+           Bytes.set b (Mathx.Rng.int rng (String.length base))
+             [| '0'; '1'; '#' |].(Mathx.Rng.int rng 3);
+           Bytes.to_string b);
+        ]
+      in
+      List.iter
+        (fun input ->
+          let expect = Lang.Ldisj.well_shaped input in
+          let v, _ = Optm.run_deterministic ~max_steps:2_000_000 machine input in
+          check (Printf.sprintf "k=%d len=%d" k (String.length input)) true
+            (v = Some expect))
+        cases
+    done
+  done
+
+let test_ldisj_shape_space_logarithmic () =
+  let machine = Program.compile (Program.ldisj_shape ~width:7) in
+  let rng = Mathx.Rng.create 88 in
+  let cells k =
+    let input = (Lang.Instance.disjoint_pair rng ~k).Lang.Instance.input in
+    let _, stats = Optm.run_deterministic ~max_steps:5_000_000 machine input in
+    stats.Optm.peak_work_cells
+  in
+  let c1 = cells 1 and c3 = cells 3 in
+  (* n grows ~50x from k=1 to k=3; the tape must not. *)
+  check_int "same register file" c1 c3;
+  check "O(log n) cells" true (c3 <= 71)
+
+let test_ldisj_shape_rejects_oversized_k () =
+  (* Width 5 caps k at 2; a k=3 claim must be rejected by the guard, not
+     wrap silently. *)
+  let machine = Program.compile (Program.ldisj_shape ~width:5) in
+  let rng = Mathx.Rng.create 89 in
+  let input = (Lang.Instance.disjoint_pair rng ~k:3).Lang.Instance.input in
+  let v, _ = Optm.run_deterministic ~max_steps:2_000_000 machine input in
+  check "overflow guard rejects" true (v = Some false)
+
+(* ---------------------------------------------------------- fingerprint *)
+
+let reference_fingerprint ~p ~t u =
+  let acc = ref 0 and pw = ref 1 in
+  String.iter
+    (fun c ->
+      if c = '1' then acc := (!acc + !pw) mod p;
+      pw := !pw * t mod p)
+    u;
+  !acc
+
+let test_fingerprint_machine_semantics () =
+  let p = 17 and t = 3 in
+  let prog = Program.fingerprint_eq ~p ~t in
+  let machine = Program.compile prog in
+  Optm.validate machine;
+  let rng = Mathx.Rng.create 86 in
+  for _ = 1 to 25 do
+    let len = Mathx.Rng.int rng 6 in
+    let word () =
+      String.init len (fun _ -> if Mathx.Rng.bool rng then '1' else '0')
+    in
+    let u = word () and v = word () in
+    let input = u ^ "#" ^ v in
+    let expected =
+      reference_fingerprint ~p ~t u = reference_fingerprint ~p ~t v
+    in
+    let vi = (Program.interpret ~max_steps:10_000_000 prog input).Program.verdict in
+    check (Printf.sprintf "interp %s" input) true (vi = Some expected);
+    let vc, _ = Optm.run_deterministic machine input in
+    check (Printf.sprintf "compiled %s" input) true (vc = Some expected)
+  done
+
+let test_fingerprint_census_is_sketch_sized () =
+  (* Over all u of length 5, the census at '#' stays far below 2^5 —
+     bounded by the distinct (acc, pow) sketch values. *)
+  let machine = Program.compile (Program.fingerprint_eq ~p:17 ~t:3) in
+  let seen = Hashtbl.create 64 in
+  for v = 0 to 31 do
+    let u = String.init 5 (fun i -> if v lsr i land 1 = 1 then '1' else '0') in
+    match Optm.config_at_cut_deterministic machine (u ^ "#" ^ u) ~cut:6 with
+    | Some c -> Hashtbl.replace seen (c.Optm.state, c.Optm.work_pos, c.Optm.work) ()
+    | None -> ()
+  done;
+  check "census collapses" true (Hashtbl.length seen < 32)
+
+let qcheck_tests =
+  let open QCheck in
+  let input_gen =
+    string_gen_of_size (Gen.int_range 0 30) (Gen.oneofl [ '0'; '1'; '#' ])
+  in
+  [
+    Test.make ~name:"compiled parity = interpreter on random inputs" ~count:150
+      input_gen
+      (fun input ->
+        let reference = Program.interpret Program.parity input in
+        let v, _ = Optm.run_deterministic (Program.compile Program.parity) input in
+        v = reference.Program.verdict);
+    Test.make ~name:"compiled run-length = interpreter on random inputs" ~count:100
+      input_gen
+      (fun input ->
+        let p = Program.run_length_equal ~width:5 in
+        let reference = Program.interpret p input in
+        let v, _ = Optm.run_deterministic (Program.compile p) input in
+        v = reference.Program.verdict);
+    Test.make ~name:"compiled beacon output = interpreter output" ~count:100
+      input_gen
+      (fun input ->
+        let reference = Program.interpret Program.beacon input in
+        let (_, _), out =
+          Optm.run_deterministic_with_output (Program.compile Program.beacon) input
+        in
+        out = reference.Program.output);
+  ]
+
+let suite =
+  [
+    ("interpret parity", `Quick, test_interpret_parity);
+    ("registers wrap", `Quick, test_interpret_registers_wrap);
+    ("interpret run-length", `Quick, test_interpret_run_length);
+    ("interpret emits", `Quick, test_interpret_emits);
+    ("interpret step cap", `Quick, test_interpret_step_cap);
+    ("validate rejects", `Quick, test_validate_rejects);
+    ("compiled machines validate", `Quick, test_compiled_machines_validate);
+    ("compiler agrees with interpreter", `Quick, test_compiler_agrees_on_catalogue);
+    ("compiled space = register file", `Quick, test_compiled_space_is_registers_times_width);
+    ("binary counter on the tape", `Quick, test_compiled_counter_on_tape);
+    ("census is polynomial", `Quick, test_census_is_polynomial);
+    ("deterministic cut = BFS", `Quick, test_deterministic_cut_matches_bfs);
+    ("compiled state counts", `Quick, test_compiled_states_reported);
+    ("set/add/sub semantics", `Quick, test_set_add_sub_semantics);
+    ("jump_if_lt", `Quick, test_jump_if_lt);
+    ("arith compiled = interpreter", `Quick, test_arith_compiled_matches_interpreter);
+    ("ldisj shape = scanner", `Slow, test_ldisj_shape_agrees_with_scanner);
+    ("ldisj shape space", `Quick, test_ldisj_shape_space_logarithmic);
+    ("ldisj shape overflow guard", `Quick, test_ldisj_shape_rejects_oversized_k);
+    ("fingerprint machine", `Slow, test_fingerprint_machine_semantics);
+    ("fingerprint census", `Slow, test_fingerprint_census_is_sketch_sized);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

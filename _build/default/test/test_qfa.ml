@@ -1,0 +1,120 @@
+(* Tests for the QFA extension (paper footnote 2): generic MO-1QFA
+   simulation and the Ambainis–Freivalds divisibility construction. *)
+
+open Mathx
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_step_matrices_unitary () =
+  let rng = Rng.create 70 in
+  List.iter
+    (fun p ->
+      let t = Qfa.Divisibility.make rng ~p ~blocks:3 in
+      check (Printf.sprintf "p=%d unitary" p) true (Qfa.Automaton.check_unitary t 'a'))
+    [ 3; 5; 17 ]
+
+let test_members_accepted_certainly () =
+  let rng = Rng.create 71 in
+  List.iter
+    (fun p ->
+      let t = Qfa.Divisibility.make rng ~p ~blocks:4 in
+      List.iter
+        (fun mult ->
+          checkf
+            (Printf.sprintf "a^(%d*%d)" p mult)
+            1.0
+            (Qfa.Automaton.accept_probability t (String.make (p * mult) 'a')))
+        [ 0; 1; 2 ])
+    [ 3; 5; 11 ]
+
+let test_analytic_matches_simulation () =
+  let rng = Rng.create 72 in
+  let p = 11 in
+  let multipliers = Qfa.Divisibility.random_multipliers rng ~p ~blocks:3 in
+  let t = Qfa.Divisibility.make_with ~multipliers ~p in
+  for i = 0 to (2 * p) - 1 do
+    checkf
+      (Printf.sprintf "a^%d" i)
+      (Qfa.Divisibility.analytic ~multipliers ~p ~i)
+      (Qfa.Automaton.accept_probability t (String.make i 'a'))
+  done
+
+let test_single_block_known_probability () =
+  (* One block with multiplier 1: acceptance of a^i is cos^2(2 pi i / p). *)
+  let p = 5 in
+  let t = Qfa.Divisibility.make_with ~multipliers:[| 1 |] ~p in
+  for i = 0 to 9 do
+    let expected =
+      let c = cos (2.0 *. Float.pi *. float_of_int i /. 5.0) in
+      c *. c
+    in
+    checkf (Printf.sprintf "i=%d" i) expected
+      (Qfa.Automaton.accept_probability t (String.make i 'a'))
+  done
+
+let test_worst_nonmember_below_one () =
+  let rng = Rng.create 73 in
+  let p = 31 in
+  let multipliers = Qfa.Divisibility.random_multipliers rng ~p ~blocks:8 in
+  let t = Qfa.Divisibility.make_with ~multipliers ~p in
+  let worst_sim, witness = Qfa.Divisibility.worst_accept_probability t ~p in
+  let worst_ana, _ = Qfa.Divisibility.worst_analytic ~multipliers ~p in
+  checkf "sim = analytic worst" worst_ana worst_sim;
+  check "witness is a non-member" true (witness >= 1 && witness < p);
+  check "strictly below 1" true (worst_sim < 1.0 -. 1e-6)
+
+let test_blocks_needed_is_succinct () =
+  let rng = Rng.create 74 in
+  List.iter
+    (fun p ->
+      let d = Qfa.Divisibility.blocks_needed rng ~p ~threshold:0.75 in
+      check (Printf.sprintf "p=%d succinct" p) true (2 * d < Qfa.Divisibility.dfa_states ~p);
+      check "at least one block" true (d >= 1))
+    [ 13; 61; 127 ]
+
+let test_rejects_bad_parameters () =
+  Alcotest.check_raises "composite p" (Invalid_argument "Divisibility: p must be a prime >= 3")
+    (fun () -> ignore (Qfa.Divisibility.make (Rng.create 1) ~p:9 ~blocks:2));
+  Alcotest.check_raises "unary alphabet"
+    (Invalid_argument "Divisibility: unary alphabet {a}") (fun () ->
+      let t = Qfa.Divisibility.make (Rng.create 1) ~p:5 ~blocks:1 in
+      ignore (Qfa.Automaton.accept_probability t "b"))
+
+let test_states_reported () =
+  let t = Qfa.Divisibility.make (Rng.create 2) ~p:7 ~blocks:5 in
+  Alcotest.(check int) "2 per block" 10 (Qfa.Automaton.states t)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"acceptance probability is a probability" ~count:100
+      (pair (int_range 0 50) (int_range 1 5))
+      (fun (i, blocks) ->
+        let rng = Rng.create (i + (blocks * 1000)) in
+        let t = Qfa.Divisibility.make rng ~p:13 ~blocks in
+        let p = Qfa.Automaton.accept_probability t (String.make i 'a') in
+        p >= -.1e-9 && p <= 1.0 +. 1e-9);
+    Test.make ~name:"periodicity: a^i and a^(i+p) agree" ~count:50
+      (int_range 0 30)
+      (fun i ->
+        let rng = Rng.create (i * 7) in
+        let multipliers = Qfa.Divisibility.random_multipliers rng ~p:11 ~blocks:3 in
+        Float.abs
+          (Qfa.Divisibility.analytic ~multipliers ~p:11 ~i
+          -. Qfa.Divisibility.analytic ~multipliers ~p:11 ~i:(i + 11))
+        < 1e-9);
+  ]
+
+let suite =
+  [
+    ("step matrices unitary", `Quick, test_step_matrices_unitary);
+    ("members accepted", `Quick, test_members_accepted_certainly);
+    ("analytic = simulation", `Quick, test_analytic_matches_simulation);
+    ("single block closed form", `Quick, test_single_block_known_probability);
+    ("worst non-member", `Quick, test_worst_nonmember_below_one);
+    ("blocks needed succinct", `Quick, test_blocks_needed_is_succinct);
+    ("bad parameters", `Quick, test_rejects_bad_parameters);
+    ("states reported", `Quick, test_states_reported);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

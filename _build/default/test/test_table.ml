@@ -1,0 +1,58 @@
+(* Tests for the table renderer and the experiment registry plumbing. *)
+
+let check = Alcotest.(check bool)
+
+let render ~title ~header rows =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Experiments.Table.print fmt ~title ~header rows;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_alignment () =
+  let out =
+    render ~title:"t" ~header:[ "a"; "long-header"; "c" ]
+      [ [ "1"; "2"; "3" ]; [ "wide-cell"; "x"; "y" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  let data_lines =
+    List.filter
+      (fun l ->
+        String.length l > 0 && (String.length l < 2 || String.sub l 0 2 <> "=="))
+      lines
+  in
+  (* Header and both data rows render at equal width (trailing pad). *)
+  match data_lines with
+  | header :: _sep :: r1 :: r2 :: _ ->
+      check "rows equal width" true
+        (String.length r1 = String.length r2 && String.length header = String.length r1)
+  | _ -> Alcotest.fail "unexpected table layout"
+
+let test_arity_guard () =
+  Alcotest.check_raises "short row rejected"
+    (Invalid_argument "Table.print: row arity mismatch") (fun () ->
+      ignore (render ~title:"t" ~header:[ "a"; "b" ] [ [ "only-one" ] ]))
+
+let test_formatters () =
+  Alcotest.(check string) "float" "3.142" (Experiments.Table.fmt_float 3.14159);
+  Alcotest.(check string) "prob" "0.250" (Experiments.Table.fmt_prob 0.25)
+
+let test_registry_unknown_id () =
+  check "run raises Not_found" true
+    (match Experiments.Registry.run "e99" Format.str_formatter with
+    | exception Not_found -> true
+    | () -> false)
+
+let test_registry_ids_well_formed () =
+  List.iteri
+    (fun i id -> check id true (id = Printf.sprintf "e%d" (i + 1)))
+    Experiments.Registry.ids
+
+let suite =
+  [
+    ("alignment", `Quick, test_alignment);
+    ("arity guard", `Quick, test_arity_guard);
+    ("formatters", `Quick, test_formatters);
+    ("registry unknown id", `Quick, test_registry_unknown_id);
+    ("registry id scheme", `Quick, test_registry_ids_well_formed);
+  ]
