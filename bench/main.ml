@@ -8,7 +8,17 @@
       output): full sweeps by default, or reduced with --quick.
 
    Run with:  dune exec bench/main.exe            (full, ~2 min)
-              dune exec bench/main.exe -- --quick *)
+              dune exec bench/main.exe -- --quick
+
+   Flags:
+     --quick            reduced experiment sweeps
+     --only A,B         keep only kernels whose name contains one of the
+                        comma-separated substrings (e.g. --only e1,e9)
+     --json FILE        write kernel timings as sorted-key JSON (- for stdout)
+     --check BASELINE   compare ns/run against a baseline JSON; exit 1 on
+                        drift beyond --tolerance PCT (default 25%); the OLS
+                        r^2 column is telemetry and is never compared
+     --no-tables        skip the experiment tables *)
 
 open Bechamel
 open Toolkit
@@ -112,33 +122,170 @@ let tests =
              member_k2));
   ]
 
-let run_microbenches () =
+(* Runs the microbenches, prints the classic text table, and returns
+   [(name, ns_per_run option, r_square option)] sorted by name — the
+   rows the JSON emitter and the --check gate both consume. *)
+let run_microbenches tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let raws = Benchmark.all cfg instances (Test.make_grouped ~name:"oqsc" tests) in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raws in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (name, result) ->
+           let estimate =
+             match Analyze.OLS.estimates result with
+             | Some (e :: _) -> Some e
+             | _ -> None
+           in
+           (name, estimate, Analyze.OLS.r_square result))
+  in
   Printf.printf "== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ==\n";
   Printf.printf "%-28s %14s %8s\n" "kernel" "ns/run" "r^2";
   Printf.printf "%s\n" (String.make 52 '-');
-  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (name, result) ->
-         let estimate =
-           match Analyze.OLS.estimates result with
-           | Some (e :: _) -> Printf.sprintf "%14.0f" e
-           | _ -> Printf.sprintf "%14s" "-"
-         in
-         let r2 =
-           match Analyze.OLS.r_square result with
-           | Some r -> Printf.sprintf "%8.4f" r
-           | None -> Printf.sprintf "%8s" "-"
-         in
-         Printf.printf "%-28s %s %s\n" name estimate r2)
+  List.iter
+    (fun (name, estimate, r2) ->
+      let estimate =
+        match estimate with
+        | Some e -> Printf.sprintf "%14.0f" e
+        | None -> Printf.sprintf "%14s" "-"
+      in
+      let r2 =
+        match r2 with
+        | Some r -> Printf.sprintf "%8.4f" r
+        | None -> Printf.sprintf "%8s" "-"
+      in
+      Printf.printf "%-28s %s %s\n" name estimate r2)
+    rows;
+  rows
+
+let kernels_doc ~quick rows =
+  let open Experiments.Json in
+  Obj
+    [
+      ("kind", Str "oqsc-bench");
+      ("version", Int 1);
+      ("seed", Int seed);
+      ("quick", Bool quick);
+      ( "kernels",
+        List
+          (List.map
+             (fun (name, estimate, r2) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ( "ns_per_run",
+                     match estimate with Some e -> Float e | None -> Null );
+                   ("r_square", match r2 with Some r -> Float r | None -> Null);
+                 ])
+             rows) );
+    ]
+
+type opts = {
+  quick : bool;
+  only : string list;
+  json_file : string option;
+  check : string option;
+  tolerance : float;
+  tables : bool;
+}
+
+let usage =
+  "usage: bench/main.exe [--quick] [--only A,B] [--json FILE] [--check BASELINE] [--tolerance PCT] [--no-tables]"
+
+let parse_args () =
+  let rec go opts = function
+    | [] -> opts
+    | "--quick" :: rest -> go { opts with quick = true } rest
+    | "--only" :: spec :: rest ->
+        let only =
+          String.split_on_char ',' spec |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        go { opts with only } rest
+    | "--json" :: file :: rest -> go { opts with json_file = Some file } rest
+    | "--check" :: file :: rest -> go { opts with check = Some file } rest
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some tolerance -> go { opts with tolerance } rest
+        | None ->
+            prerr_endline usage;
+            exit 2)
+    | "--no-tables" :: rest -> go { opts with tables = false } rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n%s\n" arg usage;
+        exit 2
+  in
+  go
+    { quick = false; only = []; json_file = None; check = None;
+      tolerance = 25.0; tables = true }
+    (List.tl (Array.to_list Sys.argv))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
 
 let () =
-  let quick = Array.exists (String.equal "--quick") Sys.argv in
-  run_microbenches ();
-  Printf.printf "\n== Experiment tables (one per DESIGN.md index entry) ==\n";
-  Experiments.Registry.run_all ~quick ~seed Format.std_formatter;
-  Format.pp_print_flush Format.std_formatter ()
+  let opts = parse_args () in
+  let tests =
+    match opts.only with
+    | [] -> tests
+    | wanted ->
+        List.filter
+          (fun t ->
+            List.exists (fun w -> contains_substring (Test.name t) w) wanted)
+          tests
+  in
+  if tests = [] then begin
+    Printf.eprintf "--only matched no kernels\n";
+    exit 2
+  end;
+  let rows = run_microbenches tests in
+  let doc = kernels_doc ~quick:opts.quick rows in
+  (match
+     match opts.json_file with
+     | Some "-" -> print_string (Experiments.Json.to_string doc)
+     | Some path ->
+         Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc (Experiments.Json.to_string doc))
+     | None -> ()
+   with
+  | exception Sys_error msg ->
+      Printf.eprintf "--json: %s\n" msg;
+      exit 2
+  | () -> ());
+  (match opts.check with
+  | None -> ()
+  | Some path -> (
+      match
+        try Ok (In_channel.with_open_text path In_channel.input_all)
+        with Sys_error msg -> Error msg
+      with
+      | Error msg ->
+          Printf.eprintf "--check: %s\n" msg;
+          exit 2
+      | Ok raw ->
+      match Experiments.Json.parse raw with
+      | Error msg ->
+          Printf.eprintf "--check %s: %s\n" path msg;
+          exit 2
+      | Ok baseline ->
+          (* r_square is in Json.default_ignored: only ns/run is gated. *)
+          let drifts = Experiments.Json.diff ~tolerance:opts.tolerance baseline doc in
+          if drifts = [] then
+            Printf.printf "\nbench check OK: kernels within %g%% of %s\n"
+              opts.tolerance path
+          else begin
+            List.iter (fun d -> Printf.eprintf "DRIFT %s\n" d) drifts;
+            Printf.eprintf "bench check FAILED: %d drift(s) beyond %g%% vs %s\n"
+              (List.length drifts) opts.tolerance path;
+            exit 1
+          end));
+  if opts.tables then begin
+    Printf.printf "\n== Experiment tables (one per DESIGN.md index entry) ==\n";
+    Experiments.Registry.run_all ~quick:opts.quick ~seed Format.std_formatter;
+    Format.pp_print_flush Format.std_formatter ()
+  end

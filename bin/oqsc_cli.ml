@@ -5,6 +5,7 @@
              malformed) on stdout
      run   - run a recognizer (quantum / block / naive / sketch) on an input
      ne    - decide the L_NE extension language nondeterministically
+     run-all - run experiments across domains, emit/check JSON results
      exp   - run one experiment (e1..e15) or all of them
      ids   - list experiment ids with descriptions *)
 
@@ -107,6 +108,137 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a recognizer on an input string.")
     Term.(const action $ algo $ input $ budget $ seed)
 
+(* -------------------------------------------------------------- run-all *)
+
+let run_all_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps and trial counts.") in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Comma-separated experiment ids to run (e.g. e3,e9); default all.")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:"Run experiments one after another on a single domain (results are identical; this is a debugging escape hatch).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain count for the parallel runner.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write structured results as sorted-key JSON to FILE (- for stdout).")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:"Print a per-experiment wall-clock summary and include wall_ms in the JSON output (wall_ms breaks byte-for-byte reproducibility; --check always ignores it).")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:"Compare this run against a baseline JSON file and exit non-zero on drift.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.5
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Relative drift allowed per numeric value by --check, in percent.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text tables.")
+  in
+  let action quick seed only sequential domains json_file timing check tolerance quiet =
+    let only =
+      Option.map
+        (fun s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun id -> id <> ""))
+        only
+    in
+    if only = Some [] then
+      `Error (false, "--only selected no experiments; try 'oqsc ids'")
+    else
+    match Experiments.Registry.results ~quick ~seed ~sequential ?domains ?only () with
+    | exception Not_found ->
+        `Error (false, "unknown experiment id in --only; try 'oqsc ids'")
+    | results -> (
+        if not quiet then begin
+          List.iter (Experiments.Report.render Format.std_formatter) results;
+          Format.pp_print_flush Format.std_formatter ()
+        end;
+        if timing then begin
+          Printf.printf "\n== timing (wall-clock per experiment) ==\n";
+          List.iter
+            (fun (r : Experiments.Report.t) ->
+              Printf.printf "%-4s %10.1f ms\n" r.Experiments.Report.id
+                r.Experiments.Report.wall_ms)
+            results;
+          Printf.printf "%-4s %10.1f ms\n" "all"
+            (List.fold_left
+               (fun acc (r : Experiments.Report.t) ->
+                 acc +. r.Experiments.Report.wall_ms)
+               0.0 results)
+        end;
+        let doc ~timing = Experiments.Json.of_results ~timing ~seed ~quick results in
+        match
+          match json_file with
+          | Some "-" ->
+              print_string (Experiments.Json.to_string (doc ~timing))
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc
+                    (Experiments.Json.to_string (doc ~timing)))
+          | None -> ()
+        with
+        | exception Sys_error msg -> `Error (false, "--json: " ^ msg)
+        | () -> (
+        match check with
+        | None -> `Ok ()
+        | Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error msg -> `Error (false, "--check: " ^ msg)
+            | raw ->
+            match Experiments.Json.parse raw with
+            | Error msg -> `Error (false, Printf.sprintf "--check %s: %s" path msg)
+            | Ok baseline ->
+                let drifts =
+                  Experiments.Json.diff ~tolerance baseline (doc ~timing:false)
+                in
+                if drifts = [] then begin
+                  Printf.printf "check OK: %d experiment(s) within %g%% of %s\n"
+                    (List.length results) tolerance path;
+                  `Ok ()
+                end
+                else begin
+                  List.iter (fun d -> Printf.eprintf "DRIFT %s\n" d) drifts;
+                  Printf.eprintf "check FAILED: %d drift(s) beyond %g%% vs %s\n"
+                    (List.length drifts) tolerance path;
+                  exit 1
+                end)))
+  in
+  Cmd.v
+    (Cmd.info "run-all"
+       ~doc:
+         "Run experiments across domains; optionally emit JSON results and gate against a baseline.")
+    Term.(
+      ret
+        (const action $ quick $ seed $ only $ sequential $ domains $ json_file
+       $ timing $ check $ tolerance $ quiet))
+
 (* ------------------------------------------------------------------ exp *)
 
 let exp_cmd =
@@ -161,6 +293,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; exp_cmd; ne_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; exp_cmd; ne_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -78,23 +78,35 @@ let rows ?(quick = false) ~seed () =
       })
     ks
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E10  A2 fingerprint error vs the 2^(-2k) bound"
-    ~header:
-      [ "k"; "trials"; "false pass"; "bound 2^-2k"; "prime bits"; "61-bit false pass" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           string_of_int r.trials;
-           Printf.sprintf "%.5f" r.false_pass;
-           Printf.sprintf "%.5f" r.bound;
-           string_of_int r.prime_bits;
-           Printf.sprintf "%.5f" r.wide_false_pass;
-         ])
-       rs);
-  Format.fprintf fmt
-    "measured error stays below the bound; the 61-bit ablation trades ~%dx register width for a ~0 error@."
-    4
+  let f5 v = Report.float ~text:(Printf.sprintf "%.5f" v) v in
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E10  A2 fingerprint error vs the 2^(-2k) bound"
+          ~header:
+            [ "k"; "trials"; "false pass"; "bound 2^-2k"; "prime bits"; "61-bit false pass" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.int r.trials;
+                 f5 r.false_pass;
+                 f5 r.bound;
+                 Report.int r.prime_bits;
+                 f5 r.wide_false_pass;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "measured error stays below the bound; the 61-bit ablation trades ~%dx register width for a ~0 error"
+          4;
+      ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -79,30 +79,39 @@ let rows ?(quick = false) ~seed () =
       })
     cases
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E11  Lowering A3's circuit to {H, T, CNOT} (Definition 2.3)"
-    ~header:
+  {
+    Report.tables =
       [
-        "k"; "j"; "structured"; "basis"; "optimized"; "T count"; "ancillas";
-        "wire chars"; "roundtrip"; "equivalent"; "opt equiv"; "max dev"; "budget c";
-      ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           string_of_int r.j;
-           string_of_int r.structured_gates;
-           string_of_int r.basis_gates;
-           string_of_int r.optimized_gates;
-           string_of_int r.t_count;
-           string_of_int r.ancillas;
-           string_of_int r.wire_chars;
-           string_of_bool r.wire_roundtrip_ok;
-           string_of_bool r.equivalent;
-           string_of_bool r.optimized_equivalent;
-           Printf.sprintf "%.2e" r.max_deviation;
-           Printf.sprintf "%.2f" r.budget_constant;
-         ])
-       rs)
+        Report.table
+          ~title:"E11  Lowering A3's circuit to {H, T, CNOT} (Definition 2.3)"
+          ~header:
+            [
+              "k"; "j"; "structured"; "basis"; "optimized"; "T count"; "ancillas";
+              "wire chars"; "roundtrip"; "equivalent"; "opt equiv"; "max dev"; "budget c";
+            ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.int r.j;
+                 Report.int r.structured_gates;
+                 Report.int r.basis_gates;
+                 Report.int r.optimized_gates;
+                 Report.int r.t_count;
+                 Report.int r.ancillas;
+                 Report.int r.wire_chars;
+                 Report.bool r.wire_roundtrip_ok;
+                 Report.bool r.equivalent;
+                 Report.bool r.optimized_equivalent;
+                 Report.float ~text:(Printf.sprintf "%.2e" r.max_deviation) r.max_deviation;
+                 Report.float ~text:(Printf.sprintf "%.2f" r.budget_constant) r.budget_constant;
+               ])
+             rs);
+      ];
+    notes = [];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

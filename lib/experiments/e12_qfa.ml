@@ -39,20 +39,28 @@ let rows ?(quick = false) ~seed () =
       })
     primes
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E12  QFA vs DFA succinctness for divisibility (extension: footnote 2)"
-    ~header:[ "p"; "DFA states"; "QFA states"; "log2 p"; "member prob"; "worst non-member" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.p;
-           string_of_int r.dfa_states;
-           string_of_int r.qfa_states;
-           Table.fmt_float r.log2_p;
-           Table.fmt_prob r.member_prob;
-           Table.fmt_prob r.worst_nonmember;
-         ])
-       rs);
-  Format.fprintf fmt "QFA states track O(log p); the DFA column is p itself@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E12  QFA vs DFA succinctness for divisibility (extension: footnote 2)"
+          ~header:[ "p"; "DFA states"; "QFA states"; "log2 p"; "member prob"; "worst non-member" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.p;
+                 Report.int r.dfa_states;
+                 Report.int r.qfa_states;
+                 Report.float r.log2_p;
+                 Report.prob r.member_prob;
+                 Report.prob r.worst_nonmember;
+               ])
+             rs);
+      ];
+    notes = [ "QFA states track O(log p); the DFA column is p itself" ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -77,21 +77,31 @@ let rows ?(quick = false) ~seed () =
       })
     ns
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E13  Nondeterministic vs deterministic online space for L_NE (extension)"
-    ~header:[ "n"; "nondet bits (O(log n))"; "det census"; "det bits (n)"; "correct" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.n;
-           string_of_int r.nondet_space_bits;
-           (if r.n <= 10 then string_of_int r.det_census
-            else "2^" ^ string_of_int r.n);
-           Table.fmt_float r.det_message_bits;
-           string_of_bool r.correct;
-         ])
-       rs);
-  Format.fprintf fmt
-    "guessing machine: 3 log n + O(1) bits; deterministic machines are forced through 2^n configurations@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E13  Nondeterministic vs deterministic online space for L_NE (extension)"
+          ~header:[ "n"; "nondet bits (O(log n))"; "det census"; "det bits (n)"; "correct" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.n;
+                 Report.int r.nondet_space_bits;
+                 (if r.n <= 10 then Report.int r.det_census
+                  else Report.str ("2^" ^ string_of_int r.n));
+                 Report.float r.det_message_bits;
+                 Report.bool r.correct;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "guessing machine: 3 log n + O(1) bits; deterministic machines are forced through 2^n configurations";
+      ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

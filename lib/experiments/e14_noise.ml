@@ -58,22 +58,33 @@ let rows ?(quick = false) ~seed ~k () =
       })
     ps
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let k = 2 in
   let rs = rows ?quick ~seed ~k () in
-  Table.print fmt
-    ~title:
-      (Printf.sprintf
-         "E14  Depolarizing noise vs the Theorem 3.4 guarantees (k=%d, t=1)" k)
-    ~header:[ "noise p"; "member accept (1.0 at p=0)"; "non-member reject (>=0.25)"; "trials" ]
-    (List.map
-       (fun r ->
-         [
-           Printf.sprintf "%.3f" r.p;
-           Table.fmt_prob r.member_accept;
-           Table.fmt_prob r.nonmember_reject;
-           string_of_int r.trials;
-         ])
-       rs);
-  Format.fprintf fmt
-    "perfect completeness is the first casualty; the 1/4 rejection margin survives moderate noise@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:
+            (Printf.sprintf
+               "E14  Depolarizing noise vs the Theorem 3.4 guarantees (k=%d, t=1)" k)
+          ~header:
+            [ "noise p"; "member accept (1.0 at p=0)"; "non-member reject (>=0.25)"; "trials" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.float ~text:(Printf.sprintf "%.3f" r.p) r.p;
+                 Report.prob r.member_accept;
+                 Report.prob r.nonmember_reject;
+                 Report.int r.trials;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "perfect completeness is the first casualty; the 1/4 rejection margin survives moderate noise";
+      ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -19,3 +19,7 @@ type row = {
 
 val rows : ?quick:bool -> seed:int -> k:int -> unit -> row list
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit
+
+val body : ?quick:bool -> seed:int -> unit -> Report.body
+(** Structured result (tables, notes, metrics) that [print] renders and
+    the JSON emitter serializes. *)

@@ -77,21 +77,31 @@ let rows ?(quick = false) ~seed () =
     gallery_row (Program.ldisj_shape ~width:7) shape_workload;
   ]
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E15  Compiled Turing machines: the paper's primitives as real OPTMs"
-    ~header:[ "machine"; "control states"; "longest input"; "steps"; "tape cells"; "agree" ]
-    (List.map
-       (fun r ->
-         [
-           r.machine;
-           string_of_int r.control_states;
-           string_of_int r.sample_input_length;
-           string_of_int r.steps;
-           string_of_int r.tape_cells;
-           string_of_bool r.agree;
-         ])
-       rs);
-  Format.fprintf fmt
-    "the ldisj-shape machine is procedure A1 compiled: its tape is a fixed register file while n grows without bound@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E15  Compiled Turing machines: the paper's primitives as real OPTMs"
+          ~header:[ "machine"; "control states"; "longest input"; "steps"; "tape cells"; "agree" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.str r.machine;
+                 Report.int r.control_states;
+                 Report.int r.sample_input_length;
+                 Report.int r.steps;
+                 Report.int r.tape_cells;
+                 Report.bool r.agree;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "the ldisj-shape machine is procedure A1 compiled: its tape is a fixed register file while n grows without bound";
+      ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

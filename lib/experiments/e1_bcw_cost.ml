@@ -64,24 +64,36 @@ let slope rows =
   in
   fst (Cstats.loglog_slope points)
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E1  BCW quantum protocol cost for DISJ_m (Theorem 3.1)"
-    ~header:
-      [ "k"; "m"; "qb/msg"; "cost(disj)"; "cost(t=1)"; "O(sqrt m log m)"; "classical"; "ok" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           string_of_int r.m;
-           string_of_int r.qubits_per_message;
-           Table.fmt_float r.cost_disjoint;
-           Table.fmt_float r.cost_one_hit;
-           Table.fmt_float r.reference;
-           string_of_int r.classical;
-           string_of_bool r.correct;
-         ])
-       rs);
-  Format.fprintf fmt "fitted slope of cost vs m: %.3f (sqrt scaling ~ 0.5-0.7; classical = 1)@."
-    (slope rs)
+  let s = slope rs in
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E1  BCW quantum protocol cost for DISJ_m (Theorem 3.1)"
+          ~header:
+            [ "k"; "m"; "qb/msg"; "cost(disj)"; "cost(t=1)"; "O(sqrt m log m)"; "classical"; "ok" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.int r.m;
+                 Report.int r.qubits_per_message;
+                 Report.float r.cost_disjoint;
+                 Report.float r.cost_one_hit;
+                 Report.float r.reference;
+                 Report.int r.classical;
+                 Report.bool r.correct;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "fitted slope of cost vs m: %.3f (sqrt scaling ~ 0.5-0.7; classical = 1)" s;
+      ];
+    metrics = [ ("cost_slope_vs_m", s) ];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -23,3 +23,7 @@ val slope : row list -> float
 (** Fitted exponent of measured disjoint-instance cost vs m. *)
 
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit
+
+val body : ?quick:bool -> seed:int -> unit -> Report.body
+(** Structured result (tables, notes, metrics) that [print] renders and
+    the JSON emitter serializes. *)

@@ -37,25 +37,35 @@ let rows ?(quick = false) () =
       })
     ms
 
-let print ?quick fmt =
+let body ?quick () =
   let rs = rows ?quick () in
-  Table.print fmt
-    ~title:"E2  Exact lower-bound certificates for DISJ_m (Theorem 3.2)"
-    ~header:
-      [ "m"; "rows"; "one-way cc"; "fooling set"; "rank GF(2)"; "rank R";
-        "EQ one-way"; "EQ rand bits" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.m;
-           string_of_int r.distinct_rows;
-           string_of_int r.one_way_cc;
-           string_of_int r.fooling_set;
-           string_of_int r.rank_gf2;
-           (match r.rank_real with Some v -> string_of_int v | None -> "-");
-           string_of_int r.eq_one_way;
-           string_of_int r.eq_randomized_bits;
-         ])
-       rs);
-  Format.fprintf fmt
-    "DISJ certificates all full (Omega(m), Thm 3.2); EQ equally hard deterministically but collapses to O(log m) under randomness - a collapse Thm 3.2 rules out for DISJ@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E2  Exact lower-bound certificates for DISJ_m (Theorem 3.2)"
+          ~header:
+            [ "m"; "rows"; "one-way cc"; "fooling set"; "rank GF(2)"; "rank R";
+              "EQ one-way"; "EQ rand bits" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.m;
+                 Report.int r.distinct_rows;
+                 Report.int r.one_way_cc;
+                 Report.int r.fooling_set;
+                 Report.int r.rank_gf2;
+                 Report.opt Report.int r.rank_real;
+                 Report.int r.eq_one_way;
+                 Report.int r.eq_randomized_bits;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "DISJ certificates all full (Omega(m), Thm 3.2); EQ equally hard deterministically but collapses to O(log m) under randomness - a collapse Thm 3.2 rules out for DISJ";
+      ];
+    metrics = [];
+  }
+
+let print ?quick fmt = Report.render_body fmt (body ?quick ())

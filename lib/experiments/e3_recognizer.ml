@@ -93,24 +93,34 @@ let rows ?(quick = false) ~seed () =
         (workloads k))
     ks
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E3  Quantum online recognizer on L_DISJ (Theorem 3.4)"
-    ~header:
-      [ "k"; "workload"; "trials"; "accept rate"; "exact mean"; "closed form"; "bits"; "qubits" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           r.kind;
-           string_of_int r.trials;
-           Table.fmt_prob r.accept_rate;
-           Table.fmt_prob r.mean_exact_accept;
-           (match r.closed_form with Some p -> Table.fmt_prob p | None -> "-");
-           string_of_int r.classical_bits;
-           string_of_int r.qubits;
-         ])
-       rs);
-  Format.fprintf fmt
-    "members: accept rate 1.000 (one-sided); non-members: accept rate <= 0.75 (paper: reject >= 1/4)@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E3  Quantum online recognizer on L_DISJ (Theorem 3.4)"
+          ~header:
+            [ "k"; "workload"; "trials"; "accept rate"; "exact mean"; "closed form"; "bits"; "qubits" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.str r.kind;
+                 Report.int r.trials;
+                 Report.prob r.accept_rate;
+                 Report.prob r.mean_exact_accept;
+                 Report.opt Report.prob r.closed_form;
+                 Report.int r.classical_bits;
+                 Report.int r.qubits;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "members: accept rate 1.000 (one-sided); non-members: accept rate <= 0.75 (paper: reject >= 1/4)";
+      ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

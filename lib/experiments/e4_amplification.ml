@@ -41,18 +41,27 @@ let rows ?(quick = false) ~seed () =
       })
     reps
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E4  Amplification to OQBPL (Corollary 3.5), k=2, t=1"
-    ~header:[ "reps"; "member accept"; "non-member accept"; "(3/4)^r"; "reaches 2/3" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.repetitions;
-           Table.fmt_prob r.member_accept_rate;
-           Table.fmt_prob r.nonmember_accept_rate;
-           Table.fmt_prob r.bound;
-           string_of_bool r.reaches_oqbpl;
-         ])
-       rs)
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E4  Amplification to OQBPL (Corollary 3.5), k=2, t=1"
+          ~header:[ "reps"; "member accept"; "non-member accept"; "(3/4)^r"; "reaches 2/3" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.repetitions;
+                 Report.prob r.member_accept_rate;
+                 Report.prob r.nonmember_accept_rate;
+                 Report.prob r.bound;
+                 Report.bool r.reaches_oqbpl;
+               ])
+             rs);
+      ];
+    notes = [];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -160,34 +160,44 @@ let rows ?(quick = false) () =
    induced protocol sends one configuration (= workspace snapshot) at
    each of the 3*2^k - 1 segment boundaries; Theorem 3.2 demands the
    total beat Omega(m). *)
-let block_protocol_line fmt k =
+let block_protocol_line k =
   let rng = Mathx.Rng.create 65 in
   let inst = Lang.Instance.disjoint_pair rng ~k in
   let r = Oqsc.Classical_block.run ~rng inst.Lang.Instance.input in
   let cuts = (3 * (1 lsl k)) - 1 in
   let total = cuts * r.Oqsc.Classical_block.space_bits in
-  Format.fprintf fmt
-    "Thm 3.6 reduction on the Prop 3.7 algorithm (k=%d): %d cuts x %d-bit configurations = %d bits sent >= Omega(m) = %d, as Thm 3.2 demands@."
+  Printf.sprintf
+    "Thm 3.6 reduction on the Prop 3.7 algorithm (k=%d): %d cuts x %d-bit configurations = %d bits sent >= Omega(m) = %d, as Thm 3.2 demands"
     k cuts r.Oqsc.Classical_block.space_bits total (1 lsl (2 * k))
 
-let print ?quick fmt =
+let body ?quick () =
   let rs = rows ?quick () in
-  Table.print fmt
-    ~title:"E5  Configuration census at cuts -> induced protocol cost (Theorem 3.6)"
-    ~header:
-      [ "machine"; "m"; "family"; "configs@cut"; "msg bits"; "Fact 2.2 log2 cap"; "work cells" ]
-    (List.map
-       (fun r ->
-         [
-           r.machine;
-           string_of_int r.m;
-           string_of_int r.family_size;
-           string_of_int r.configs_at_cut;
-           Table.fmt_float r.message_bits;
-           Table.fmt_float r.fact22_log2_bound;
-           string_of_int r.peak_work_cells;
-         ])
-       rs);
-  Format.fprintf fmt
-    "census regimes: copy = 2^m (forced memory); remember-first = O(1); compiled counter = family size; compiled fingerprint = O(p^2) sketch — the full spectrum Fact 2.2 admits@.";
-  block_protocol_line fmt (if quick = Some true then 2 else 4)
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E5  Configuration census at cuts -> induced protocol cost (Theorem 3.6)"
+          ~header:
+            [ "machine"; "m"; "family"; "configs@cut"; "msg bits"; "Fact 2.2 log2 cap"; "work cells" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.str r.machine;
+                 Report.int r.m;
+                 Report.int r.family_size;
+                 Report.int r.configs_at_cut;
+                 Report.float r.message_bits;
+                 Report.float r.fact22_log2_bound;
+                 Report.int r.peak_work_cells;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        "census regimes: copy = 2^m (forced memory); remember-first = O(1); compiled counter = family size; compiled fingerprint = O(p^2) sketch — the full spectrum Fact 2.2 admits";
+        block_protocol_line (if quick = Some true then 2 else 4);
+      ];
+    metrics = [];
+  }
+
+let print ?quick fmt = Report.render_body fmt (body ?quick ())

@@ -21,3 +21,7 @@ type row = {
 
 val rows : ?quick:bool -> unit -> row list
 val print : ?quick:bool -> Format.formatter -> unit
+
+val body : ?quick:bool -> unit -> Report.body
+(** Structured result (tables, notes, metrics) that [print] renders and
+    the JSON emitter serializes. *)

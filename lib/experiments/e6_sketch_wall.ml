@@ -68,25 +68,33 @@ let rows ?(quick = false) ~seed ~k () =
       })
     budgets
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let k = 3 in
   let rs = rows ?quick ~seed ~k () in
-  Table.print fmt
-    ~title:
-      (Printf.sprintf
-         "E6  Classical sketches against the n^(1/3) wall (k=%d, threshold 2^k=%d bits)" k
-         (1 lsl k))
-    ~header:
-      [ "budget"; "bucket false+"; "subsample miss"; "bits(bucket)"; "bits(subsample)" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.budget;
-           Table.fmt_prob r.bucket_false_claim;
-           Table.fmt_prob r.subsample_miss;
-           string_of_int r.space_bits_bucket;
-           string_of_int r.space_bits_subsample;
-         ])
-       rs);
-  Format.fprintf fmt
-    "errors fall only once the budget clears the 2^k threshold the lower bound predicts@."
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:
+            (Printf.sprintf
+               "E6  Classical sketches against the n^(1/3) wall (k=%d, threshold 2^k=%d bits)"
+               k (1 lsl k))
+          ~header:
+            [ "budget"; "bucket false+"; "subsample miss"; "bits(bucket)"; "bits(subsample)" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.budget;
+                 Report.prob r.bucket_false_claim;
+                 Report.prob r.subsample_miss;
+                 Report.int r.space_bits_bucket;
+                 Report.int r.space_bits_subsample;
+               ])
+             rs);
+      ];
+    notes =
+      [ "errors fall only once the budget clears the 2^k threshold the lower bound predicts" ];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

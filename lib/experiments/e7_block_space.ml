@@ -49,25 +49,37 @@ let storage_slope rows =
     (Cstats.loglog_slope
        (List.map (fun r -> (float_of_int r.n, float_of_int r.storage_bits)) rows))
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  Table.print fmt
-    ~title:"E7  Classical block algorithm: exact in Theta(n^(1/3)) space (Prop. 3.7)"
-    ~header:
-      [ "k"; "n"; "space bits"; "storage bits"; "n^(1/3)"; "space/n^(1/3)"; "member ok"; "intersect ok" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           string_of_int r.n;
-           string_of_int r.space_bits;
-           string_of_int r.storage_bits;
-           Table.fmt_float r.n_cuberoot;
-           Table.fmt_float r.ratio;
-           string_of_bool r.member_ok;
-           string_of_bool r.intersect_ok;
-         ])
-       rs);
-  Format.fprintf fmt
-    "storage term slope vs n: %.3f (theory 1/3); total slope on upper half: %.3f (counters amortize away)@."
-    (storage_slope rs) (slope rs)
+  let storage = storage_slope rs and total = slope rs in
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E7  Classical block algorithm: exact in Theta(n^(1/3)) space (Prop. 3.7)"
+          ~header:
+            [ "k"; "n"; "space bits"; "storage bits"; "n^(1/3)"; "space/n^(1/3)"; "member ok"; "intersect ok" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.int r.n;
+                 Report.int r.space_bits;
+                 Report.int r.storage_bits;
+                 Report.float r.n_cuberoot;
+                 Report.float r.ratio;
+                 Report.bool r.member_ok;
+                 Report.bool r.intersect_ok;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "storage term slope vs n: %.3f (theory 1/3); total slope on upper half: %.3f (counters amortize away)"
+          storage total;
+      ];
+    metrics = [ ("storage_slope", storage); ("total_slope_upper_half", total) ];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

@@ -25,3 +25,7 @@ val storage_slope : row list -> float
 (** Slope of the storage term alone — 1/3 exactly. *)
 
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit
+
+val body : ?quick:bool -> seed:int -> unit -> Report.body
+(** Structured result (tables, notes, metrics) that [print] renders and
+    the JSON emitter serializes. *)

@@ -74,28 +74,44 @@ let fits rows =
     naive_exponent = fst (Cstats.loglog_slope (pts (fun r -> r.naive_bits)));
   }
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let rs = rows ?quick ~seed () in
-  let opt = function Some v -> string_of_int v | None -> "-" in
-  Table.print fmt
-    ~title:"E8  Quantum vs classical online space on L_DISJ (the separation)"
-    ~header:
-      [ "k"; "n"; "quantum bits"; "(qubits)"; "block bits"; "naive bits"; "log2 n"; "n^(1/3)" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.k;
-           string_of_int r.n;
-           opt r.quantum_total_bits;
-           opt r.quantum_qubits;
-           string_of_int r.classical_block_bits;
-           string_of_int r.naive_bits;
-           Table.fmt_float r.log2_n;
-           Table.fmt_float r.n_cuberoot;
-         ])
-       rs);
   let f = fits rs in
   let a, b = f.quantum_vs_log in
-  Format.fprintf fmt
-    "quantum ~ %.2f * log2 n %+.2f bits (Thm 3.4: O(log n)); block exponent %.3f -> 1/3 (Prop 3.7); naive exponent %.3f -> 2/3@."
-    a b f.block_exponent f.naive_exponent
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:"E8  Quantum vs classical online space on L_DISJ (the separation)"
+          ~header:
+            [ "k"; "n"; "quantum bits"; "(qubits)"; "block bits"; "naive bits"; "log2 n"; "n^(1/3)" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.k;
+                 Report.int r.n;
+                 Report.opt Report.int r.quantum_total_bits;
+                 Report.opt Report.int r.quantum_qubits;
+                 Report.int r.classical_block_bits;
+                 Report.int r.naive_bits;
+                 Report.float r.log2_n;
+                 Report.float r.n_cuberoot;
+               ])
+             rs);
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "quantum ~ %.2f * log2 n %+.2f bits (Thm 3.4: O(log n)); block exponent %.3f -> 1/3 (Prop 3.7); naive exponent %.3f -> 2/3"
+          a b f.block_exponent f.naive_exponent;
+      ];
+    metrics =
+      [
+        ("quantum_fit_slope", a);
+        ("quantum_fit_intercept", b);
+        ("block_exponent", f.block_exponent);
+        ("naive_exponent", f.naive_exponent);
+      ];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

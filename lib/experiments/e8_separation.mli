@@ -31,3 +31,7 @@ type fit = {
 val rows : ?quick:bool -> seed:int -> unit -> row list
 val fits : row list -> fit
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit
+
+val body : ?quick:bool -> seed:int -> unit -> Report.body
+(** Structured result (tables, notes, metrics) that [print] renders and
+    the JSON emitter serializes. *)

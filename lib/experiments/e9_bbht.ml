@@ -67,22 +67,33 @@ let rows ?(quick = false) ~seed ~k () =
       })
     ts
 
-let print ?quick ~seed fmt =
+let body ?quick ~seed () =
   let k = 3 in
   let rs = rows ?quick ~seed ~k () in
-  Table.print fmt
-    ~title:
-      (Printf.sprintf "E9  A3 rejection probability vs BBHT closed form (k=%d, m=%d)" k
-         (1 lsl (2 * k)))
-    ~header:[ "t"; "simulated"; "closed form"; "finite sum"; ">= 1/4"; "BBHT-doubling found" ]
-    (List.map
-       (fun r ->
-         [
-           string_of_int r.t;
-           Printf.sprintf "%.5f" r.simulated;
-           Printf.sprintf "%.5f" r.closed_form;
-           Printf.sprintf "%.5f" r.by_sum;
-           string_of_bool r.above_quarter;
-           Table.fmt_prob r.bbht_schedule_found;
-         ])
-       rs)
+  let f5 v = Report.float ~text:(Printf.sprintf "%.5f" v) v in
+  {
+    Report.tables =
+      [
+        Report.table
+          ~title:
+            (Printf.sprintf "E9  A3 rejection probability vs BBHT closed form (k=%d, m=%d)"
+               k (1 lsl (2 * k)))
+          ~header:
+            [ "t"; "simulated"; "closed form"; "finite sum"; ">= 1/4"; "BBHT-doubling found" ]
+          (List.map
+             (fun r ->
+               [
+                 Report.int r.t;
+                 f5 r.simulated;
+                 f5 r.closed_form;
+                 f5 r.by_sum;
+                 Report.bool r.above_quarter;
+                 Report.prob r.bbht_schedule_found;
+               ])
+             rs);
+      ];
+    notes = [];
+    metrics = [];
+  }
+
+let print ?quick ~seed fmt = Report.render_body fmt (body ?quick ~seed ())

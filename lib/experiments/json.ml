@@ -1,0 +1,398 @@
+(* Minimal self-contained JSON for the experiment/bench result pipeline.
+
+   Three pieces, no external dependency:
+
+   - a stable emitter: object keys are sorted and floats use one fixed
+     format, so two equal documents are byte-identical — the property
+     the seed-determinism contract of `run-all --json` rests on;
+   - a parser (strict enough for documents this module emits, plus
+     ordinary hand-edited baselines);
+   - a structural diff with a relative tolerance on numeric leaves,
+     which is what `--check BASELINE.json --tolerance PCT` runs.
+
+   Keys listed in [default_ignored] (telemetry: wall-clock, OLS r²) are
+   excluded from the diff on either side, so a baseline recorded with
+   `--timing` still checks cleanly against a run without it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------- emit *)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.12g" v
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (float_repr f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            go (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        let fields =
+          List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+        in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (key, value) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape key);
+            Buffer.add_string buf "\": ";
+            go (indent + 2) value)
+          fields;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------ parse *)
+
+exception Parse_error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with _ -> fail "invalid \\u escape"
+             in
+             (* Code points below 0x80 decode directly; the emitter only
+                produces those.  Anything wider becomes UTF-8. *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+         | _ -> fail "invalid escape");
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let rec scan () =
+      match peek () with
+      | Some ('0' .. '9') ->
+          advance ();
+          scan ()
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+          is_float := true;
+          advance ();
+          scan ()
+      | _ -> ()
+    in
+    scan ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "invalid number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "invalid number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            fields := (key, value) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let value = parse_value () in
+            items := value :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------- diff *)
+
+let default_ignored = [ "wall_ms"; "r_square"; "generated_at" ]
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ | Float _ -> "number"
+  | Str _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"
+
+(* Relative drift in percent between a baseline and a current numeric
+   leaf; equal values (including two NaN/infinite floats) drift 0%. *)
+let drift_pct a b =
+  if a = b then 0.0
+  else if not (Float.is_finite a && Float.is_finite b) then Float.infinity
+  else
+    100.0 *. Float.abs (a -. b)
+    /. Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b))
+
+let diff ?(tolerance = 0.0) ?(ignored = default_ignored) baseline current =
+  let drifts = ref [] in
+  let report path msg = drifts := Printf.sprintf "%s: %s" path msg :: !drifts in
+  (* Numbers compare as they serialize: a freshly computed float and the
+     same value parsed back from its 12-significant-digit document form
+     must drift 0%, so a run gates against its own baseline at
+     --tolerance 0. *)
+  let canonical f = if Float.is_finite f then float_of_string (float_repr f) else f in
+  let number = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some (canonical f)
+    | _ -> None
+  in
+  let rec walk path a b =
+    match (number a, number b) with
+    | Some na, Some nb ->
+        let d = drift_pct na nb in
+        if d > tolerance then
+          report path
+            (Printf.sprintf "%s -> %s (drift %.3g%% > tolerance %g%%)"
+               (float_repr na) (float_repr nb) d tolerance)
+    | _ -> (
+        match (a, b) with
+        | Null, Null -> ()
+        | Bool x, Bool y -> if x <> y then report path (Printf.sprintf "%b -> %b" x y)
+        | Str x, Str y ->
+            if not (String.equal x y) then
+              report path (Printf.sprintf "%S -> %S" x y)
+        | List xs, List ys ->
+            if List.length xs <> List.length ys then
+              report path
+                (Printf.sprintf "array length %d -> %d" (List.length xs)
+                   (List.length ys))
+            else
+              List.iteri
+                (fun i (x, y) -> walk (Printf.sprintf "%s[%d]" path i) x y)
+                (List.combine xs ys)
+        | Obj xs, Obj ys ->
+            let keys fields =
+              List.filter
+                (fun k -> not (List.mem k ignored))
+                (List.map fst fields)
+              |> List.sort_uniq String.compare
+            in
+            let all = List.sort_uniq String.compare (keys xs @ keys ys) in
+            List.iter
+              (fun k ->
+                let sub = if path = "" then k else path ^ "." ^ k in
+                match (List.assoc_opt k xs, List.assoc_opt k ys) with
+                | Some x, Some y -> walk sub x y
+                | Some _, None -> report sub "missing in current"
+                | None, Some _ -> report sub "missing in baseline"
+                | None, None -> ())
+              all
+        | _ ->
+            report path
+              (Printf.sprintf "type %s -> %s" (type_name a) (type_name b)))
+  in
+  walk "" baseline current;
+  List.rev !drifts
+
+(* ------------------------------------- experiment result conversion *)
+
+let of_cell = function
+  | Report.Null -> Null
+  | Report.Bool b -> Bool b
+  | Report.Int i -> Int i
+  | Report.Float { value; _ } -> Float value
+  | Report.Str s -> Str s
+
+let of_table (tb : Report.table) =
+  Obj
+    [
+      ("title", Str tb.Report.title);
+      ("header", List (List.map (fun h -> Str h) tb.Report.header));
+      ( "rows",
+        List (List.map (fun row -> List (List.map of_cell row)) tb.Report.rows)
+      );
+    ]
+
+let of_result ?(timing = false) (r : Report.t) =
+  let base =
+    [
+      ("id", Str r.Report.id);
+      ("description", Str r.Report.description);
+      ( "metrics",
+        Obj (List.map (fun (k, v) -> (k, Float v)) r.Report.body.Report.metrics)
+      );
+      ("notes", List (List.map (fun s -> Str s) r.Report.body.Report.notes));
+      ("tables", List (List.map of_table r.Report.body.Report.tables));
+    ]
+  in
+  Obj (if timing then ("wall_ms", Float r.Report.wall_ms) :: base else base)
+
+let of_results ?timing ~seed ~quick results =
+  Obj
+    [
+      ("kind", Str "oqsc-experiments");
+      ("version", Int 1);
+      ("seed", Int seed);
+      ("quick", Bool quick);
+      ("experiments", List (List.map (of_result ?timing) results));
+    ]

@@ -1,51 +1,56 @@
+open Mathx
+
+(* Each catalogue entry builds a structured [Report.body]; identity,
+   seed, and wall-clock telemetry are attached here.  Text output is
+   [Report.render] over the same record the JSON emitter consumes. *)
 let catalogue :
-    (string * string * (quick:bool -> seed:int -> Format.formatter -> unit)) list =
+    (string * string * (quick:bool -> seed:int -> Report.body)) list =
   [
     ( "e1",
       "BCW quantum protocol cost for DISJ (Thm 3.1)",
-      fun ~quick ~seed fmt -> E1_bcw_cost.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E1_bcw_cost.body ~quick ~seed () );
     ( "e2",
       "exact communication lower-bound certificates (Thm 3.2)",
-      fun ~quick ~seed:_ fmt -> E2_exact_cc.print ~quick fmt );
+      fun ~quick ~seed:_ -> E2_exact_cc.body ~quick () );
     ( "e3",
       "quantum online recognizer on L_DISJ (Thm 3.4)",
-      fun ~quick ~seed fmt -> E3_recognizer.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E3_recognizer.body ~quick ~seed () );
     ( "e4",
       "amplification to OQBPL (Cor 3.5)",
-      fun ~quick ~seed fmt -> E4_amplification.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E4_amplification.body ~quick ~seed () );
     ( "e5",
       "configuration census at cuts (Thm 3.6 mechanics)",
-      fun ~quick ~seed:_ fmt -> E5_census.print ~quick fmt );
+      fun ~quick ~seed:_ -> E5_census.body ~quick () );
     ( "e6",
       "classical sketches against the n^(1/3) wall (Thm 3.6 consequence)",
-      fun ~quick ~seed fmt -> E6_sketch_wall.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E6_sketch_wall.body ~quick ~seed () );
     ( "e7",
       "classical block algorithm space (Prop 3.7)",
-      fun ~quick ~seed fmt -> E7_block_space.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E7_block_space.body ~quick ~seed () );
     ( "e8",
       "quantum vs classical online space (the separation)",
-      fun ~quick ~seed fmt -> E8_separation.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E8_separation.body ~quick ~seed () );
     ( "e9",
       "A3 rejection probability vs BBHT closed form (§3.2)",
-      fun ~quick ~seed fmt -> E9_bbht.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E9_bbht.body ~quick ~seed () );
     ( "e10",
       "A2 fingerprint error bound (§3.2)",
-      fun ~quick ~seed fmt -> E10_fingerprint.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E10_fingerprint.body ~quick ~seed () );
     ( "e11",
       "lowering A3's circuit to {H,T,CNOT} (Def 2.3)",
-      fun ~quick ~seed fmt -> E11_lowering.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E11_lowering.body ~quick ~seed () );
     ( "e12",
       "QFA vs DFA succinctness (footnote 2 extension)",
-      fun ~quick ~seed fmt -> E12_qfa.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E12_qfa.body ~quick ~seed () );
     ( "e13",
       "nondeterministic online space separation for L_NE (§1 extension)",
-      fun ~quick ~seed fmt -> E13_nondet.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E13_nondet.body ~quick ~seed () );
     ( "e14",
       "depolarizing noise vs the Theorem 3.4 guarantees (extension)",
-      fun ~quick ~seed fmt -> E14_noise.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E14_noise.body ~quick ~seed () );
     ( "e15",
       "compiled Turing machines: the paper's primitives as real OPTMs (extension)",
-      fun ~quick ~seed fmt -> E15_compiled.print ~quick ~seed fmt );
+      fun ~quick ~seed -> E15_compiled.body ~quick ~seed () );
   ]
 
 let ids = List.map (fun (id, _, _) -> id) catalogue
@@ -59,8 +64,38 @@ let description id =
   let _, d, _ = find id in
   d
 
-let run ?(quick = false) ?(seed = 2006) id fmt =
-  let _, _, runner = find id in
-  runner ~quick ~seed fmt
+(* Run one experiment to its structured result.  Results depend only on
+   (id, quick, seed) — every experiment derives all randomness from its
+   own [Rng.create seed] — so parallel and sequential execution agree
+   bit for bit; [wall_ms] is telemetry, not part of that contract. *)
+let result ?(quick = false) ?(seed = 2006) id : Report.t =
+  let _, description, build = find id in
+  let t0 = Unix.gettimeofday () in
+  let body = build ~quick ~seed in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  { Report.id; description; seed; quick; wall_ms; body }
 
-let run_all ?quick ?seed fmt = List.iter (fun id -> run ?quick ?seed id fmt) ids
+(* Run a selection of experiments (default: all, in catalogue order)
+   across domains.  [only] filters by id, preserving catalogue order;
+   an unknown id raises [Not_found] before any work starts.
+   [sequential] forces a single domain (the --sequential escape hatch);
+   otherwise [domains] defaults to [Parallel.recommended_domains]. *)
+let results ?(quick = false) ?(seed = 2006) ?(sequential = false) ?domains
+    ?only () : Report.t list =
+  let selected =
+    match only with
+    | None -> ids
+    | Some wanted ->
+        List.iter (fun id -> ignore (find id)) wanted;
+        List.filter (fun id -> List.mem id wanted) ids
+  in
+  let arr = Array.of_list selected in
+  let domains = if sequential then Some 1 else domains in
+  Parallel.map_chunks ?domains ~chunks:(Array.length arr)
+    (fun ~chunk ~rng:_ -> result ~quick ~seed arr.(chunk))
+    ~rng:(Rng.create seed)
+
+let run ?quick ?seed id fmt = Report.render fmt (result ?quick ?seed id)
+
+let run_all ?quick ?seed fmt =
+  List.iter (Report.render fmt) (results ?quick ?seed ())

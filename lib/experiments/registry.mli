@@ -1,5 +1,11 @@
-(** Experiment registry: id -> runner, shared by the CLI and the bench
-    harness.  Ids match the per-experiment index in DESIGN.md. *)
+(** Experiment registry: id -> structured runner, shared by the CLI and
+    the bench harness.  Ids match the per-experiment index in DESIGN.md.
+
+    Every experiment yields a typed {!Report.t} (tables of named cells,
+    notes, metrics, plus seed and wall-clock metadata); the text tables
+    and the JSON document are renderers over that record.  Results are a
+    pure function of (id, quick, seed) — wall-clock telemetry aside — so
+    parallel and sequential execution produce identical output. *)
 
 val ids : string list
 (** ["e1"; ...; "e15"], in order. *)
@@ -7,8 +13,30 @@ val ids : string list
 val description : string -> string
 (** One-line description of an experiment id.  @raise Not_found. *)
 
+val result : ?quick:bool -> ?seed:int -> string -> Report.t
+(** Runs one experiment to its structured result.  Default seed 2006
+    (the paper's year), quick = false.  @raise Not_found for unknown
+    ids. *)
+
+val results :
+  ?quick:bool ->
+  ?seed:int ->
+  ?sequential:bool ->
+  ?domains:int ->
+  ?only:string list ->
+  unit ->
+  Report.t list
+(** Runs a selection of experiments (default: all of them) across
+    domains via {!Mathx.Parallel.map_chunks} and returns the results in
+    catalogue order.  [only] filters by id (catalogue order is
+    preserved; @raise Not_found on an unknown id before any work
+    starts).  [sequential:true] forces a single domain — the
+    [--sequential] escape hatch; otherwise [domains] defaults to
+    {!Mathx.Parallel.recommended_domains}. *)
+
 val run : ?quick:bool -> ?seed:int -> string -> Format.formatter -> unit
-(** Runs one experiment and prints its table.  Default seed 2006 (the
-    paper's year), quick = false.  @raise Not_found for unknown ids. *)
+(** Runs one experiment and prints its table.  @raise Not_found. *)
 
 val run_all : ?quick:bool -> ?seed:int -> Format.formatter -> unit
+(** Runs every experiment (in parallel) and prints the tables in
+    catalogue order. *)

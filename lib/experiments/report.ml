@@ -1,0 +1,67 @@
+(* Typed experiment results.
+
+   Every experiment produces a [body]: tables of typed cells plus
+   free-form footer notes and named numeric metrics (fitted slopes,
+   exponents — the quantities regression checks care about).  The
+   registry wraps a body with identity, seed, and wall-clock metadata
+   into a [t].  The classic text tables (Table.print) and the JSON
+   document (Json) are both renderers over this record, so they cannot
+   drift apart. *)
+
+type cell =
+  | Null  (** rendered "-" in text, [null] in JSON *)
+  | Bool of bool
+  | Int of int
+  | Float of { value : float; text : string }
+      (** [value] feeds JSON and regression checks; [text] is the exact
+          string the text renderer prints (experiments pick their own
+          precision per column). *)
+  | Str of string
+
+let null = Null
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+
+let float ?text value =
+  let text = match text with Some t -> t | None -> Table.fmt_float value in
+  Float { value; text }
+
+let prob v = float ~text:(Table.fmt_prob v) v
+let opt f = function Some v -> f v | None -> Null
+
+let to_text = function
+  | Null -> "-"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float { text; _ } -> text
+  | Str s -> s
+
+type table = { title : string; header : string list; rows : cell list list }
+
+let table ~title ~header rows = { title; header; rows }
+
+type body = {
+  tables : table list;
+  notes : string list;
+  metrics : (string * float) list;
+}
+
+type t = {
+  id : string;
+  description : string;
+  seed : int;
+  quick : bool;
+  wall_ms : float;  (** wall-clock of the body computation, telemetry only *)
+  body : body;
+}
+
+let render_body fmt body =
+  List.iter
+    (fun tb ->
+      Table.print fmt ~title:tb.title ~header:tb.header
+        (List.map (List.map to_text) tb.rows))
+    body.tables;
+  List.iter (fun note -> Format.fprintf fmt "%s@." note) body.notes
+
+let render fmt t = render_body fmt t.body

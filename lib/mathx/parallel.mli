@@ -1,22 +1,34 @@
 (** Embarrassingly parallel helpers over OCaml 5 domains.
 
     The Monte-Carlo experiments run thousands of independent recognizer
-    passes; this module spreads them over the machine's cores.  No shared
-    mutable state crosses domains: each chunk gets its own split of the
-    caller's PRNG, so results are deterministic for a fixed seed and
-    domain count. *)
+    passes; this module spreads them over the machine's cores.  The
+    central contract is {e seed determinism}: the caller's PRNG is split
+    sequentially into one independent stream per chunk {e before} any
+    domain is spawned, so every result is a pure function of ([chunks],
+    [rng]) and is bit-identical for any [domains] value — parallelism
+    changes wall-clock time only, never output. *)
 
 val recommended_domains : unit -> int
-(** [max 1 (cores - 1)], capped at 8. *)
+(** [max 1 (cores - 1)], capped at 8 so nested parallel sections cannot
+    oversubscribe the machine. *)
 
 val map_chunks :
   ?domains:int -> chunks:int -> (chunk:int -> rng:Rng.t -> 'a) -> rng:Rng.t -> 'a list
 (** [map_chunks ~chunks f ~rng] evaluates [f ~chunk:i ~rng:rng_i] for
     i = 0..chunks-1 across domains, where [rng_i] is the i-th split of
-    [rng] (split sequentially, so the work split is independent of the
-    domain count).  Results are returned in chunk order. *)
+    [rng] (split sequentially up front, advancing [rng], so the work
+    split is independent of the domain count).  Results are returned in
+    chunk order.
+
+    Edge cases:
+    - [chunks = 0] returns [[]] and consumes no randomness;
+    - [chunks < 0] raises [Invalid_argument];
+    - [domains <= 1] (including [0] and negative values) runs entirely
+      on the calling domain; omitting it uses [recommended_domains ()]. *)
 
 val count_successes :
   ?domains:int -> trials:int -> (Rng.t -> bool) -> rng:Rng.t -> int
 (** Runs [trials] independent boolean trials (one PRNG split each) in
-    parallel and counts the [true]s — the Monte-Carlo kernel. *)
+    parallel and counts the [true]s — the Monte-Carlo kernel.  Agrees
+    with the sequential fold that splits [rng] once per trial in order.
+    [trials = 0] returns [0]; [trials < 0] raises [Invalid_argument]. *)

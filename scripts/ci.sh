@@ -1,0 +1,38 @@
+#!/bin/sh
+# CI gate: build, tests, then a --quick smoke of the JSON result
+# pipeline — the emitted document must parse (the CLI's own --check
+# re-reads it) and round-trip through the regression gate at zero
+# tolerance. Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== run-all JSON smoke =="
+# Emit a quick baseline, then check the very same run against it: this
+# exercises the emitter, the parser, and the differ end to end, and
+# fails if the document stopped being byte-deterministic.
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --json "$tmp/exp.json"
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+  --check "$tmp/exp.json" --tolerance 0.0
+
+# Parallel and sequential runs must produce identical bytes.
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --sequential \
+  --json "$tmp/exp_seq.json"
+cmp "$tmp/exp.json" "$tmp/exp_seq.json"
+
+echo "== bench JSON smoke =="
+# One cheap kernel group; wall-clock varies, so gate only the shape
+# (names present, document parses) with a very loose tolerance.
+dune exec bench/main.exe -- --quick --no-tables --only e2 --json "$tmp/bench.json"
+dune exec bench/main.exe -- --quick --no-tables --only e2 \
+  --check "$tmp/bench.json" --tolerance 90
+
+echo "== ci OK =="

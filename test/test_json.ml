@@ -1,0 +1,155 @@
+(* Golden and property tests for the JSON emitter / parser / diff that
+   back `run-all --json` and `--check`. *)
+
+open Experiments
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let sample =
+  Json.Obj
+    [
+      ("b", Json.Int 2);
+      ( "a",
+        Json.List
+          [ Json.Str "x\"y"; Json.Float 0.25; Json.Null; Json.Bool true ] );
+      ("c", Json.Obj []);
+    ]
+
+(* The emitter's exact bytes are the contract `--json` reproducibility
+   rests on: sorted keys, two-space indent, fixed float format, trailing
+   newline.  Changing any of this must be a deliberate golden update. *)
+let test_golden_emit () =
+  let expected =
+    "{\n\
+    \  \"a\": [\n\
+    \    \"x\\\"y\",\n\
+    \    0.25,\n\
+    \    null,\n\
+    \    true\n\
+    \  ],\n\
+    \  \"b\": 2,\n\
+    \  \"c\": {}\n\
+     }\n"
+  in
+  check_str "golden document" expected (Json.to_string sample)
+
+let test_float_format () =
+  check_str "integral float keeps .0" "{\n  \"x\": 2.0\n}\n"
+    (Json.to_string (Json.Obj [ ("x", Json.Float 2.0) ]));
+  check_str "non-finite becomes null" "{\n  \"x\": null\n}\n"
+    (Json.to_string (Json.Obj [ ("x", Json.Float Float.nan) ]))
+
+let test_parse_roundtrip () =
+  match Json.parse (Json.to_string sample) with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+      check_str "canonical roundtrip" (Json.to_string sample)
+        (Json.to_string parsed)
+
+let test_parse_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  check "truncated object" true (bad "{\"a\": 1");
+  check "trailing garbage" true (bad "{} x");
+  check "bare word" true (bad "flse")
+
+let test_diff_identical () =
+  Alcotest.(check (list string)) "no drift against itself" []
+    (Json.diff sample sample)
+
+let test_diff_tolerance () =
+  let base = Json.Obj [ ("v", Json.Float 100.0) ] in
+  let close = Json.Obj [ ("v", Json.Float 102.0) ] in
+  let far = Json.Obj [ ("v", Json.Float 140.0) ] in
+  Alcotest.(check (list string)) "within tolerance" []
+    (Json.diff ~tolerance:5.0 base close);
+  check "beyond tolerance flagged" true
+    (Json.diff ~tolerance:5.0 base far <> []);
+  (* Int vs Float compare as numbers. *)
+  Alcotest.(check (list string)) "int ~ float" []
+    (Json.diff ~tolerance:5.0
+       (Json.Obj [ ("v", Json.Int 100) ])
+       (Json.Obj [ ("v", Json.Float 101.0) ]))
+
+let test_diff_structure () =
+  let base = Json.Obj [ ("s", Json.Str "hello"); ("n", Json.Int 1) ] in
+  check "string change flagged" true
+    (Json.diff base (Json.Obj [ ("s", Json.Str "bye"); ("n", Json.Int 1) ])
+    <> []);
+  check "missing key flagged" true
+    (Json.diff base (Json.Obj [ ("n", Json.Int 1) ]) <> []);
+  check "array length change flagged" true
+    (Json.diff
+       (Json.List [ Json.Int 1 ])
+       (Json.List [ Json.Int 1; Json.Int 2 ])
+    <> [])
+
+let test_diff_serialization_precision () =
+  (* A float carries more precision than its 12-significant-digit
+     serialized form; parsing the document back and diffing against the
+     original must still report zero drift, or a run could never gate
+     against its own baseline at --tolerance 0. *)
+  let doc = Json.Obj [ ("v", Json.Float 0.5962068045632149) ] in
+  match Json.parse (Json.to_string doc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+      Alcotest.(check (list string)) "round-trip drifts 0%" []
+        (Json.diff ~tolerance:0.0 parsed doc)
+
+let test_diff_ignored_keys () =
+  (* wall_ms is telemetry: a baseline recorded with --timing must check
+     cleanly against a run without it, and vice versa. *)
+  let with_timing =
+    Json.Obj [ ("id", Json.Str "e1"); ("wall_ms", Json.Float 12.5) ]
+  in
+  let without = Json.Obj [ ("id", Json.Str "e1") ] in
+  Alcotest.(check (list string)) "wall_ms ignored both ways" []
+    (Json.diff with_timing without @ Json.diff without with_timing)
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) small_signed_int;
+                map (fun f -> Json.Float f) (float_bound_inclusive 1e6);
+                map (fun s -> Json.Str s) string_printable;
+              ]
+          in
+          if n = 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair string_printable (self (n / 2))));
+              ]))
+  in
+  QCheck.Test.make ~name:"parse . to_string = canonical identity" ~count:200
+    (QCheck.make gen) (fun doc ->
+      match Json.parse (Json.to_string doc) with
+      | Error _ -> false
+      | Ok parsed -> Json.to_string parsed = Json.to_string doc)
+
+let suite =
+  [
+    ("golden emit", `Quick, test_golden_emit);
+    ("float format", `Quick, test_float_format);
+    ("parse roundtrip", `Quick, test_parse_roundtrip);
+    ("parse errors", `Quick, test_parse_errors);
+    ("diff identical", `Quick, test_diff_identical);
+    ("diff tolerance", `Quick, test_diff_tolerance);
+    ("diff structure", `Quick, test_diff_structure);
+    ("diff serialization precision", `Quick, test_diff_serialization_precision);
+    ("diff ignored keys", `Quick, test_diff_ignored_keys);
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -19,6 +19,9 @@ let () =
       ("qfa", Test_qfa.suite);
       ("experiments", Test_experiments.suite);
       ("table+registry", Test_table.suite);
+      ("parallel", Test_parallel.suite);
+      ("json", Test_json.suite);
+      ("runner", Test_runner.suite);
       ("integration", Test_integration.suite);
       ("edges", Test_edges.suite);
     ]

@@ -28,6 +28,31 @@ let test_alignment () =
         (String.length r1 = String.length r2 && String.length header = String.length r1)
   | _ -> Alcotest.fail "unexpected table layout"
 
+(* Exact-bytes golden: column widths, two-space gutter, trailing pad,
+   title and separator lines.  A renderer change must update this
+   deliberately (EXPERIMENTS.md quotes this format verbatim). *)
+let test_golden () =
+  let out =
+    render ~title:"t" ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let expected = "\n== t ==\na    bb\n-------\n1    2 \n333  4 \n" in
+  Alcotest.(check string) "golden table" expected out
+
+let test_golden_cells () =
+  (* The Report cell -> text mapping the table renderer consumes. *)
+  Alcotest.(check string) "null" "-" (Experiments.Report.to_text Experiments.Report.null);
+  Alcotest.(check string) "bool" "true"
+    (Experiments.Report.to_text (Experiments.Report.bool true));
+  Alcotest.(check string) "int" "42"
+    (Experiments.Report.to_text (Experiments.Report.int 42));
+  Alcotest.(check string) "float default" "3.142"
+    (Experiments.Report.to_text (Experiments.Report.float 3.14159));
+  Alcotest.(check string) "float custom text" "3.14"
+    (Experiments.Report.to_text
+       (Experiments.Report.float ~text:"3.14" 3.14159));
+  Alcotest.(check string) "prob" "0.250"
+    (Experiments.Report.to_text (Experiments.Report.prob 0.25))
+
 let test_arity_guard () =
   Alcotest.check_raises "short row rejected"
     (Invalid_argument "Table.print: row arity mismatch") (fun () ->
@@ -51,6 +76,8 @@ let test_registry_ids_well_formed () =
 let suite =
   [
     ("alignment", `Quick, test_alignment);
+    ("golden render", `Quick, test_golden);
+    ("golden cells", `Quick, test_golden_cells);
     ("arity guard", `Quick, test_arity_guard);
     ("formatters", `Quick, test_formatters);
     ("registry unknown id", `Quick, test_registry_unknown_id);
