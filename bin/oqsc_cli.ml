@@ -6,6 +6,8 @@
      run   - run a recognizer (quantum / block / naive / sketch) on an input
      ne    - decide the L_NE extension language nondeterministically
      run-all - run experiments across domains, emit/check JSON results
+     space-audit - fit space-scaling exponents and gate them against
+             the paper's bands
      exp   - run one experiment (e1..e15) or all of them
      ids   - list experiment ids with descriptions *)
 
@@ -239,6 +241,55 @@ let run_all_cmd =
         (const action $ quick $ seed $ only $ sequential $ domains $ json_file
        $ timing $ check $ tolerance $ quiet))
 
+(* ---------------------------------------------------------- space-audit *)
+
+let space_audit_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced k sweep and simulation cap.") in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the audit document as sorted-key JSON to FILE (- for stdout).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text table.")
+  in
+  let action quick seed json_file quiet =
+    let a = Experiments.Space_audit.audit ~quick ~seed () in
+    if not quiet then begin
+      Experiments.Report.render_body Format.std_formatter
+        (Experiments.Space_audit.body a);
+      Format.pp_print_flush Format.std_formatter ()
+    end;
+    let doc = Experiments.Space_audit.to_json ~seed ~quick a in
+    match
+      match json_file with
+      | Some "-" -> print_string (Experiments.Json.to_string doc)
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Experiments.Json.to_string doc))
+      | None -> ()
+    with
+    | exception Sys_error msg -> `Error (false, "--json: " ^ msg)
+    | () ->
+        if Experiments.Space_audit.passed a then `Ok ()
+        else begin
+          Printf.eprintf
+            "space-audit FAILED: classical_ok=%b quantum_ok=%b\n"
+            a.Experiments.Space_audit.verdict
+              .Experiments.Space_audit.classical_ok
+            a.Experiments.Space_audit.verdict.Experiments.Space_audit.quantum_ok;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "space-audit"
+       ~doc:
+         "Sweep k, fit space-scaling exponents for the classical and quantum machines, and exit non-zero unless the classical slope lands in its n^(1/3) band and the quantum data prefers the logarithmic model.")
+    Term.(ret (const action $ quick $ seed $ json_file $ quiet))
+
 (* ------------------------------------------------------------------ exp *)
 
 let exp_cmd =
@@ -293,6 +344,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; exp_cmd; ne_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; exp_cmd; ne_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,7 +19,8 @@ let add t g =
     t.gates <- bigger
   end;
   t.gates.(t.len) <- g;
-  t.len <- t.len + 1
+  t.len <- t.len + 1;
+  Obs.Scope.incr "circuit.gates"
 
 let add_list t gs = List.iter (add t) gs
 
@@ -67,6 +68,7 @@ let apply_gate s (g : Gate.t) =
 
 let run t s =
   if State.nqubits s <> t.nqubits then invalid_arg "Circ.run: register size mismatch";
+  Obs.Scope.incr "circuit.runs";
   iter (apply_gate s) t
 
 let unitary t =

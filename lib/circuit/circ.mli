@@ -32,7 +32,7 @@ val iter : (Gate.t -> unit) -> t -> unit
 val of_gates : nqubits:int -> Gate.t list -> t
 
 val is_basis_only : t -> bool
-(** True when every gate is in the Definition 2.3 set {H, T, CNOT}. *)
+(** True when every gate is in the Definition 2.3 set [{H, T, CNOT}]. *)
 
 val run : t -> Quantum.State.t -> unit
 (** Applies the circuit to a state in place.  Structured gates use the

@@ -1,4 +1,4 @@
-(** Compilation to the universal set {H, T, CNOT} of Definition 2.3.
+(** Compilation to the universal set [{H, T, CNOT}] of Definition 2.3.
 
     Every structured gate has an {e exact} decomposition (no approximation
     step is needed — Solovay–Kitaev is unnecessary because the paper's
@@ -23,7 +23,7 @@ val gate_to_basis : ancillas:int list -> Gate.t -> Gate.t list
     gate's qubits. *)
 
 val to_basis : ?ancilla_base:int -> Circ.t -> Circ.t
-(** [to_basis c] compiles [c] to {H, T, CNOT} only.  Ancillas are placed at
+(** [to_basis c] compiles [c] to [{H, T, CNOT}] only.  Ancillas are placed at
     indices [ancilla_base, ancilla_base+1, ...] (default: just above the
     circuit's qubit budget); they must be |0> when the lowered circuit runs
     and are returned to |0>.  The result's qubit budget covers them. *)

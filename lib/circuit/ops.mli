@@ -68,4 +68,4 @@ val apply_w : layout -> Mathx.Bitvec.t -> Quantum.State.t -> unit
 val apply_r : layout -> Mathx.Bitvec.t -> Quantum.State.t -> unit
 
 val initial_state : ?ancillas:int -> layout -> Quantum.State.t
-(** |phi_k> = 2^{-k} sum_i |i>|0>|0>, with optional extra ancilla qubits. *)
+(** [|phi_k> = 2^{-k} sum_i |i>|0>|0>], with optional extra ancilla qubits. *)

@@ -2,7 +2,7 @@
 
     The lowering pass is local and leaves easy wins on the table: X
     expands to H·T^4·H even when two X's cancel, ladders re-conjugate the
-    same qubits, etc.  This pass rewrites a {H, T, CNOT} circuit to a
+    same qubits, etc.  This pass rewrites a [{H, T, CNOT}] circuit to a
     smaller equivalent one with three rules, iterated to a fixed point:
 
     - adjacent self-inverse pairs cancel: [H q; H q] and

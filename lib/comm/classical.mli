@@ -11,7 +11,7 @@ val equality_fingerprint :
 (** The O(log n) one-sided-error equality protocol (Kushilevitz–Nisan)
     that procedure A2 adapts: Alice sends a random evaluation point and
     her polynomial fingerprint; Bob compares.  Declares "equal" wrongly
-    with probability < n / p < 2^{-n_bits_margin}; never declares
+    with probability [< n / p < 2^{-n_bits_margin}]; never declares
     "unequal" for equal strings. *)
 
 val blocked_disj :

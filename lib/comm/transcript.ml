@@ -8,6 +8,9 @@ let create () = { rev_messages = [] }
 
 let send t sender ?(classical_bits = 0) ?(qubits = 0) () =
   if classical_bits < 0 || qubits < 0 then invalid_arg "Transcript.send";
+  Obs.Scope.incr "comm.messages";
+  Obs.Scope.add "comm.classical_bits" classical_bits;
+  Obs.Scope.add "comm.qubits" qubits;
   t.rev_messages <- { sender; classical_bits; qubits } :: t.rev_messages
 
 let messages t = List.rev t.rev_messages

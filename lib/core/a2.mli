@@ -9,7 +9,7 @@
     - consistent input: all tests pass with probability 1;
     - inconsistent input: some test fails except with probability at most
       [2^{2k} / p < 2^{-2k}] (two distinct degree-< 2^{2k} polynomials
-      agree on at most 2^{2k} - 1 of the p points).
+      agree on at most [2^{2k} - 1] of the p points).
 
     Work memory: seven registers of [4k + 1] bits — O(k). *)
 

@@ -21,7 +21,7 @@
     each input bit touches O(1) amplitudes, so streaming is cheap.  With
     [~emit_circuit:true], A3 also records the gate sequence it would
     write on the output tape (Definition 2.3) as a structured circuit,
-    which experiment E11 lowers to {H, T, CNOT} and verifies. *)
+    which experiment E11 lowers to [{H, T, CNOT}] and verifies. *)
 
 type t
 
@@ -60,7 +60,7 @@ val circuit : t -> Circuit.Circ.t option
 
 val wire : t -> string option
 (** With [~emit_wire:true], the Definition 2.3 output tape as written so
-    far: every structured operator is lowered to {H, T, CNOT} {e as the
+    far: every structured operator is lowered to [{H, T, CNOT}] {e as the
     corresponding input symbol streams past} and appended as wire
     triples — the literal behaviour of the paper's machine.  The 2k - 1
     lowering ancillas are charged to the qubit ledger. *)

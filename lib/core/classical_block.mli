@@ -1,4 +1,4 @@
-(** The classical O(n^{1/3})-space recognizer of Proposition 3.7.
+(** The classical [O(n^{1/3})]-space recognizer of Proposition 3.7.
 
     Decomposes [x] and [y] into 2^k blocks of 2^k bits; repetition [i]
     (0-based) is used to test DISJ on block [i]: the block of [x] is
@@ -7,9 +7,9 @@
     every block has been tested.  Shape and consistency are checked by
     the same A1 and A2 as the quantum algorithm.
 
-    Space: 2^k bits of block storage + O(k) counters = Θ(n^{1/3}), and
+    Space: [2^k] bits of block storage + O(k) counters = [Θ(n^{1/3})], and
     the answer is exact (error only from A2's fingerprints, one-sided,
-    <= 2^{-2k}). *)
+    <= [2^{-2k}]). *)
 
 type run = {
   accept : bool;

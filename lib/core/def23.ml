@@ -25,14 +25,20 @@ let strip_separators s =
 let run ?rng machine ~qubits input =
   let rng = match rng with Some r -> r | None -> Rng.create 0xDEF2 in
   let (verdict, stats), raw_output =
-    Optm.run_sampled_with_output machine rng input
+    Obs.Scope.with_span "def23.stage1" (fun () ->
+        Optm.run_sampled_with_output machine rng input)
+  in
+  let p1, accepted =
+    Obs.Scope.with_span "def23.stage2" (fun () ->
+        let wire = strip_separators raw_output in
+        let circ = Circuit.Wire.parse ~nqubits:qubits wire in
+        let state = Quantum.State.create qubits in
+        Circuit.Circ.run circ state;
+        let p1 = Quantum.State.prob_qubit_one state 0 in
+        let accepted = Quantum.State.measure_qubit state rng 0 in
+        (p1, accepted))
   in
   let wire = strip_separators raw_output in
-  let circ = Circuit.Wire.parse ~nqubits:qubits wire in
-  let state = Quantum.State.create qubits in
-  Circuit.Circ.run circ state;
-  let p1 = Quantum.State.prob_qubit_one state 0 in
-  let accepted = Quantum.State.measure_qubit state rng 0 in
   (* Definition 2.3 requires halting within 2^{s(|w|)} steps for a space
      function s(n) = Theta(log n); we check against
      s(n) = max(qubits, 4 ceil(log2 (n + 2))). *)

@@ -4,7 +4,7 @@
 
     + an OPTM reads the input and writes, on its one-way output tape, a
       circuit description [a1#b1#c1#...#ar#br#cr] over the universal set
-      {H, T, CNOT};
+      [{H, T, CNOT}];
     + the circuit is applied to |0...0> on [s(|w|)] qubits and the {b
       first qubit} is measured; outcome 1 accepts.
 
@@ -25,7 +25,7 @@ type outcome = {
   gate_triples : int;  (** triples on the output tape *)
   output_chars : int;
   steps : int;
-  within_budget : bool;  (** halted within 2^{qubits} steps (Def 2.3 (1)) *)
+  within_budget : bool;  (** halted within [2^{qubits}] steps (Def 2.3 (1)) *)
 }
 
 val run :
@@ -39,5 +39,5 @@ val acceptance_probability :
 
 val quantum_parity : Machine.Optm.t
 (** The worked example: accepts (measures 1) exactly the inputs over
-    {0,1} with an odd number of 1s, via the emitted circuit.  Uses 1
+    [{0,1}] with an odd number of 1s, via the emitted circuit.  Uses 1
     qubit and no work tape. *)

@@ -1,7 +1,7 @@
-(** The trivial classical recognizer: store all of [x] (2^{2k} bits),
+(** The trivial classical recognizer: store all of [x] ([2^{2k}] bits),
     then test every [y] bit as it streams past.
 
-    Exact (up to A2's one-sided fingerprint error) but uses Θ(n^{2/3})
+    Exact (up to A2's one-sided fingerprint error) but uses [Θ(n^{2/3})]
     space — the "if the device can store the strings the problem is
     trivial" strawman from the paper's introduction, included as the top
     line of the space-separation experiment E8. *)
@@ -9,7 +9,7 @@
 type run = {
   accept : bool;
   space_bits : int;
-  storage_bits : int;  (** the x store alone: exactly 2^{2k} *)
+  storage_bits : int;  (** the x store alone: exactly [2^{2k}] *)
   k : int option;
   a1_ok : bool;
   a2_ok : bool;

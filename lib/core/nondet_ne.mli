@@ -11,7 +11,7 @@
     A nondeterministic online machine guesses the differing index while
     scanning [x]: it stores the index (a counter) and the bit under it —
     O(log n) space — then counts through [y] and verifies the mismatch.
-    A deterministic online machine must reach the separator in 2^{|x|}
+    A deterministic online machine must reach the separator in [2^{|x|}]
     distinct configurations (the census argument of Theorem 3.6 /
     experiment E5 applied to the [copy-then-compare] machine), i.e. needs
     Ω(n) space.

@@ -13,7 +13,7 @@
     the complement language, which is how the paper states Theorem 3.4.
 
     Space: O(k) classical bits and 2k + 2 qubits, where the input length
-    is n = Θ(2^{3k}) — i.e. O(log n) total, all metered. *)
+    is [n = Θ(2^{3k})] — i.e. O(log n) total, all metered. *)
 
 type space = {
   classical_bits : int;  (** peak classical work bits *)

@@ -1,6 +1,6 @@
 (** Bounded-space classical sketches (experiment E6).
 
-    Theorem 3.6 says no classical machine with o(n^{1/3}) = o(2^k) bits
+    Theorem 3.6 says no classical machine with [o(n^{1/3}) = o(2^k)] bits
     can recognize L_DISJ with bounded error.  A lower bound cannot be
     tested against {e all} machines, but its observable consequence can:
     natural sub-2^k-bit strategies must degrade toward chance.  Two

@@ -1,5 +1,5 @@
 (** E11 — Definition 2.3 discipline: the circuit A3 emits lowers to
-    {H, T, CNOT} exactly and stays within the 2^{s(n)} gate budget.
+    [{H, T, CNOT}] exactly and stays within the [2^{s(n)}] gate budget.
 
     Builds the structured circuit A3 records while streaming a real
     input, compiles it with {!Circuit.Lower.to_basis}, round-trips the
@@ -19,8 +19,8 @@ type row = {
   equivalent : bool;
   max_deviation : float;
   budget_constant : float;
-      (** smallest c with gate count <= n^c = 2^{c log2 n}: Definition 2.3
-          permits 2^{s(n)} steps with s(n) = c log n, so any O(1) value
+      (** smallest c with gate count [<= n^c = 2^{c log2 n}]: Definition 2.3
+          permits [2^{s(n)}] steps with [s(n) = c log n], so any O(1) value
           here satisfies the budget *)
   input_length : int;
   optimized_gates : int;

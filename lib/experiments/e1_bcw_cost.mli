@@ -1,7 +1,7 @@
 (** E1 — Theorem 3.1: the BCW quantum protocol communicates
     O(sqrt(m) log m) qubits on DISJ_m.
 
-    Sweeps m = 2^{2k} and measures the protocol's total cost on disjoint
+    Sweeps [m = 2^{2k}] and measures the protocol's total cost on disjoint
     and intersecting instances, against the analytic reference curve and
     the classical Ω(m) line.  The fitted log-log slope of cost vs m
     should sit near 0.5 (plus the log factor), far below the classical

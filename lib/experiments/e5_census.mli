@@ -5,7 +5,7 @@
     [u#u] comparator): over the family of all 2^m blocks, the
     configuration census at the post-# cut is exactly 2^m, so the induced
     protocol message costs m bits — the mechanism that, combined with
-    R(DISJ) = Ω(m), yields the Ω(n^{1/3}) space bound.  The O(1)-space
+    R(DISJ) = Ω(m), yields the [Ω(n^{1/3})] space bound.  The O(1)-space
     contrast machine shows the census staying constant.  Both censuses
     are checked against the Fact 2.2 counting bound. *)
 

@@ -1,5 +1,5 @@
 (** E6 — the observable consequence of Theorem 3.6: classical sketches
-    below the 2^k = n^{1/3} threshold degrade toward chance.
+    below the [2^k = n^{1/3}] threshold degrade toward chance.
 
     Sweeps the sketch budget around the threshold and measures each
     strategy's error on its vulnerable side (the other side is error-free

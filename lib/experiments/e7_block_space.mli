@@ -1,8 +1,8 @@
 (** E7 — Proposition 3.7: the classical block algorithm is correct in
-    Θ(n^{1/3}) space.
+    [Θ(n^{1/3})] space.
 
     Sweeps k, checking correctness on members and intersecting inputs and
-    recording the metered footprint against n^{1/3}; the fitted log-log
+    recording the metered footprint against [n^{1/3}]; the fitted log-log
     slope of space vs n should approach 1/3. *)
 
 type row = {
@@ -10,7 +10,7 @@ type row = {
   n : int;  (** input length *)
   space_bits : int;  (** total metered footprint *)
   storage_bits : int;  (** the dominant block-store term: 2^k *)
-  ratio : float;  (** space / n^{1/3}; stabilises as k grows *)
+  ratio : float;  (** [space / n^{1/3}]; stabilises as k grows *)
   n_cuberoot : float;
   member_ok : bool;
   intersect_ok : bool;

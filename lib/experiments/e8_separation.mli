@@ -3,8 +3,8 @@
 
     Joint sweep over k of the metered footprints of the quantum
     recognizer (Theorem 3.4: O(log n)), the classical block algorithm
-    (Proposition 3.7: Θ(n^{1/3}), optimal by Theorem 3.6) and the naive
-    store-everything baseline (Θ(n^{2/3})).  The quantum column fits a
+    (Proposition 3.7: [Θ(n^{1/3})], optimal by Theorem 3.6) and the naive
+    store-everything baseline ([Θ(n^{2/3})]).  The quantum column fits a
     line against log2 n while both classical columns fit power laws —
     the separation is exponential in the space budget. *)
 

@@ -382,16 +382,24 @@ let of_result ?(timing = false) (r : Report.t) =
         Obj (List.map (fun (k, v) -> (k, Float v)) r.Report.body.Report.metrics)
       );
       ("notes", List (List.map (fun s -> Str s) r.Report.body.Report.notes));
+      ( "resources",
+        Obj (List.map (fun (k, v) -> (k, Int v)) r.Report.resources) );
       ("tables", List (List.map of_table r.Report.body.Report.tables));
     ]
   in
   Obj (if timing then ("wall_ms", Float r.Report.wall_ms) :: base else base)
 
+(* Schema history (see docs/SCHEMA.md for the full specification):
+   - version 1: id/description/metrics/notes/tables per experiment.
+   - version 2: adds the per-experiment "resources" object (Obs counter
+     snapshot).  Version-1 baselines fail --check on both the version
+     bump and the missing "resources" keys; re-record them with
+     `run-all --json` to migrate. *)
 let of_results ?timing ~seed ~quick results =
   Obj
     [
       ("kind", Str "oqsc-experiments");
-      ("version", Int 1);
+      ("version", Int 2);
       ("seed", Int seed);
       ("quick", Bool quick);
       ("experiments", List (List.map (of_result ?timing) results));

@@ -67,13 +67,20 @@ let description id =
 (* Run one experiment to its structured result.  Results depend only on
    (id, quick, seed) — every experiment derives all randomness from its
    own [Rng.create seed] — so parallel and sequential execution agree
-   bit for bit; [wall_ms] is telemetry, not part of that contract. *)
+   bit for bit; [wall_ms] is telemetry, not part of that contract.
+
+   A fresh [Obs] sink is installed around the body computation, so the
+   [resources] snapshot covers exactly one experiment and inherits the
+   same determinism (the sink observes; it never feeds back).  Nested
+   [Parallel.map_chunks] inside an experiment merges per-chunk sinks in
+   chunk order, keeping the snapshot domain-count independent. *)
 let result ?(quick = false) ?(seed = 2006) id : Report.t =
   let _, description, build = find id in
+  let sink = Obs.create () in
   let t0 = Unix.gettimeofday () in
-  let body = build ~quick ~seed in
+  let body = Obs.Scope.with_sink sink (fun () -> build ~quick ~seed) in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-  { Report.id; description; seed; quick; wall_ms; body }
+  { Report.id; description; seed; quick; wall_ms; resources = Obs.snapshot sink; body }
 
 (* Run a selection of experiments (default: all, in catalogue order)
    across domains.  [only] filters by id, preserving catalogue order;

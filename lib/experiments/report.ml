@@ -53,6 +53,10 @@ type t = {
   seed : int;
   quick : bool;
   wall_ms : float;  (** wall-clock of the body computation, telemetry only *)
+  resources : (string * int) list;
+      (** [Obs] snapshot of the body computation (counters plus gauge
+          peaks, sorted by name).  Unlike [wall_ms] this is part of the
+          determinism contract: a pure function of (id, quick, seed). *)
   body : body;
 }
 

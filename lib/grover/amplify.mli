@@ -12,11 +12,11 @@
     |0...0>.  Starting from A|0>, [j] steps rotate the success amplitude
     from [sin theta = sqrt a] to [sin((2j+1) theta)], where [a] is the
     initial success probability.  Grover search is the special case
-    A = H^{(x)n}. *)
+    [A = H^{(x)n}]. *)
 
 type operator = {
   prepare : Quantum.State.t -> unit;  (** applies A *)
-  unprepare : Quantum.State.t -> unit;  (** applies A^{-1} *)
+  unprepare : Quantum.State.t -> unit;  (** applies [A^{-1}] *)
 }
 
 val hadamard_operator : int -> operator

@@ -6,7 +6,7 @@
     against the communication-complexity argument of Theorem 3.6. *)
 
 val parity : Optm.t
-(** Accepts strings over {0,1} with an even number of 1s; uses no work
+(** Accepts strings over [{0,1}] with an even number of 1s; uses no work
     tape.  2 live control states. *)
 
 val fair_coin : Optm.t

@@ -130,7 +130,11 @@ let run_with ?output ?(max_steps = default_max_steps) m input choose =
           (Some verdict, { steps = steps + 1; peak_work_cells = live.peak; halted = true })
       | None -> go (steps + 1)
   in
-  go 0
+  let ((_, stats) as result) = go 0 in
+  Obs.Scope.incr "optm.runs";
+  Obs.Scope.add "optm.steps" stats.steps;
+  Obs.Scope.gauge_observe "optm.work_cells" stats.peak_work_cells;
+  result
 
 let deterministic_choose = function
   | [ (a, _) ] -> a

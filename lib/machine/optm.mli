@@ -1,6 +1,6 @@
 (** Online probabilistic Turing machines (§2.1).
 
-    An OPTM has a one-way read-only input tape over {0,1,#}, a two-way
+    An OPTM has a one-way read-only input tape over [{0,1,#}], a two-way
     read-write work tape, and probabilistic transitions.  The transition
     function is given as an OCaml closure over a finite control-state set;
     a {e configuration} (Fact 2.2) is the control state, the two head
@@ -91,5 +91,5 @@ val config_at_cut_deterministic :
 
 val fact_2_2_log2_bound : n:int -> s:int -> states:int -> float
 (** log2 of the Fact 2.2 configuration bound [n * s * 3^s * |Q|] (with
-    the work alphabet {0,1,#,blank} it is [4^s]; we use the paper's
+    the work alphabet [{0,1,#,blank}] it is [4^s]; we use the paper's
     ternary bound with the blank folded into the count, i.e. [4^s]). *)

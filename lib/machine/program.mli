@@ -75,7 +75,7 @@ val compiled_states : t -> int
 (** {1 Worked programs} *)
 
 val parity : t
-(** Accepts inputs over {0,1,#} with an even number of 1s — one 1-bit
+(** Accepts inputs over [{0,1,#}] with an even number of 1s — one 1-bit
     register; compiled, it matches {!Machines.parity}'s language with a
     binary counter on the tape. *)
 

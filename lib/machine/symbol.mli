@@ -1,4 +1,4 @@
-(** The ternary alphabet Sigma = {0, 1, #} of the paper, plus the work-tape
+(** The ternary alphabet [Sigma = {0, 1, #}] of the paper, plus the work-tape
     blank. *)
 
 type t = Zero | One | Hash

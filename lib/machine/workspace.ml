@@ -41,6 +41,8 @@ let alloc t ~name ~bits =
   t.used <- t.used + 1;
   t.classical <- t.classical + bits;
   bump_peaks t;
+  Obs.Scope.incr "workspace.allocs";
+  Obs.Scope.gauge_add "workspace.classical_bits" bits;
   t.used - 1
 
 let alloc_flag t ~name = alloc t ~name ~bits:1
@@ -53,7 +55,8 @@ let free t r =
   let s = slot t r in
   if not s.live then invalid_arg "Workspace.free: register already freed";
   s.live <- false;
-  t.classical <- t.classical - s.bits
+  t.classical <- t.classical - s.bits;
+  Obs.Scope.gauge_add "workspace.classical_bits" (-s.bits)
 
 let get t r =
   let s = slot t r in
@@ -76,7 +79,8 @@ let set_flag t r b = set t r (if b then 1 else 0)
 let alloc_qubits t n =
   if n < 0 then invalid_arg "Workspace.alloc_qubits: negative count";
   t.qubit_count <- t.qubit_count + n;
-  bump_peaks t
+  bump_peaks t;
+  Obs.Scope.gauge_add "workspace.qubits" n
 
 let classical_bits t = t.classical
 let peak_classical_bits t = t.peak_classical

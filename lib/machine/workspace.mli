@@ -10,7 +10,12 @@
 
     Classical bits and qubits are metered separately, mirroring the
     paper's convention that both the classical work tape and the quantum
-    register of size [s(|w|)] count toward the space bound. *)
+    register of size [s(|w|)] count toward the space bound.
+
+    Allocations are mirrored to the ambient [Obs.Scope] as the
+    [workspace.classical_bits] and [workspace.qubits] peak gauges (plus
+    a [workspace.allocs] counter), so the per-experiment [resources]
+    section reports the same peaks the local ledger does. *)
 
 type t
 

@@ -45,10 +45,36 @@ let linear_fit points =
   let b = (sy -. (a *. sx)) /. nf in
   (a, b)
 
-let loglog_slope points =
-  let logged =
-    List.filter_map
-      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
-      points
+(* Coefficient of determination for y = a*x + b over the same points the
+   fit saw.  A flat response (zero total variance) counts as a perfect
+   fit when the residuals are zero too, else as worthless. *)
+let r_square points (a, b) =
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. ((a *. x) +. b) in
+        acc +. (e *. e))
+      0.0 points
   in
-  linear_fit logged
+  let ybar =
+    List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points
+    /. float_of_int (max 1 (List.length points))
+  in
+  let ss_tot =
+    List.fold_left (fun acc (_, y) -> acc +. ((y -. ybar) ** 2.0)) 0.0 points
+  in
+  if ss_tot < 1e-30 then if ss_res < 1e-30 then 1.0 else 0.0
+  else 1.0 -. (ss_res /. ss_tot)
+
+let linear_fit_r2 points =
+  let a, b = linear_fit points in
+  (a, b, r_square points (a, b))
+
+let logged points =
+  List.filter_map
+    (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+    points
+
+let loglog_slope points = linear_fit (logged points)
+
+let loglog_fit_r2 points = linear_fit_r2 (logged points)

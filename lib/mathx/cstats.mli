@@ -22,3 +22,16 @@ val loglog_slope : (float * float) list -> float * float
 
 val linear_fit : (float * float) list -> float * float
 (** Least-squares fit [y = a*x + b], returned as [(a, b)]. *)
+
+val r_square : (float * float) list -> float * float -> float
+(** [r_square points (a, b)] is the coefficient of determination of the
+    line [y = a*x + b] over [points] — how the space-audit compares a
+    logarithmic model against a power-law model on the same data. *)
+
+val linear_fit_r2 : (float * float) list -> float * float * float
+(** {!linear_fit} plus the fit's own [r_square]: [(a, b, r2)]. *)
+
+val loglog_fit_r2 : (float * float) list -> float * float * float
+(** {!loglog_slope} plus the fit's [r_square] {e in log-log space}:
+    [(slope, intercept, r2)].  Points with a non-positive coordinate are
+    dropped, as in {!loglog_slope}. *)

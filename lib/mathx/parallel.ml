@@ -7,13 +7,31 @@ let map_chunks ?domains ~chunks f ~rng =
   let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
   (* Split the PRNG sequentially so results don't depend on [domains]. *)
   let rngs = Array.init chunks (fun _ -> Rng.split rng) in
+  (* The ambient Obs sink (if any) lives on the calling domain; spawned
+     domains cannot see it.  Bridge: give every chunk its own sink,
+     installed around the chunk's work wherever it runs, and fold them
+     back into the caller's sink afterwards.  Chunk work is fixed up
+     front and Obs.merge is commutative, so the totals are as
+     deterministic as the results themselves. *)
+  let parent_sink = Obs.Scope.current () in
+  let chunk_sinks =
+    match parent_sink with
+    | None -> [||]
+    | Some _ -> Array.init chunks (fun _ -> Obs.create ())
+  in
+  let call i =
+    match parent_sink with
+    | None -> f ~chunk:i ~rng:rngs.(i)
+    | Some _ ->
+        Obs.Scope.with_sink chunk_sinks.(i) (fun () -> f ~chunk:i ~rng:rngs.(i))
+  in
   let results = Array.make chunks None in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < chunks then begin
-        results.(i) <- Some (f ~chunk:i ~rng:rngs.(i));
+        results.(i) <- Some (call i);
         loop ()
       end
     in
@@ -27,6 +45,9 @@ let map_chunks ?domains ~chunks f ~rng =
     worker ();
     List.iter Domain.join spawned
   end;
+  (match parent_sink with
+  | None -> ()
+  | Some sink -> Array.iter (fun c -> Obs.merge ~into:sink c) chunk_sinks);
   Array.to_list
     (Array.map
        (function Some v -> v | None -> failwith "Parallel.map_chunks: missing result")

@@ -6,7 +6,13 @@
     sequentially into one independent stream per chunk {e before} any
     domain is spawned, so every result is a pure function of ([chunks],
     [rng]) and is bit-identical for any [domains] value — parallelism
-    changes wall-clock time only, never output. *)
+    changes wall-clock time only, never output.
+
+    The same contract covers resource tracing: when the caller has an
+    ambient [Obs] sink installed, each chunk records into a private sink
+    (whichever domain it runs on) and the private sinks are merged back
+    into the caller's in chunk order after the join, so measured
+    resource totals are also independent of [domains]. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cores - 1)], capped at 8 so nested parallel sections cannot

@@ -19,6 +19,7 @@ let create seed =
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let next t =
+  Obs.Scope.incr "rng.draws";
   let open Int64 in
   let result = mul (rotl (mul t.s1 5L) 7) 9L in
   let tmp = shift_left t.s1 17 in
@@ -33,6 +34,7 @@ let next t =
 let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
 
 let split t =
+  Obs.Scope.incr "rng.splits";
   let state = ref (next t) in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in

@@ -2,7 +2,12 @@
 
     xoshiro256** seeded through splitmix64.  Every experiment in this
     repository takes an explicit [Rng.t] so that runs are reproducible and
-    independent streams can be split off without sharing state. *)
+    independent streams can be split off without sharing state.
+
+    Raw 64-bit draws are reported to the ambient [Obs.Scope] under the
+    [rng.draws] counter and splits under [rng.splits]; observation never
+    feeds back into the stream, so instrumented and uninstrumented runs
+    draw identical values. *)
 
 type t
 

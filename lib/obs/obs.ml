@@ -1,0 +1,120 @@
+(* Counters, peak gauges, and spans behind the experiment `resources`
+   section.  Everything here is deterministic: no clock, no I/O, no
+   randomness — installing a sink must never change what a seeded
+   computation produces, only record what it spent. *)
+
+type gauge = { mutable level : int; mutable peak : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  mutable span_depth : int;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; span_depth = 0 }
+
+(* ------------------------------------------------------------ counters *)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let add t name by =
+  if by < 0 then invalid_arg "Obs.add: counters are monotonic";
+  let r = counter_ref t name in
+  r := !r + by
+
+let incr t name = add t name 1
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* -------------------------------------------------------------- gauges *)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+      let g = { level = 0; peak = 0 } in
+      Hashtbl.add t.gauges name g;
+      g
+
+let gauge_add t name d =
+  let g = gauge t name in
+  g.level <- g.level + d;
+  if g.level > g.peak then g.peak <- g.level
+
+let gauge_observe t name v =
+  let g = gauge t name in
+  if v > g.peak then g.peak <- v
+
+let gauge_level t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.level | None -> 0
+
+let gauge_peak t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.peak | None -> 0
+
+(* --------------------------------------------------------------- spans *)
+
+let span_depth t = t.span_depth
+
+let with_span t name f =
+  add t ("span." ^ name) 1;
+  t.span_depth <- t.span_depth + 1;
+  gauge_observe t "span.depth" t.span_depth;
+  Fun.protect ~finally:(fun () -> t.span_depth <- t.span_depth - 1) f
+
+(* ----------------------------------------------------- snapshot, merge *)
+
+let snapshot t =
+  let entries =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  in
+  let entries =
+    Hashtbl.fold
+      (fun name g acc -> (name ^ ".peak", g.peak) :: acc)
+      t.gauges entries
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let merge ~into src =
+  Hashtbl.iter (fun name r -> add into name !r) src.counters;
+  Hashtbl.iter
+    (fun name g ->
+      let dst = gauge into name in
+      dst.level <- dst.level + g.level;
+      if g.peak > dst.peak then dst.peak <- g.peak)
+    src.gauges
+
+(* --------------------------------------------------------------- scope *)
+
+module Scope = struct
+  let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let current () = Domain.DLS.get key
+
+  let with_sink sink f =
+    let prev = Domain.DLS.get key in
+    Domain.DLS.set key (Some sink);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+  let add name by =
+    match Domain.DLS.get key with None -> () | Some t -> add t name by
+
+  let incr name =
+    match Domain.DLS.get key with None -> () | Some t -> incr t name
+
+  let gauge_add name d =
+    match Domain.DLS.get key with None -> () | Some t -> gauge_add t name d
+
+  let gauge_observe name v =
+    match Domain.DLS.get key with None -> () | Some t -> gauge_observe t name v
+
+  let with_span name f =
+    match Domain.DLS.get key with None -> f () | Some t -> with_span t name f
+end

@@ -1,0 +1,122 @@
+(** Resource tracing: the observability layer behind the [resources]
+    section of the experiment JSON.
+
+    The theorems this repository reproduces are resource bounds —
+    [O(log n)] quantum space (Theorem 3.4), [Omega(n^{1/3})] classical
+    space (Theorem 3.6), [O(sqrt n log n)] communication (Theorem 3.1) —
+    so the resources themselves are first-class measured quantities.  A
+    sink ({!t}) holds three kinds of instrument:
+
+    - {e monotonic counters} ([rng.draws], [quantum.gates],
+      [comm.classical_bits], ...): non-negative increments only;
+    - {e peak gauges} ([workspace.classical_bits], [quantum.qubits],
+      ...): a current level moved by positive and negative deltas, with
+      the high-water mark tracked — the paper's "space used" is always a
+      peak, never a final level;
+    - {e phase-scoped spans}: named dynamic extents ([def23.stage1],
+      ...) counted per entry, with peak nesting depth recorded under the
+      [span.depth] gauge.
+
+    The sink is {e deterministic by construction}: recording touches no
+    clock, performs no I/O, and draws no randomness, so instrumented and
+    uninstrumented runs of a seeded experiment produce identical results
+    (a property the test suite checks byte-for-byte on the JSON
+    documents).  {!snapshot} returns a sorted association list, making
+    serialized resource sections reproducible.
+
+    {2 Threading}
+
+    Instrumented modules do not take a sink argument; they report
+    through the ambient {!Scope}, a per-domain slot that is empty by
+    default (every probe is then a no-op).  [Scope.with_sink] installs a
+    sink for a dynamic extent on the current domain only;
+    [Mathx.Parallel] bridges domains by giving each chunk a fresh sink
+    and merging them into the caller's sink in chunk order, so totals
+    are independent of the domain count and of scheduling. *)
+
+type t
+(** A mutable sink.  Not thread-safe: one sink belongs to one domain at
+    a time (the [Mathx.Parallel] bridge enforces this for forked work). *)
+
+val create : unit -> t
+(** A fresh sink with no counters, gauges, or spans. *)
+
+(** {1 Counters} *)
+
+val add : t -> string -> int -> unit
+(** [add t name by] increments counter [name] by [by].
+    @raise Invalid_argument if [by < 0] — counters are monotonic. *)
+
+val incr : t -> string -> unit
+(** [incr t name] is [add t name 1]. *)
+
+val count : t -> string -> int
+(** Current value of a counter (0 if it was never incremented). *)
+
+(** {1 Peak gauges} *)
+
+val gauge_add : t -> string -> int -> unit
+(** [gauge_add t name d] moves gauge [name]'s level by [d] (negative to
+    release) and raises its peak if the new level exceeds it.  Levels
+    may go negative (releases observed without the matching alloc, e.g.
+    when a sink is installed mid-computation); peaks start at 0. *)
+
+val gauge_observe : t -> string -> int -> unit
+(** [gauge_observe t name v] raises gauge [name]'s peak to at least [v]
+    without moving its level — for externally metered peaks (a
+    [Machine.Optm] run reports its own tape high-water mark). *)
+
+val gauge_level : t -> string -> int
+val gauge_peak : t -> string -> int
+
+(** {1 Spans} *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span: counter
+    [span.<name>] is incremented on entry and the nesting depth is
+    tracked on the [span.depth] gauge.  Exception-safe: the depth is
+    restored however [f] exits. *)
+
+val span_depth : t -> int
+(** Current nesting depth of open spans. *)
+
+(** {1 Snapshot and merge} *)
+
+val snapshot : t -> (string * int) list
+(** All recorded values as a sorted association list: counters under
+    their own name, gauges under [<name>.peak] (levels are transient
+    bookkeeping and are not serialized).  This is the [resources]
+    section of the experiment JSON. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, gauge
+    levels add, gauge peaks combine by [max].  Used by
+    [Mathx.Parallel] to fold per-chunk sinks back into the caller's
+    sink; all three operations are commutative and associative, so the
+    merged totals do not depend on scheduling. *)
+
+(** {1 Ambient scope}
+
+    The per-domain slot instrumented code reports through.  All
+    operations are no-ops when no sink is installed on the calling
+    domain, so un-instrumented use of the library costs one
+    domain-local read per probe. *)
+
+module Scope : sig
+  val current : unit -> t option
+  (** The sink installed on the calling domain, if any. *)
+
+  val with_sink : t -> (unit -> 'a) -> 'a
+  (** [with_sink sink f] installs [sink] on the calling domain for the
+      dynamic extent of [f], restoring the previous sink (or absence)
+      afterwards, exceptions included. *)
+
+  val add : string -> int -> unit
+  val incr : string -> unit
+  val gauge_add : string -> int -> unit
+  val gauge_observe : string -> int -> unit
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** Like {!val:Obs.with_span} on the current sink; just runs the
+      function when no sink is installed. *)
+end

@@ -2,7 +2,7 @@
 
     A [single] is a 2x2 complex unitary given row-major as
     [(u00, u01, u10, u11)].  The named constants cover the paper's
-    universal set {H, T, CNOT} (Definition 2.3) together with the gates
+    universal set [{H, T, CNOT}] (Definition 2.3) together with the gates
     those generate that the lowering passes use as intermediates. *)
 
 type single = {
@@ -23,10 +23,10 @@ val t : single
 val tdg : single
 
 val phase : float -> single
-(** [phase theta] is diag(1, e^{i*theta}). *)
+(** [phase theta] is [diag(1, e^{i*theta})]. *)
 
 val rz : float -> single
-(** [rz theta] is diag(e^{-i*theta/2}, e^{i*theta/2}). *)
+(** [rz theta] is [diag(e^{-i*theta/2}, e^{i*theta/2})]. *)
 
 val compose : single -> single -> single
 (** [compose g f] is the matrix product [g * f] (apply [f] first). *)

@@ -10,6 +10,8 @@ let create n =
   let d = 1 lsl n in
   let re = Array.make d 0.0 and im = Array.make d 0.0 in
   re.(0) <- 1.0;
+  Obs.Scope.incr "quantum.registers";
+  Obs.Scope.gauge_observe "quantum.qubits" n;
   { n; re; im }
 
 let nqubits s = s.n
@@ -79,6 +81,7 @@ let check_qubit s q =
 
 let apply_gate1 s (g : Gates.single) q =
   check_qubit s q;
+  Obs.Scope.incr "quantum.gates";
   let bit = 1 lsl q in
   let d = dim s in
   let { Gates.u00; u01; u10; u11 } = g in
@@ -104,6 +107,7 @@ let apply_controlled1 s (g : Gates.single) ~control ~target =
   check_qubit s control;
   check_qubit s target;
   if control = target then invalid_arg "State.apply_controlled1: control = target";
+  Obs.Scope.incr "quantum.gates";
   let cbit = 1 lsl control and tbit = 1 lsl target in
   let d = dim s in
   let { Gates.u00; u01; u10; u11 } = g in
@@ -126,6 +130,7 @@ let apply_controlled1 s (g : Gates.single) ~control ~target =
 let apply_cnot s ~control ~target = apply_controlled1 s Gates.x ~control ~target
 
 let apply_phase_if s pred =
+  Obs.Scope.incr "quantum.gates";
   for i = 0 to dim s - 1 do
     if pred i then begin
       s.re.(i) <- -.s.re.(i);
@@ -135,6 +140,7 @@ let apply_phase_if s pred =
 
 let apply_xor_if s pred q =
   check_qubit s q;
+  Obs.Scope.incr "quantum.gates";
   let bit = 1 lsl q in
   for i = 0 to dim s - 1 do
     if i land bit = 0 && pred i then begin
@@ -163,6 +169,7 @@ let check_address_args s ~width ~address ?require ~above () =
 
 let apply_xor_on_address s ~width ~address ?require ~target () =
   check_address_args s ~width ~address ?require ~above:target ();
+  Obs.Scope.incr "quantum.gates";
   let tbit = 1 lsl target in
   let rbit = match require with Some r -> 1 lsl r | None -> 0 in
   let highs = dim s lsr width in
@@ -183,6 +190,7 @@ let apply_phase_on_address s ~width ~address ?require () =
   let above = max above width in
   if above >= s.n then invalid_arg "State: bad require qubit";
   check_address_args s ~width ~address ?require ~above ();
+  Obs.Scope.incr "quantum.gates";
   let rbit = match require with Some r -> 1 lsl r | None -> 0 in
   let highs = dim s lsr width in
   for hi = 0 to highs - 1 do
@@ -203,6 +211,7 @@ let prob_qubit_one s q =
   !acc
 
 let measure_qubit s rng q =
+  Obs.Scope.incr "quantum.measurements";
   let p1 = prob_qubit_one s q in
   let outcome = Rng.float rng < p1 in
   let keep_mask_set = outcome in
@@ -223,6 +232,7 @@ let measure_qubit s rng q =
   outcome
 
 let sample_all s rng =
+  Obs.Scope.incr "quantum.measurements";
   let r = Rng.float rng in
   let acc = ref 0.0 and result = ref (dim s - 1) in
   (try

@@ -67,7 +67,7 @@ val apply_xor_if : t -> (int -> bool) -> int -> unit
 
 val apply_hadamard_block : t -> int -> int -> unit
 (** [apply_hadamard_block s lo count] applies H to qubits
-    [lo .. lo+count-1] (the paper's U_k = H^{2k} on the address register). *)
+    [lo .. lo+count-1] (the paper's [U_k = H^{2k}] on the address register). *)
 
 val apply_xor_on_address :
   t -> width:int -> address:int -> ?require:int -> target:int -> unit -> unit

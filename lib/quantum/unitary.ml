@@ -86,6 +86,7 @@ let of_diagonal n f =
 
 let mul a b =
   if a.n <> b.n then invalid_arg "Unitary.mul: size mismatch";
+  Obs.Scope.incr "quantum.matmuls";
   let d = dim_of a.n in
   let r = identity a.n in
   for i = 0 to d - 1 do
@@ -111,6 +112,7 @@ let adjoint a =
 
 let apply u s =
   if State.nqubits s <> u.n then invalid_arg "Unitary.apply: size mismatch";
+  Obs.Scope.incr "quantum.matvecs";
   let d = dim_of u.n in
   let out = State.create u.n in
   State.set_amplitude out 0 Cplx.zero;

@@ -2,7 +2,7 @@
 
     These are O(4^n) objects used only in tests and in the circuit
     equivalence checker (experiment E11): they let us compare a lowered
-    {H, T, CNOT} circuit against the structured operator it implements as
+    [{H, T, CNOT}] circuit against the structured operator it implements as
     full matrices, not just on a handful of input states. *)
 
 type t

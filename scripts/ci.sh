@@ -12,6 +12,15 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== build =="
 dune build @all
 
+echo "== docs =="
+# @doc needs odoc; build it where the tool exists, skip (loudly) where
+# it does not so the gate stays runnable on minimal images.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc @doc-private
+else
+  echo "odoc not installed; skipping documentation build"
+fi
+
 echo "== tests =="
 dune runtest
 
@@ -27,6 +36,14 @@ dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --sequential \
   --json "$tmp/exp_seq.json"
 cmp "$tmp/exp.json" "$tmp/exp_seq.json"
+
+echo "== space-audit gate =="
+# Exits non-zero unless the fitted classical exponent lands in the
+# n^(1/3) band and the quantum data prefers the logarithmic model; the
+# emitted document must also be byte-stable across runs.
+dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit.json"
+dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit2.json"
+cmp "$tmp/audit.json" "$tmp/audit2.json"
 
 echo "== bench JSON smoke =="
 # One cheap kernel group; wall-clock varies, so gate only the shape

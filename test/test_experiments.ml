@@ -209,9 +209,28 @@ let test_e15_compiled () =
     (shape.Experiments.E15_compiled.tape_cells * 2
     < shape.Experiments.E15_compiled.sample_input_length)
 
+let test_space_audit () =
+  let a = Experiments.Space_audit.audit ~quick:true ~seed () in
+  let lo, hi = Experiments.Space_audit.default_classical_band in
+  check "classical slope in the n^(1/3) band" true
+    (a.Experiments.Space_audit.fit.Experiments.Space_audit.classical_slope >= lo
+    && a.Experiments.Space_audit.fit.Experiments.Space_audit.classical_slope <= hi);
+  check "quantum data prefers the logarithmic model" true
+    (a.Experiments.Space_audit.fit.Experiments.Space_audit.quantum_log_r2
+    >= a.Experiments.Space_audit.fit.Experiments.Space_audit.quantum_power_r2);
+  check "verdict passes" true (Experiments.Space_audit.passed a);
+  (* The document is a pure function of (quick, seed). *)
+  let doc a =
+    Experiments.Json.to_string
+      (Experiments.Space_audit.to_json ~seed ~quick:true a)
+  in
+  let b = Experiments.Space_audit.audit ~quick:true ~seed () in
+  Alcotest.(check string) "audit JSON byte-stable" (doc a) (doc b)
+
 let suite =
   [
     ("registry complete", `Quick, test_registry_complete);
+    ("space audit bands", `Slow, test_space_audit);
     ("registry runs all (quick)", `Slow, test_registry_runs_all_quick);
     ("e1 shape", `Slow, test_e1_shape);
     ("e2 certificates", `Quick, test_e2_certificates);

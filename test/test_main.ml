@@ -4,6 +4,7 @@ let () =
   Alcotest.run "oqsc"
     [
       ("mathx", Test_mathx.suite);
+      ("obs", Test_obs.suite);
       ("quantum", Test_quantum.suite);
       ("density", Test_density.suite);
       ("circuit", Test_circuit.suite);
