@@ -3,7 +3,10 @@
    Two parts, mirroring DESIGN.md's per-experiment index:
 
    1. Bechamel micro-benchmarks: one [Test.make] per experiment kernel
-      (e1..e15), timing the inner operation each experiment is built on.
+      (e1..e15), timing the inner operation each experiment is built on,
+      plus register-backend kernels (e16: flat Bigarray gate kernel vs a
+      reimplementation of the old boxed-array one; e17: column-built
+      circuit unitary).
    2. The experiment tables themselves (EXPERIMENTS.md records this
       output): full sweeps by default, or reduced with --quick.
 
@@ -50,8 +53,88 @@ let bcw_pair_m64 =
   done;
   (x, y)
 
+(* e16: the state-vector hot path.  [boxed_gate1] reimplements the old
+   backend's kernel (two boxed float arrays, one branch per basis index)
+   so the committed bench JSON itself records the speedup of the flat
+   Bigarray pair-enumeration kernel over the representation it replaced,
+   on the same machine. *)
+
+let gate1_n = 16
+
+let boxed_state =
+  let d = 1 lsl gate1_n in
+  let re = Array.make d 0.0 and im = Array.make d 0.0 in
+  re.(0) <- 1.0;
+  (re, im)
+
+let boxed_gate1 (re, im) (g : Quantum.Gates.single) q =
+  let bit = 1 lsl q in
+  let d = Array.length re in
+  let { Quantum.Gates.u00; u01; u10; u11 } = g in
+  let i = ref 0 in
+  while !i < d do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let ar = re.(!i) and ai = im.(!i) in
+      let br = re.(j) and bi = im.(j) in
+      re.(!i) <-
+        (u00.Cplx.re *. ar) -. (u00.Cplx.im *. ai)
+        +. (u01.Cplx.re *. br) -. (u01.Cplx.im *. bi);
+      im.(!i) <-
+        (u00.Cplx.re *. ai) +. (u00.Cplx.im *. ar)
+        +. (u01.Cplx.re *. bi) +. (u01.Cplx.im *. br);
+      re.(j) <-
+        (u10.Cplx.re *. ar) -. (u10.Cplx.im *. ai)
+        +. (u11.Cplx.re *. br) -. (u11.Cplx.im *. bi);
+      im.(j) <-
+        (u10.Cplx.re *. ai) +. (u10.Cplx.im *. ar)
+        +. (u11.Cplx.re *. bi) +. (u11.Cplx.im *. br)
+    end;
+    incr i
+  done
+
+let flat_state = Quantum.State.create gate1_n
+
+(* Runs [f] with the register backend pinned to one scheduling path:
+   [`Seq] keeps the whole loop on the calling domain, [`Chunked] forces
+   the chunked dispatch regardless of register size.  Both paths are
+   bit-identical by contract; the bench shows what the toggle costs. *)
+let pinned path f =
+  let saved = Quantum.State.parallel_threshold () in
+  Quantum.State.set_parallel_threshold
+    (match path with `Seq -> max_int | `Chunked -> 0);
+  Fun.protect ~finally:(fun () -> Quantum.State.set_parallel_threshold saved) f
+
+let unitary_circ_n10 =
+  let gates =
+    [
+      Circuit.Gate.H 0; Circuit.Gate.Cnot { control = 0; target = 9 };
+      Circuit.Gate.T 4; Circuit.Gate.H 5;
+      Circuit.Gate.Cnot { control = 5; target = 2 }; Circuit.Gate.Z 9;
+    ]
+  in
+  Circuit.Circ.of_gates ~nqubits:10 gates
+
 let tests =
   [
+    Test.make ~name:"e16/gate1-boxed-ref-h-n16"
+      (Staged.stage (fun () -> boxed_gate1 boxed_state Quantum.Gates.h 7));
+    Test.make ~name:"e16/gate1-boxed-ref-t-n16"
+      (Staged.stage (fun () -> boxed_gate1 boxed_state Quantum.Gates.t 7));
+    Test.make ~name:"e16/gate1-flat-h-n16"
+      (Staged.stage (fun () ->
+           pinned `Seq (fun () ->
+               Quantum.State.apply_gate1 flat_state Quantum.Gates.h 7)));
+    Test.make ~name:"e16/gate1-flat-t-n16"
+      (Staged.stage (fun () ->
+           pinned `Seq (fun () ->
+               Quantum.State.apply_gate1 flat_state Quantum.Gates.t 7)));
+    Test.make ~name:"e16/gate1-flat-h-chunked-n16"
+      (Staged.stage (fun () ->
+           pinned `Chunked (fun () ->
+               Quantum.State.apply_gate1 flat_state Quantum.Gates.h 7)));
+    Test.make ~name:"e17/unitary-columns-n10"
+      (Staged.stage (fun () -> ignore (Circuit.Circ.unitary unitary_circ_n10)));
     Test.make ~name:"e1/bcw-run-m64"
       (Staged.stage (fun () ->
            let x, y = bcw_pair_m64 in

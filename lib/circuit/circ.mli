@@ -39,7 +39,16 @@ val run : t -> Quantum.State.t -> unit
     simulator's fast paths; no lowering required. *)
 
 val unitary : t -> Quantum.Unitary.t
-(** Dense matrix of the whole circuit (verification only; [nqubits <= 10]). *)
+(** Dense matrix of the whole circuit, built by running the gate kernels
+    on every basis-state column — O(gates * 4^n) instead of a dense
+    per-gate product chain's O(gates * 8^n).  Verification only;
+    [nqubits <= 12]. *)
+
+val gate_unitary : nqubits:int -> Gate.t -> Quantum.Unitary.t
+(** Dense matrix of a single gate embedded in an [nqubits]-qubit
+    register — the per-gate reference path tests pit against {!run} and
+    {!unitary}.
+    @raise Invalid_argument if the gate exceeds the qubit budget. *)
 
 val count : t -> (Gate.t -> bool) -> int
 

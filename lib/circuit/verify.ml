@@ -19,13 +19,9 @@ let compare ?(eps = 1e-7) ~reference ~candidate () =
      first significant amplitude encountered. *)
   let phase = ref None in
   let column_ok j =
-    let ref_in = State.create n_data in
-    State.set_amplitude ref_in 0 Cplx.zero;
-    State.set_amplitude ref_in j Cplx.one;
+    let ref_in = State.basis n_data j in
     Circ.run reference ref_in;
-    let cand_in = State.create n_full in
-    State.set_amplitude cand_in 0 Cplx.zero;
-    State.set_amplitude cand_in j Cplx.one;
+    let cand_in = State.basis n_full j in
     Circ.run candidate cand_in;
     (* Probability stranded outside the ancilla = |0> subspace. *)
     for idx = 0 to State.dim cand_in - 1 do

@@ -9,10 +9,16 @@ let hadamard_operator n =
   let apply s = State.apply_hadamard_block s 0 n in
   { prepare = apply; unprepare = apply }
 
+(* Whole-register scan: read the components directly instead of paying
+   a [State.probability] call per index; same expression, so the sum is
+   bit-identical. *)
 let success_probability ~marked s =
   let acc = ref 0.0 in
   for i = 0 to State.dim s - 1 do
-    if marked i then acc := !acc +. State.probability s i
+    if marked i then begin
+      let xr = State.re s i and xi = State.im s i in
+      acc := !acc +. ((xr *. xr) +. (xi *. xi))
+    end
   done;
   !acc
 

@@ -30,11 +30,17 @@ let run ?extra_qubits o j =
   done;
   s
 
+(* Whole-register scan: read the components directly instead of paying
+   a [State.probability] call per index; same expression, so the sum is
+   bit-identical. *)
 let success_probability o s =
   let mask = address_mask o in
   let acc = ref 0.0 in
   for idx = 0 to State.dim s - 1 do
-    if Oracle.marked o (idx land mask) then acc := !acc +. State.probability s idx
+    if Oracle.marked o (idx land mask) then begin
+      let xr = State.re s idx and xi = State.im s idx in
+      acc := !acc +. ((xr *. xr) +. (xi *. xi))
+    end
   done;
   !acc
 

@@ -53,6 +53,88 @@ let map_chunks ?domains ~chunks f ~rng =
        (function Some v -> v | None -> failwith "Parallel.map_chunks: missing result")
        results)
 
+(* ------------------------------------------------------- range kernels *)
+
+(* Deterministic chunking: the chunk boundaries are a pure function of
+   the range length (never of the domain count), so any chunk-local
+   computation combined in chunk order yields the same bits whether the
+   chunks run inline or across domains.  Two grains:
+
+   - [map_grain] for write-disjoint element maps, where any split is
+     bit-identical anyway, so we can afford fine chunks;
+   - [sum_grain] for reductions, where the split changes the
+     floating-point association; it is kept large enough that every
+     register the stock experiments sweep (well under 2^14 amplitudes)
+     reduces in a single chunk, i.e. in plain left-to-right order. *)
+let map_grain = 2048
+let sum_grain = 16384
+let max_chunks = 64
+
+let chunk_count ~grain n =
+  if n <= grain then 1 else min max_chunks ((n + grain - 1) / grain)
+
+let chunk_bounds n chunks i = (i * n / chunks, (i + 1) * n / chunks)
+
+(* Runs [chunk 0 .. chunk (chunks-1)] with [run i] either inline (in
+   order) or work-stealing across domains; [run] must not touch the
+   ambient Obs sink (spawned domains cannot see it) and chunk work must
+   be independent. *)
+let dispatch_chunks ~domains ~chunks run =
+  if domains <= 1 || chunks <= 1 then
+    for i = 0 to chunks - 1 do
+      run i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < chunks then begin
+          run i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min domains chunks - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end
+
+let iter_range ?domains n f =
+  if n < 0 then invalid_arg "Parallel.iter_range: negative length";
+  if n > 0 then begin
+    let domains =
+      match domains with Some d -> max 1 d | None -> recommended_domains ()
+    in
+    let chunks = chunk_count ~grain:map_grain n in
+    dispatch_chunks ~domains ~chunks (fun i ->
+        let lo, hi = chunk_bounds n chunks i in
+        f lo hi)
+  end
+
+let sum_range ?domains n f =
+  if n < 0 then invalid_arg "Parallel.sum_range: negative length";
+  if n = 0 then 0.0
+  else begin
+    let domains =
+      match domains with Some d -> max 1 d | None -> recommended_domains ()
+    in
+    let chunks = chunk_count ~grain:sum_grain n in
+    if chunks = 1 then f 0 n
+    else begin
+      let partials = Array.make chunks 0.0 in
+      dispatch_chunks ~domains ~chunks (fun i ->
+          let lo, hi = chunk_bounds n chunks i in
+          partials.(i) <- f lo hi);
+      (* Combine in chunk order: the total is a pure function of [n]
+         and [f], independent of [domains]. *)
+      Array.fold_left ( +. ) 0.0 partials
+    end
+  end
+
 let count_successes ?domains ~trials f ~rng =
   if trials < 0 then invalid_arg "Parallel.count_successes: negative trials";
   let hits =

@@ -32,6 +32,28 @@ val map_chunks :
     - [domains <= 1] (including [0] and negative values) runs entirely
       on the calling domain; omitting it uses [recommended_domains ()]. *)
 
+(** {1 Range kernels}
+
+    Data-parallel loops over integer ranges, used by the state-vector
+    backend's amplitude kernels.  The range is cut into chunks whose
+    boundaries depend {e only} on the range length — never on [domains]
+    — so results are bit-identical however the chunks are scheduled.
+    The callbacks run on spawned domains: they must not touch the
+    ambient [Obs] sink (record on the calling domain before or after
+    the loop instead) and must only perform write-disjoint work. *)
+
+val iter_range : ?domains:int -> int -> (int -> int -> unit) -> unit
+(** [iter_range n f] covers [0, n) with calls [f lo hi] over half-open
+    chunks, possibly concurrently.  [f]'s writes must be disjoint
+    across chunks.  [n = 0] is a no-op; [n < 0] raises
+    [Invalid_argument]; [domains <= 1] runs inline in chunk order. *)
+
+val sum_range : ?domains:int -> int -> (int -> int -> float) -> float
+(** [sum_range n f] sums [f lo hi] over the same deterministic chunk
+    decomposition, combining partials in chunk order — the float result
+    is a pure function of [n] and [f].  Ranges of at most 16384
+    elements reduce in a single chunk, i.e. exactly [f 0 n]. *)
+
 val count_successes :
   ?domains:int -> trials:int -> (Rng.t -> bool) -> rng:Rng.t -> int
 (** Runs [trials] independent boolean trials (one PRNG split each) in

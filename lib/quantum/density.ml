@@ -1,20 +1,50 @@
 open Mathx
+module A = Bigarray.Array1
 
-type t = { n : int; m : Cplx.t array array }
+(* Flat storage, mirroring [State] and [Unitary]: row-major d x d with
+   interleaved re/im, entry (i, j) at offset [2 * (i*d + j)]. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+
+type t = { n : int; d : int; a : buf }
 
 let dim_of n = 1 lsl n
 
 let zero n =
-  { n; m = Array.init (dim_of n) (fun _ -> Array.make (dim_of n) Cplx.zero) }
+  let d = dim_of n in
+  let a = A.create Bigarray.float64 Bigarray.c_layout (2 * d * d) in
+  A.fill a 0.0;
+  { n; d; a }
+
+let nqubits t = t.n
+let dim t = t.d
+
+let get t i j =
+  let off = 2 * ((i * t.d) + j) in
+  Cplx.make (A.get t.a off) (A.get t.a (off + 1))
+
+let set t i j (v : Cplx.t) =
+  let off = 2 * ((i * t.d) + j) in
+  A.set t.a off v.Cplx.re;
+  A.set t.a (off + 1) v.Cplx.im
+
+let copy t =
+  let r = { n = t.n; d = t.d; a = A.create Bigarray.float64 Bigarray.c_layout (2 * t.d * t.d) } in
+  A.blit t.a r.a;
+  r
 
 let pure s =
   let n = State.nqubits s in
   if n > 10 then invalid_arg "Density.pure: register too large";
   let r = zero n in
-  let d = dim_of n in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      r.m.(i).(j) <- Cplx.mul (State.amplitude s i) (Cplx.conj (State.amplitude s j))
+  for i = 0 to r.d - 1 do
+    for j = 0 to r.d - 1 do
+      (* s_i * conj(s_j) *)
+      let ar = State.re s i and ai = State.im s i in
+      let br = State.re s j and bi = -.State.im s j in
+      let off = 2 * ((i * r.d) + j) in
+      A.unsafe_set r.a off ((ar *. br) -. (ai *. bi));
+      A.unsafe_set r.a (off + 1) ((ar *. bi) +. (ai *. br))
     done
   done;
   r
@@ -22,16 +52,11 @@ let pure s =
 let maximally_mixed n =
   if n > 10 then invalid_arg "Density.maximally_mixed: register too large";
   let r = zero n in
-  let d = dim_of n in
-  for i = 0 to d - 1 do
-    r.m.(i).(i) <- Cplx.re (1.0 /. float_of_int d)
+  let p = 1.0 /. float_of_int r.d in
+  for i = 0 to r.d - 1 do
+    A.unsafe_set r.a (2 * ((i * r.d) + i)) p
   done;
   r
-
-let nqubits t = t.n
-let dim t = dim_of t.n
-let get t i j = t.m.(i).(j)
-let set t i j v = t.m.(i).(j) <- v
 
 let mix parts =
   match parts with
@@ -45,31 +70,27 @@ let mix parts =
         (fun (p, part) ->
           if p < 0.0 then invalid_arg "Density.mix: negative weight";
           if part.n <> first.n then invalid_arg "Density.mix: size mismatch";
-          let d = dim_of first.n in
-          for i = 0 to d - 1 do
-            for j = 0 to d - 1 do
-              r.m.(i).(j) <- Cplx.add r.m.(i).(j) (Cplx.scale p part.m.(i).(j))
-            done
+          for off = 0 to (2 * r.d * r.d) - 1 do
+            A.unsafe_set r.a off
+              (A.unsafe_get r.a off +. (p *. A.unsafe_get part.a off))
           done)
         parts;
       r
 
 let trace t =
   let acc = ref 0.0 in
-  for i = 0 to dim t - 1 do
-    acc := !acc +. (get t i i).Cplx.re
+  for i = 0 to t.d - 1 do
+    acc := !acc +. A.unsafe_get t.a (2 * ((i * t.d) + i))
   done;
   !acc
 
 let purity t =
   (* tr(rho^2) = sum_{ij} rho_ij * rho_ji; rho is Hermitian so this is
-     sum |rho_ij|^2. *)
+     sum |rho_ij|^2 — i.e. the squared Frobenius norm of the flat buffer. *)
   let acc = ref 0.0 in
-  let d = dim t in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      acc := !acc +. Cplx.norm2 t.m.(i).(j)
-    done
+  for off = 0 to (2 * t.d * t.d) - 1 do
+    let v = A.unsafe_get t.a off in
+    acc := !acc +. (v *. v)
   done;
   !acc
 
@@ -77,47 +98,64 @@ let purity t =
    pass over column index pairs), then U* to the columns. *)
 let apply_gate1 t (g : Gates.single) q =
   if q < 0 || q >= t.n then invalid_arg "Density.apply_gate1: qubit out of range";
-  let d = dim t and bit = 1 lsl q in
+  let d = t.d and bit = 1 lsl q in
+  let a = t.a in
+  let u00r = g.Gates.u00.Cplx.re and u00i = g.Gates.u00.Cplx.im in
+  let u01r = g.Gates.u01.Cplx.re and u01i = g.Gates.u01.Cplx.im in
+  let u10r = g.Gates.u10.Cplx.re and u10i = g.Gates.u10.Cplx.im in
+  let u11r = g.Gates.u11.Cplx.re and u11i = g.Gates.u11.Cplx.im in
   (* Rows: for each column c, transform the vector rho[.][c]. *)
   for c = 0 to d - 1 do
     for r = 0 to d - 1 do
       if r land bit = 0 then begin
-        let r1 = r lor bit in
-        let a = t.m.(r).(c) and b = t.m.(r1).(c) in
-        t.m.(r).(c) <- Cplx.add (Cplx.mul g.Gates.u00 a) (Cplx.mul g.Gates.u01 b);
-        t.m.(r1).(c) <- Cplx.add (Cplx.mul g.Gates.u10 a) (Cplx.mul g.Gates.u11 b)
+        let ro = 2 * ((r * d) + c) and r1o = 2 * (((r lor bit) * d) + c) in
+        let ar = A.unsafe_get a ro and ai = A.unsafe_get a (ro + 1) in
+        let br = A.unsafe_get a r1o and bi = A.unsafe_get a (r1o + 1) in
+        A.unsafe_set a ro
+          (((u00r *. ar) -. (u00i *. ai)) +. ((u01r *. br) -. (u01i *. bi)));
+        A.unsafe_set a (ro + 1)
+          (((u00r *. ai) +. (u00i *. ar)) +. ((u01r *. bi) +. (u01i *. br)));
+        A.unsafe_set a r1o
+          (((u10r *. ar) -. (u10i *. ai)) +. ((u11r *. br) -. (u11i *. bi)));
+        A.unsafe_set a (r1o + 1)
+          (((u10r *. ai) +. (u10i *. ar)) +. ((u11r *. bi) +. (u11i *. br)))
       end
     done
   done;
   (* Columns: for each row r, transform rho[r][.] by conj(U). *)
-  let u00 = Cplx.conj g.Gates.u00
-  and u01 = Cplx.conj g.Gates.u01
-  and u10 = Cplx.conj g.Gates.u10
-  and u11 = Cplx.conj g.Gates.u11 in
+  let v00r = u00r and v00i = -.u00i in
+  let v01r = u01r and v01i = -.u01i in
+  let v10r = u10r and v10i = -.u10i in
+  let v11r = u11r and v11i = -.u11i in
   for r = 0 to d - 1 do
     for c = 0 to d - 1 do
       if c land bit = 0 then begin
-        let c1 = c lor bit in
-        let a = t.m.(r).(c) and b = t.m.(r).(c1) in
-        t.m.(r).(c) <- Cplx.add (Cplx.mul u00 a) (Cplx.mul u01 b);
-        t.m.(r).(c1) <- Cplx.add (Cplx.mul u10 a) (Cplx.mul u11 b)
+        let co = 2 * ((r * d) + c) and c1o = 2 * ((r * d) + (c lor bit)) in
+        let ar = A.unsafe_get a co and ai = A.unsafe_get a (co + 1) in
+        let br = A.unsafe_get a c1o and bi = A.unsafe_get a (c1o + 1) in
+        A.unsafe_set a co
+          (((v00r *. ar) -. (v00i *. ai)) +. ((v01r *. br) -. (v01i *. bi)));
+        A.unsafe_set a (co + 1)
+          (((v00r *. ai) +. (v00i *. ar)) +. ((v01r *. bi) +. (v01i *. br)));
+        A.unsafe_set a c1o
+          (((v10r *. ar) -. (v10i *. ai)) +. ((v11r *. br) -. (v11i *. bi)));
+        A.unsafe_set a (c1o + 1)
+          (((v10r *. ai) +. (v10i *. ar)) +. ((v11r *. bi) +. (v11i *. br)))
       end
     done
   done
 
 let apply_permutation t pi =
-  let d = dim t in
+  let d = t.d in
   let fresh = zero t.n in
   for i = 0 to d - 1 do
     for j = 0 to d - 1 do
-      fresh.m.(pi i).(pi j) <- t.m.(i).(j)
+      let src = 2 * ((i * d) + j) and dst = 2 * (((pi i) * d) + pi j) in
+      A.unsafe_set fresh.a dst (A.unsafe_get t.a src);
+      A.unsafe_set fresh.a (dst + 1) (A.unsafe_get t.a (src + 1))
     done
   done;
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      t.m.(i).(j) <- fresh.m.(i).(j)
-    done
-  done
+  A.blit fresh.a t.a
 
 let apply_cnot t ~control ~target =
   if control = target then invalid_arg "Density.apply_cnot: control = target";
@@ -125,11 +163,15 @@ let apply_cnot t ~control ~target =
   apply_permutation t (fun i -> if i land cbit <> 0 then i lxor tbit else i)
 
 let apply_phase_if t pred =
-  let d = dim t in
+  let d = t.d in
   for i = 0 to d - 1 do
     for j = 0 to d - 1 do
       let sign = (if pred i then -1.0 else 1.0) *. (if pred j then -1.0 else 1.0) in
-      if sign < 0.0 then t.m.(i).(j) <- Cplx.neg t.m.(i).(j)
+      if sign < 0.0 then begin
+        let off = 2 * ((i * d) + j) in
+        A.unsafe_set t.a off (-.A.unsafe_get t.a off);
+        A.unsafe_set t.a (off + 1) (-.A.unsafe_get t.a (off + 1))
+      end
     done
   done
 
@@ -137,8 +179,8 @@ let prob_qubit_one t q =
   if q < 0 || q >= t.n then invalid_arg "Density.prob_qubit_one: qubit out of range";
   let bit = 1 lsl q in
   let acc = ref 0.0 in
-  for i = 0 to dim t - 1 do
-    if i land bit <> 0 then acc := !acc +. (get t i i).Cplx.re
+  for i = 0 to t.d - 1 do
+    if i land bit <> 0 then acc := !acc +. A.unsafe_get t.a (2 * ((i * t.d) + i))
   done;
   !acc
 
@@ -147,38 +189,41 @@ let measure_qubit t q =
   (* Non-selective: zero the coherences between the two outcome sectors. *)
   let bit = 1 lsl q in
   let r = zero t.n in
-  let d = dim t in
+  let d = t.d in
   for i = 0 to d - 1 do
     for j = 0 to d - 1 do
-      if i land bit = j land bit then r.m.(i).(j) <- t.m.(i).(j)
+      if i land bit = j land bit then begin
+        let off = 2 * ((i * d) + j) in
+        A.unsafe_set r.a off (A.unsafe_get t.a off);
+        A.unsafe_set r.a (off + 1) (A.unsafe_get t.a (off + 1))
+      end
     done
   done;
   r
 
 let fidelity_with_pure t s =
   if State.nqubits s <> t.n then invalid_arg "Density.fidelity_with_pure: size mismatch";
-  let d = dim t in
-  let acc = ref Cplx.zero in
+  let d = t.d in
+  let accr = ref 0.0 in
   for i = 0 to d - 1 do
     for j = 0 to d - 1 do
-      (* <s|rho|s> = sum conj(s_i) rho_ij s_j *)
-      acc :=
-        Cplx.add !acc
-          (Cplx.mul
-             (Cplx.conj (State.amplitude s i))
-             (Cplx.mul t.m.(i).(j) (State.amplitude s j)))
+      (* <s|rho|s> = sum conj(s_i) rho_ij s_j; only the real part of the
+         accumulation is returned. *)
+      let cr = State.re s i and ci = -.State.im s i in
+      let off = 2 * ((i * d) + j) in
+      let mr = A.unsafe_get t.a off and mi = A.unsafe_get t.a (off + 1) in
+      let pr = (mr *. State.re s j) -. (mi *. State.im s j) in
+      let pi_ = (mr *. State.im s j) +. (mi *. State.re s j) in
+      accr := !accr +. ((cr *. pr) -. (ci *. pi_))
     done
   done;
-  (!acc).Cplx.re
+  !accr
 
 let approx_equal ?(eps = 1e-9) a b =
   a.n = b.n
   &&
   let ok = ref true in
-  let d = dim a in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      if not (Cplx.approx_equal ~eps a.m.(i).(j) b.m.(i).(j)) then ok := false
-    done
+  for off = 0 to (2 * a.d * a.d) - 1 do
+    if Float.abs (A.unsafe_get a.a off -. A.unsafe_get b.a off) > eps then ok := false
   done;
   !ok

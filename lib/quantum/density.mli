@@ -23,6 +23,9 @@ val mix : (float * t) list -> t
 (** [mix [(p1, r1); ...]] is the convex combination; weights must be
     non-negative and sum to 1 (within 1e-9). *)
 
+val copy : t -> t
+(** Structural copy (channel implementations branch on copies). *)
+
 val nqubits : t -> int
 val dim : t -> int
 

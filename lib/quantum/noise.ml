@@ -24,15 +24,12 @@ let depolarize_all rng ~p s =
 let channel_qubit ~p rho q =
   check_p p;
   let branch g =
-    let copy =
-      Density.mix [ (1.0, rho) ]
-      (* mix with a single part copies the matrix *)
-    in
+    let copy = Density.copy rho in
     Density.apply_gate1 copy g q;
     copy
   in
   let x = branch pauli_x and y = branch pauli_y and z = branch pauli_z in
-  let id = Density.mix [ (1.0, rho) ] in
+  let id = Density.copy rho in
   let mixed =
     Density.mix
       [ (1.0 -. p, id); (p /. 3.0, x); (p /. 3.0, y); (p /. 3.0, z) ]

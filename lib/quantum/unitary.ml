@@ -1,37 +1,61 @@
 open Mathx
+module A = Bigarray.Array1
 
-type t = { n : int; m : Cplx.t array array }
+(* Same flat storage discipline as [State]: one unboxed Float64 Bigarray
+   in C layout, row-major, interleaved re/im — entry (i, j) of a d x d
+   matrix lives at offsets [2 * (i*d + j)] and [2 * (i*d + j) + 1].
+   Keeping the matrices unboxed matters at the top of the range: the
+   identity on 12 qubits is 2^24 complex entries, which as boxed
+   [Cplx.t] records would cost ~0.5 GB and crush the GC. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+
+type t = { n : int; d : int; a : buf }
 
 let dim_of n = 1 lsl n
 
-let identity n =
-  if n < 0 || n > 12 then invalid_arg "Unitary.identity: qubit count out of range";
+let max_qubits = 12
+
+let zero_matrix n =
+  if n < 0 || n > max_qubits then
+    invalid_arg "Unitary.identity: qubit count out of range";
   let d = dim_of n in
-  let m =
-    Array.init d (fun i ->
-        Array.init d (fun j -> if i = j then Cplx.one else Cplx.zero))
-  in
-  { n; m }
+  let a = A.create Bigarray.float64 Bigarray.c_layout (2 * d * d) in
+  A.fill a 0.0;
+  { n; d; a }
+
+let identity n =
+  let u = zero_matrix n in
+  for i = 0 to u.d - 1 do
+    A.unsafe_set u.a (2 * ((i * u.d) + i)) 1.0
+  done;
+  u
 
 let nqubits t = t.n
-let dim t = dim_of t.n
-let get t i j = t.m.(i).(j)
-let set t i j v = t.m.(i).(j) <- v
+let dim t = t.d
+
+let get t i j =
+  let off = 2 * ((i * t.d) + j) in
+  Cplx.make (A.get t.a off) (A.get t.a (off + 1))
+
+let set t i j (v : Cplx.t) =
+  let off = 2 * ((i * t.d) + j) in
+  A.set t.a off v.Cplx.re;
+  A.set t.a (off + 1) v.Cplx.im
 
 let of_gate1 n (g : Gates.single) q =
   if q < 0 || q >= n then invalid_arg "Unitary.of_gate1: qubit out of range";
-  let d = dim_of n and bit = 1 lsl q in
-  let u = identity n in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      u.m.(i).(j) <-
-        (if i land lnot bit <> j land lnot bit then Cplx.zero
-         else
-           match (i land bit <> 0, j land bit <> 0) with
-           | false, false -> g.Gates.u00
-           | false, true -> g.Gates.u01
-           | true, false -> g.Gates.u10
-           | true, true -> g.Gates.u11)
+  let bit = 1 lsl q in
+  let u = zero_matrix n in
+  for i = 0 to u.d - 1 do
+    for j = 0 to u.d - 1 do
+      if i land lnot bit = j land lnot bit then
+        set u i j
+          (match (i land bit <> 0, j land bit <> 0) with
+          | false, false -> g.Gates.u00
+          | false, true -> g.Gates.u01
+          | true, false -> g.Gates.u10
+          | true, true -> g.Gates.u11)
     done
   done;
   u
@@ -40,72 +64,75 @@ let of_controlled1 n (g : Gates.single) ~control ~target =
   if control = target then invalid_arg "Unitary.of_controlled1: control = target";
   if control < 0 || control >= n || target < 0 || target >= n then
     invalid_arg "Unitary.of_controlled1: qubit out of range";
-  let d = dim_of n and cbit = 1 lsl control and tbit = 1 lsl target in
-  let u = identity n in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      u.m.(i).(j) <-
-        (if i land cbit = 0 || j land cbit = 0 then
-           if i = j then Cplx.one else Cplx.zero
-         else if i land lnot tbit <> j land lnot tbit then Cplx.zero
-         else
-           match (i land tbit <> 0, j land tbit <> 0) with
-           | false, false -> g.Gates.u00
-           | false, true -> g.Gates.u01
-           | true, false -> g.Gates.u10
-           | true, true -> g.Gates.u11)
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  let u = zero_matrix n in
+  for i = 0 to u.d - 1 do
+    for j = 0 to u.d - 1 do
+      if i land cbit = 0 || j land cbit = 0 then begin
+        if i = j then set u i j Cplx.one
+      end
+      else if i land lnot tbit = j land lnot tbit then
+        set u i j
+          (match (i land tbit <> 0, j land tbit <> 0) with
+          | false, false -> g.Gates.u00
+          | false, true -> g.Gates.u01
+          | true, false -> g.Gates.u10
+          | true, true -> g.Gates.u11)
     done
   done;
   u
 
 let of_permutation n pi =
-  let d = dim_of n in
-  let seen = Array.make d false in
-  let u = identity n in
-  for j = 0 to d - 1 do
-    for i = 0 to d - 1 do
-      u.m.(i).(j) <- Cplx.zero
-    done
-  done;
-  for j = 0 to d - 1 do
+  let u = zero_matrix n in
+  let seen = Array.make u.d false in
+  for j = 0 to u.d - 1 do
     let i = pi j in
-    if i < 0 || i >= d || seen.(i) then
+    if i < 0 || i >= u.d || seen.(i) then
       invalid_arg "Unitary.of_permutation: not a bijection";
     seen.(i) <- true;
-    u.m.(i).(j) <- Cplx.one
+    set u i j Cplx.one
   done;
   u
 
 let of_diagonal n f =
-  let d = dim_of n in
-  let u = identity n in
-  for i = 0 to d - 1 do
-    u.m.(i).(i) <- f i
+  let u = zero_matrix n in
+  for i = 0 to u.d - 1 do
+    set u i i (f i)
   done;
   u
 
-let mul a b =
-  if a.n <> b.n then invalid_arg "Unitary.mul: size mismatch";
+let mul x y =
+  if x.n <> y.n then invalid_arg "Unitary.mul: size mismatch";
   Obs.Scope.incr "quantum.matmuls";
-  let d = dim_of a.n in
-  let r = identity a.n in
+  let d = x.d in
+  let r = zero_matrix x.n in
+  let xa = x.a and ya = y.a and ra = r.a in
   for i = 0 to d - 1 do
+    let row = 2 * i * d in
     for j = 0 to d - 1 do
-      let acc = ref Cplx.zero in
+      let accr = ref 0.0 and acci = ref 0.0 in
       for k = 0 to d - 1 do
-        acc := Cplx.add !acc (Cplx.mul a.m.(i).(k) b.m.(k).(j))
+        let ar = A.unsafe_get xa (row + (2 * k))
+        and ai = A.unsafe_get xa (row + (2 * k) + 1) in
+        let br = A.unsafe_get ya ((2 * ((k * d) + j)))
+        and bi = A.unsafe_get ya ((2 * ((k * d) + j)) + 1) in
+        accr := !accr +. ((ar *. br) -. (ai *. bi));
+        acci := !acci +. ((ar *. bi) +. (ai *. br))
       done;
-      r.m.(i).(j) <- !acc
+      A.unsafe_set ra (row + (2 * j)) !accr;
+      A.unsafe_set ra (row + (2 * j) + 1) !acci
     done
   done;
   r
 
-let adjoint a =
-  let d = dim_of a.n in
-  let r = identity a.n in
+let adjoint x =
+  let d = x.d in
+  let r = zero_matrix x.n in
   for i = 0 to d - 1 do
     for j = 0 to d - 1 do
-      r.m.(i).(j) <- Cplx.conj a.m.(j).(i)
+      let off = 2 * ((j * d) + i) in
+      A.unsafe_set r.a (2 * ((i * d) + j)) (A.unsafe_get x.a off);
+      A.unsafe_set r.a ((2 * ((i * d) + j)) + 1) (-.A.unsafe_get x.a (off + 1))
     done
   done;
   r
@@ -113,27 +140,29 @@ let adjoint a =
 let apply u s =
   if State.nqubits s <> u.n then invalid_arg "Unitary.apply: size mismatch";
   Obs.Scope.incr "quantum.matvecs";
-  let d = dim_of u.n in
+  let d = u.d in
   let out = State.create u.n in
-  State.set_amplitude out 0 Cplx.zero;
+  let ua = u.a in
   for i = 0 to d - 1 do
-    let acc = ref Cplx.zero in
+    let row = 2 * i * d in
+    let accr = ref 0.0 and acci = ref 0.0 in
     for j = 0 to d - 1 do
-      acc := Cplx.add !acc (Cplx.mul u.m.(i).(j) (State.amplitude s j))
+      let mr = A.unsafe_get ua (row + (2 * j))
+      and mi = A.unsafe_get ua (row + (2 * j) + 1) in
+      let sr = State.re s j and si = State.im s j in
+      accr := !accr +. ((mr *. sr) -. (mi *. si));
+      acci := !acci +. ((mr *. si) +. (mi *. sr))
     done;
-    State.set_amplitude out i !acc
+    State.set_amplitude out i (Cplx.make !accr !acci)
   done;
   out
 
-let approx_equal ?(eps = 1e-9) a b =
-  a.n = b.n
+let approx_equal ?(eps = 1e-9) x y =
+  x.n = y.n
   &&
-  let d = dim_of a.n in
   let ok = ref true in
-  for i = 0 to d - 1 do
-    for j = 0 to d - 1 do
-      if not (Cplx.approx_equal ~eps a.m.(i).(j) b.m.(i).(j)) then ok := false
-    done
+  for off = 0 to (2 * x.d * x.d) - 1 do
+    if Float.abs (A.unsafe_get x.a off -. A.unsafe_get y.a off) > eps then ok := false
   done;
   !ok
 
@@ -142,13 +171,13 @@ let is_unitary ?(eps = 1e-9) a = approx_equal ~eps (mul a (adjoint a)) (identity
 let equal_up_to_phase ?(eps = 1e-9) a b =
   a.n = b.n
   &&
-  let d = dim_of a.n in
+  let d = a.d in
   (* Locate a reference entry of b with significant modulus. *)
   let ref_entry = ref None in
   (try
      for i = 0 to d - 1 do
        for j = 0 to d - 1 do
-         if Cplx.abs b.m.(i).(j) > 0.5 /. float_of_int d then begin
+         if Cplx.abs (get b i j) > 0.5 /. float_of_int d then begin
            ref_entry := Some (i, j);
            raise Exit
          end
@@ -158,16 +187,16 @@ let equal_up_to_phase ?(eps = 1e-9) a b =
   match !ref_entry with
   | None -> approx_equal ~eps a b
   | Some (i, j) ->
-      let bij = b.m.(i).(j) in
-      if Cplx.abs a.m.(i).(j) < eps then false
+      let bij = get b i j in
+      if Cplx.abs (get a i j) < eps then false
       else begin
         let phase =
-          Cplx.scale (1.0 /. Cplx.norm2 bij) (Cplx.mul a.m.(i).(j) (Cplx.conj bij))
+          Cplx.scale (1.0 /. Cplx.norm2 bij) (Cplx.mul (get a i j) (Cplx.conj bij))
         in
         let ok = ref (Float.abs (Cplx.abs phase -. 1.0) <= 1e-6) in
         for i = 0 to d - 1 do
           for j = 0 to d - 1 do
-            if not (Cplx.approx_equal ~eps a.m.(i).(j) (Cplx.mul phase b.m.(i).(j)))
+            if not (Cplx.approx_equal ~eps (get a i j) (Cplx.mul phase (get b i j)))
             then ok := false
           done
         done;

@@ -37,6 +37,12 @@ dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --sequential \
   --json "$tmp/exp_seq.json"
 cmp "$tmp/exp.json" "$tmp/exp_seq.json"
 
+# Both register-backend scheduling paths must too: force every
+# amplitude loop through the chunked dispatch and compare bytes.
+OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+  --json "$tmp/exp_par.json"
+cmp "$tmp/exp.json" "$tmp/exp_par.json"
+
 echo "== space-audit gate =="
 # Exits non-zero unless the fitted classical exponent lands in the
 # n^(1/3) band and the quantum data prefers the logarithmic model; the
@@ -51,5 +57,14 @@ echo "== bench JSON smoke =="
 dune exec bench/main.exe -- --quick --no-tables --only e2 --json "$tmp/bench.json"
 dune exec bench/main.exe -- --quick --no-tables --only e2 \
   --check "$tmp/bench.json" --tolerance 90
+
+echo "== bench baseline check =="
+# Gate the full kernel set against the committed dated baseline. The
+# tolerance is deliberately loose (timings are machine-dependent); what
+# this really pins is the kernel catalogue — a renamed or vanished
+# kernel fails regardless of tolerance. Re-record and commit a new
+# dated file after intentional kernel changes (see EXPERIMENTS.md).
+dune exec bench/main.exe -- --no-tables \
+  --check BENCH_2026-08-05.json --tolerance 90
 
 echo "== ci OK =="

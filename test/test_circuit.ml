@@ -255,10 +255,93 @@ let test_verify_detects_difference () =
   check "ancilla leak detected" false report.Verify.equivalent;
   check "leak reported" true (report.Verify.ancilla_leak > 0.1)
 
+let test_unitary_twelve_qubits () =
+  (* The column-building construction must reach the documented 12-qubit
+     cap (the dense per-gate product chain topped out at 10). *)
+  let c =
+    Circ.of_gates ~nqubits:12 [ Gate.H 0; Gate.Cnot { control = 0; target = 11 } ]
+  in
+  let u = Circ.unitary c in
+  check_int "dim" 4096 (Unitary.dim u);
+  let inv_sqrt2 = 1.0 /. sqrt 2.0 in
+  let entry i j = (Unitary.get u i j).Cplx.re in
+  Alcotest.(check (float 1e-12)) "u[0,0]" inv_sqrt2 (entry 0 0);
+  Alcotest.(check (float 1e-12)) "u[2049,0]" inv_sqrt2 (entry 2049 0);
+  Alcotest.(check (float 1e-12)) "u[0,1]" inv_sqrt2 (entry 0 1);
+  Alcotest.(check (float 1e-12)) "u[2049,1]" (-.inv_sqrt2) (entry 2049 1);
+  check "rejects 13 qubits" true
+    (match Circ.unitary (Circ.create ~nqubits:13) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gate_unitary_guard () =
+  check "budget guard" true
+    (match Circ.gate_unitary ~nqubits:2 (Gate.H 2) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let u = Circ.gate_unitary ~nqubits:3 (Gate.Cnot { control = 0; target = 2 }) in
+  check "embedded cnot unitary" true (Unitary.is_unitary u)
+
 (* ----------------------------------------------------------- properties *)
 
 let qcheck_tests =
   let open QCheck in
+  (* Random circuits on 2..8 qubits drawing from every gate constructor. *)
+  let arb_sized_circuit =
+    let gen =
+      let open Gen in
+      int_range 2 8 >>= fun n ->
+      let qubit = int_bound (n - 1) in
+      let distinct2 =
+        qubit >>= fun a ->
+        int_bound (n - 2) >>= fun b ->
+        let b = if b >= a then b + 1 else b in
+        return (a, b)
+      in
+      (* Nonempty strict subset of the qubits, as a bitmask. *)
+      let proper_mask = int_range 1 ((1 lsl n) - 2) in
+      let qubits_of_mask m = List.filter (fun q -> m lsr q land 1 = 1) (List.init n Fun.id) in
+      let gate1 ctor = map ctor qubit in
+      let singles =
+        [
+          gate1 (fun q -> Gate.H q); gate1 (fun q -> Gate.T q);
+          gate1 (fun q -> Gate.Tdg q); gate1 (fun q -> Gate.S q);
+          gate1 (fun q -> Gate.Sdg q); gate1 (fun q -> Gate.X q);
+          gate1 (fun q -> Gate.Z q);
+        ]
+      in
+      let doubles =
+        [
+          map (fun (c, t) -> Gate.Cnot { control = c; target = t }) distinct2;
+          map (fun (a, b) -> Gate.Cz (a, b)) distinct2;
+          map (fun m -> Gate.Mcz (qubits_of_mask m)) (int_range 1 ((1 lsl n) - 1));
+          (map (fun (m, t0) ->
+               let controls = qubits_of_mask m in
+               let outside = List.filter (fun q -> m lsr q land 1 = 0) (List.init n Fun.id) in
+               let target = List.nth outside (t0 mod List.length outside) in
+               Gate.Mcx { controls; target }))
+            (pair proper_mask (int_bound (n - 1)));
+        ]
+      in
+      let triples =
+        if n < 3 then []
+        else
+          [
+            (map (fun (a, (b0, c0)) ->
+                 let b = if b0 >= a then b0 + 1 else b0 in
+                 let c0 = if c0 >= min a b then c0 + 1 else c0 in
+                 let c = if c0 >= max a b then c0 + 1 else c0 in
+                 Gate.Ccx { c1 = a; c2 = b; target = c }))
+              (pair qubit (pair (int_bound (n - 2)) (int_bound (n - 3))));
+          ]
+      in
+      let arb_gate = oneof (singles @ doubles @ triples) in
+      list_size (int_range 1 14) arb_gate >>= fun gates -> return (n, gates)
+    in
+    make ~print:(fun (n, gates) ->
+        Format.asprintf "%a" Circ.pp (Circ.of_gates ~nqubits:n gates))
+      gen
+  in
   let arb_basis_gate =
     make
       Gen.(
@@ -275,6 +358,22 @@ let qcheck_tests =
           ])
   in
   [
+    Test.make ~name:"run = per-gate dense chain = column unitary" ~count:40
+      arb_sized_circuit
+      (fun (n, gates) ->
+        let c = Circ.of_gates ~nqubits:n gates in
+        (* A varied but deterministic basis-state input. *)
+        let j = List.length gates * 37 mod (1 lsl n) in
+        let s_run = State.basis n j in
+        Circ.run c s_run;
+        let s_chain =
+          List.fold_left
+            (fun s g -> Unitary.apply (Circ.gate_unitary ~nqubits:n g) s)
+            (State.basis n j) gates
+        in
+        let s_mat = Unitary.apply (Circ.unitary c) (State.basis n j) in
+        State.approx_equal ~eps:1e-9 s_run s_chain
+        && State.approx_equal ~eps:1e-9 s_run s_mat);
     Test.make ~name:"wire roundtrip on random basis circuits" ~count:100
       (list_of_size (Gen.int_range 0 30) arb_basis_gate)
       (fun gates ->
@@ -323,5 +422,7 @@ let suite =
     ("grover step = iteration", `Quick, test_grover_step_is_grover_iteration);
     ("per-bit builders compose", `Quick, test_per_bit_builders_compose_to_whole);
     ("verify detects differences", `Quick, test_verify_detects_difference);
+    ("unitary at 12 qubits", `Quick, test_unitary_twelve_qubits);
+    ("gate_unitary guard", `Quick, test_gate_unitary_guard);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -216,6 +216,87 @@ let test_distribution_sums_to_one () =
   let total = Array.fold_left ( +. ) 0.0 (State.distribution s) in
   checkf "sums to 1" 1.0 total
 
+let test_basis_and_reset () =
+  let s = State.basis 3 5 in
+  checkf "basis mass" 1.0 (State.probability s 5);
+  State.apply_gate1 s Gates.h 0;
+  State.reset_basis s 2;
+  checkf "reset mass" 1.0 (State.probability s 2);
+  checkf "reset cleared" 0.0 (State.probability s 5);
+  check "bad index" true
+    (match State.basis 2 4 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_full_width_phase_oracle () =
+  (* Regression: [width = nqubits] with no require qubit is the
+     full-register oracle (flip the phase of one basis state) and used
+     to be rejected by the shared address guard. *)
+  let n = 4 in
+  let s = State.create n in
+  State.apply_hadamard_block s 0 n;
+  let reference = State.copy s in
+  State.apply_phase_on_address s ~width:n ~address:9 ();
+  State.apply_phase_if reference (fun idx -> idx = 9);
+  check "flips exactly |address>" true (State.approx_equal s reference);
+  (* A require qubit (or xor target) still cannot fit above a
+     full-width address. *)
+  check "full width + require rejected" true
+    (match State.apply_phase_on_address s ~width:n ~address:0 ~require:3 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "full width xor rejected" true
+    (match State.apply_xor_on_address s ~width:n ~address:0 ~target:3 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sample_all_zero_tail () =
+  (* Regression: when the cumulative probability falls short of the
+     draw, the sampler must fall back to the largest index with nonzero
+     probability — never to a zero-mass basis state like dim-1. *)
+  let amps = Array.make 8 Cplx.zero in
+  amps.(2) <- Cplx.re 0.4;
+  (* total mass 0.16: most draws overshoot the cumulative sum *)
+  let s = State.of_amplitudes amps in
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "largest nonzero index" 2 (State.sample_all s rng)
+  done
+
+let test_backend_paths_bit_identical () =
+  (* The parallel chunked path and the plain sequential path must agree
+     bit for bit — the determinism contract behind run-all --check. *)
+  let saved = State.parallel_threshold () in
+  Fun.protect
+    ~finally:(fun () -> State.set_parallel_threshold saved)
+    (fun () ->
+      let run () =
+        let s = State.create 15 in
+        State.apply_hadamard_block s 0 15;
+        State.apply_gate1 s (Gates.rz 0.37) 3;
+        State.apply_controlled1 s Gates.t ~control:2 ~target:9;
+        State.apply_cnot s ~control:14 ~target:0;
+        State.apply_phase_if s (fun idx -> idx land 5 = 5);
+        State.apply_xor_if s (fun idx -> idx land 3 = 1) 7;
+        State.apply_xor_on_address s ~width:4 ~address:11 ~target:8 ();
+        State.apply_phase_on_address s ~width:4 ~address:7 ~require:6 ();
+        let n1 = State.norm s in
+        let p1 = State.prob_qubit_one s 5 in
+        let m = State.measure_qubit s (Rng.create 7) 9 in
+        (s, n1, p1, m)
+      in
+      State.set_parallel_threshold max_int;
+      let seq, nrm_s, p_s, m_s = run () in
+      State.set_parallel_threshold 0;
+      let par, nrm_p, p_p, m_p = run () in
+      let ok = ref true in
+      for i = 0 to State.dim seq - 1 do
+        if State.re seq i <> State.re par i || State.im seq i <> State.im par i
+        then ok := false
+      done;
+      check "amplitudes bit-identical" true !ok;
+      check "norm bit-identical" true (nrm_s = nrm_p);
+      check "prob bit-identical" true (p_s = p_p);
+      check "measurement identical" true (m_s = m_p))
+
 let test_of_amplitudes_guard () =
   Alcotest.check_raises "not a power of two"
     (Invalid_argument "State.of_amplitudes: length must be a power of two")
@@ -317,6 +398,10 @@ let suite =
     ("sample_all", `Quick, test_sample_all_distribution);
     ("distribution normalised", `Quick, test_distribution_sums_to_one);
     ("of_amplitudes guard", `Quick, test_of_amplitudes_guard);
+    ("basis and reset_basis", `Quick, test_basis_and_reset);
+    ("full-width phase oracle", `Quick, test_full_width_phase_oracle);
+    ("sample_all zero tail", `Quick, test_sample_all_zero_tail);
+    ("backend paths bit-identical", `Quick, test_backend_paths_bit_identical);
     ("unitary constructors", `Quick, test_unitary_constructors);
     ("unitary phase equality", `Quick, test_unitary_phase_equality);
     ("unitary adjoint inverse", `Quick, test_unitary_adjoint_inverse);
