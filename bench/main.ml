@@ -21,7 +21,10 @@
      --check BASELINE   compare ns/run against a baseline JSON; exit 1 on
                         drift beyond --tolerance PCT (default 25%); the OLS
                         r^2 column is telemetry and is never compared
-     --no-tables        skip the experiment tables *)
+     --no-tables        skip the experiment tables
+     --trace FILE       record an Obs.Trace timeline across the whole run
+                        and write it as an oqsc-trace document (- for
+                        stdout); covers kernels and tables alike *)
 
 open Bechamel
 open Toolkit
@@ -273,10 +276,11 @@ type opts = {
   check : string option;
   tolerance : float;
   tables : bool;
+  trace_file : string option;
 }
 
 let usage =
-  "usage: bench/main.exe [--quick] [--only A,B] [--json FILE] [--check BASELINE] [--tolerance PCT] [--no-tables]"
+  "usage: bench/main.exe [--quick] [--only A,B] [--json FILE] [--check BASELINE] [--tolerance PCT] [--no-tables] [--trace FILE]"
 
 let parse_args () =
   let rec go opts = function
@@ -297,13 +301,14 @@ let parse_args () =
             prerr_endline usage;
             exit 2)
     | "--no-tables" :: rest -> go { opts with tables = false } rest
+    | "--trace" :: file :: rest -> go { opts with trace_file = Some file } rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n%s\n" arg usage;
         exit 2
   in
   go
     { quick = false; only = []; json_file = None; check = None;
-      tolerance = 25.0; tables = true }
+      tolerance = 25.0; tables = true; trace_file = None }
     (List.tl (Array.to_list Sys.argv))
 
 let contains_substring haystack needle =
@@ -326,7 +331,10 @@ let () =
     Printf.eprintf "--only matched no kernels\n";
     exit 2
   end;
-  let rows = run_microbenches tests in
+  if opts.trace_file <> None then Obs.Trace.start ();
+  let rows =
+    Obs.Trace.with_span "bench.kernels" (fun () -> run_microbenches tests)
+  in
   let doc = kernels_doc ~quick:opts.quick rows in
   (match
      match opts.json_file with
@@ -367,8 +375,15 @@ let () =
               (List.length drifts) opts.tolerance path;
             exit 1
           end));
-  if opts.tables then begin
-    Printf.printf "\n== Experiment tables (one per DESIGN.md index entry) ==\n";
-    Experiments.Registry.run_all ~quick:opts.quick ~seed Format.std_formatter;
-    Format.pp_print_flush Format.std_formatter ()
-  end
+  if opts.tables then
+    Obs.Trace.with_span "bench.tables" (fun () ->
+        Printf.printf "\n== Experiment tables (one per DESIGN.md index entry) ==\n";
+        Experiments.Registry.run_all ~quick:opts.quick ~seed Format.std_formatter;
+        Format.pp_print_flush Format.std_formatter ());
+  match opts.trace_file with
+  | None -> ()
+  | Some path -> (
+      let dump = Obs.Trace.stop () in
+      match Experiments.Chrome_trace.write path dump with
+      | () -> Printf.eprintf "trace written to %s\n" path
+      | exception Sys_error msg -> Printf.eprintf "--trace: %s\n" msg)

@@ -5,9 +5,11 @@
              malformed) on stdout
      run   - run a recognizer (quantum / block / naive / sketch) on an input
      ne    - decide the L_NE extension language nondeterministically
-     run-all - run experiments across domains, emit/check JSON results
+     run-all - run experiments across domains, emit/check JSON results,
+             optionally record a Chrome trace timeline (--trace)
      space-audit - fit space-scaling exponents and gate them against
              the paper's bands
+     trace-lint - structurally validate an oqsc-trace document
      exp   - run one experiment (e1..e15) or all of them
      ids   - list experiment ids with descriptions *)
 
@@ -163,7 +165,16 @@ let run_all_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text tables.")
   in
-  let action quick seed only sequential domains json_file timing check tolerance quiet =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a wall-clock timeline of the run and write it to FILE (- for stdout) as Chrome trace-event JSON (kind oqsc-trace; load in Perfetto or chrome://tracing). Tracing never affects results: the --json document is byte-identical with and without it.")
+  in
+  let action quick seed only sequential domains json_file timing check tolerance quiet
+      trace_file =
     let only =
       Option.map
         (fun s ->
@@ -173,15 +184,34 @@ let run_all_cmd =
     in
     if only = Some [] then
       `Error (false, "--only selected no experiments; try 'oqsc ids'")
-    else
-    match Experiments.Registry.results ~quick ~seed ~sequential ?domains ?only () with
+    else begin
+    if trace_file <> None then Obs.Trace.start ();
+    (* The run and render phases land inside the trace; everything from
+       the JSON emit on happens after [stop], which also means a crash
+       while writing the trace file cannot leave tracing enabled. *)
+    let traced_run () =
+      let results =
+        Obs.Trace.with_span "run-all.experiments" (fun () ->
+            Experiments.Registry.results ~quick ~seed ~sequential ?domains
+              ?only ())
+      in
+      if not quiet then
+        Obs.Trace.with_span "run-all.render" (fun () ->
+            List.iter (Experiments.Report.render Format.std_formatter) results;
+            Format.pp_print_flush Format.std_formatter ());
+      results
+    in
+    match traced_run () with
     | exception Not_found ->
+        if trace_file <> None then ignore (Obs.Trace.stop ());
         `Error (false, "unknown experiment id in --only; try 'oqsc ids'")
     | results -> (
-        if not quiet then begin
-          List.iter (Experiments.Report.render Format.std_formatter) results;
-          Format.pp_print_flush Format.std_formatter ()
-        end;
+        (match trace_file with
+        | None -> ()
+        | Some path ->
+            let dump = Obs.Trace.stop () in
+            (try Experiments.Chrome_trace.write path dump
+             with Sys_error msg -> Printf.eprintf "--trace: %s\n" msg));
         if timing then begin
           Printf.printf "\n== timing (wall-clock per experiment) ==\n";
           List.iter
@@ -231,15 +261,16 @@ let run_all_cmd =
                     (List.length drifts) tolerance path;
                   exit 1
                 end)))
+    end
   in
   Cmd.v
     (Cmd.info "run-all"
        ~doc:
-         "Run experiments across domains; optionally emit JSON results and gate against a baseline.")
+         "Run experiments across domains; optionally emit JSON results, record a Chrome trace timeline, and gate against a baseline.")
     Term.(
       ret
         (const action $ quick $ seed $ only $ sequential $ domains $ json_file
-       $ timing $ check $ tolerance $ quiet))
+       $ timing $ check $ tolerance $ quiet $ trace_file))
 
 (* ---------------------------------------------------------- space-audit *)
 
@@ -256,14 +287,30 @@ let space_audit_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text table.")
   in
-  let action quick seed json_file quiet =
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Print a per-row wall-clock summary and include wall_ms telemetry (per row and total) in the JSON document; the --check differ always ignores wall_ms, so timed and untimed documents gate interchangeably.")
+  in
+  let action quick seed json_file quiet timing =
     let a = Experiments.Space_audit.audit ~quick ~seed () in
     if not quiet then begin
       Experiments.Report.render_body Format.std_formatter
         (Experiments.Space_audit.body a);
       Format.pp_print_flush Format.std_formatter ()
     end;
-    let doc = Experiments.Space_audit.to_json ~seed ~quick a in
+    if timing then begin
+      Printf.printf "\n== timing (wall-clock per row) ==\n";
+      List.iter
+        (fun (r : Experiments.Space_audit.row) ->
+          Printf.printf "k=%-2d %10.1f ms\n" r.Experiments.Space_audit.k
+            r.Experiments.Space_audit.wall_ms)
+        a.Experiments.Space_audit.rows;
+      Printf.printf "all  %10.1f ms\n" (Experiments.Space_audit.total_wall_ms a)
+    end;
+    let doc = Experiments.Space_audit.to_json ~timing ~seed ~quick a in
     match
       match json_file with
       | Some "-" -> print_string (Experiments.Json.to_string doc)
@@ -288,7 +335,41 @@ let space_audit_cmd =
     (Cmd.info "space-audit"
        ~doc:
          "Sweep k, fit space-scaling exponents for the classical and quantum machines, and exit non-zero unless the classical slope lands in its n^(1/3) band and the quantum data prefers the logarithmic model.")
-    Term.(ret (const action $ quick $ seed $ json_file $ quiet))
+    Term.(ret (const action $ quick $ seed $ json_file $ quiet $ timing))
+
+(* ----------------------------------------------------------- trace-lint *)
+
+let trace_lint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"An oqsc-trace document written by --trace.")
+  in
+  let action file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error msg -> `Error (false, "trace-lint: " ^ msg)
+    | raw -> (
+        match Experiments.Json.parse raw with
+        | Error msg -> `Error (false, Printf.sprintf "trace-lint %s: %s" file msg)
+        | Ok doc -> (
+            match Experiments.Chrome_trace.lint doc with
+            | Ok { Experiments.Chrome_trace.events; tracks; max_depth } ->
+                Printf.printf
+                  "trace OK: %d event(s) on %d track(s), max span depth %d\n"
+                  events tracks max_depth;
+                `Ok ()
+            | Error problems ->
+                List.iter (fun p -> Printf.eprintf "TRACE %s\n" p) problems;
+                Printf.eprintf "trace-lint FAILED: %d problem(s) in %s\n"
+                  (List.length problems) file;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:
+         "Validate an oqsc-trace document: envelope, per-track B/E span balance, nondecreasing timestamps, and zero dropped events.")
+    Term.(ret (const action $ file))
 
 (* ------------------------------------------------------------------ exp *)
 
@@ -344,6 +425,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; exp_cmd; ne_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; trace_lint_cmd; exp_cmd; ne_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

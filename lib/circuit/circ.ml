@@ -69,7 +69,10 @@ let apply_gate s (g : Gate.t) =
 let run t s =
   if State.nqubits s <> t.nqubits then invalid_arg "Circ.run: register size mismatch";
   Obs.Scope.incr "circuit.runs";
-  iter (apply_gate s) t
+  Obs.Trace.with_span
+    ~args:[ ("gates", Obs.Trace.Int t.len) ]
+    "circ.run"
+    (fun () -> iter (apply_gate s) t)
 
 let gate_unitary ~nqubits (g : Gate.t) =
   if Gate.max_qubit g >= nqubits then
@@ -108,6 +111,8 @@ let gate_unitary ~nqubits (g : Gate.t) =
    allocated its own. *)
 let unitary t =
   if t.nqubits > 12 then invalid_arg "Circ.unitary: register too large for dense matrix";
+  Obs.Trace.with_span ~args:[ ("gates", Obs.Trace.Int t.len) ] "circ.unitary"
+  @@ fun () ->
   let d = 1 lsl t.nqubits in
   let u = Unitary.identity t.nqubits in
   let col = State.create t.nqubits in

@@ -1,0 +1,166 @@
+(* Chrome trace-event rendering of Obs.Trace dumps, plus the structural
+   linter CI runs over the emitted file.  The document deliberately
+   reuses the sorted-key Json emitter: Perfetto does not care about key
+   order, but keeping one emitter means one set of formatting rules. *)
+
+module T = Obs.Trace
+
+(* All events share one fake process; tracks are domains. *)
+let pid = 1
+
+let us_of ~t0_ns ts_ns = Int64.to_float (Int64.sub ts_ns t0_ns) /. 1e3
+
+let json_of_value = function
+  | T.Int i -> Json.Int i
+  | T.Float f -> Json.Float f
+  | T.Str s -> Json.Str s
+
+let args_field args =
+  match args with
+  | [] -> []
+  | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) args)) ]
+
+let event_obj ~t0_ns (e : T.event) =
+  let base =
+    [
+      ("name", Json.Str e.T.name);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int e.T.domain);
+      ("ts", Json.Float (us_of ~t0_ns e.T.ts_ns));
+    ]
+  in
+  let ph, extra =
+    match e.T.kind with
+    | T.Begin -> ("B", [])
+    | T.End -> ("E", [])
+    | T.Instant -> ("i", [ ("s", Json.Str "t") ]) (* thread-scoped tick *)
+    | T.Counter -> ("C", [])
+  in
+  Json.Obj ((("ph", Json.Str ph) :: base) @ extra @ args_field e.T.args)
+
+let metadata_objs events =
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : T.event) -> e.T.domain) events)
+  in
+  let meta name tid value =
+    Json.Obj
+      [
+        ("ph", Json.Str "M");
+        ("name", Json.Str name);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("ts", Json.Float 0.0);
+        ("args", Json.Obj [ ("name", Json.Str value) ]);
+      ]
+  in
+  meta "process_name" 0 "oqsc"
+  :: List.map (fun d -> meta "thread_name" d (Printf.sprintf "domain %d" d)) domains
+
+let document (dump : T.dump) =
+  Json.Obj
+    [
+      ("kind", Json.Str "oqsc-trace");
+      ("version", Json.Int 1);
+      ("displayTimeUnit", Json.Str "ms");
+      ("dropped", Json.Int dump.T.dropped);
+      ( "traceEvents",
+        Json.List
+          (metadata_objs dump.T.events
+          @ List.map (event_obj ~t0_ns:dump.T.t0_ns) dump.T.events) );
+    ]
+
+let write path dump =
+  let text = Json.to_string (document dump) in
+  match path with
+  | "-" -> print_string text
+  | path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text)
+
+(* ---------------------------------------------------------------- lint *)
+
+type stats = { events : int; tracks : int; max_depth : int }
+
+let lint doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let field obj k = match obj with Json.Obj kvs -> List.assoc_opt k kvs | _ -> None in
+  (* Envelope. *)
+  (match field doc "kind" with
+  | Some (Json.Str "oqsc-trace") -> ()
+  | _ -> err "kind: expected \"oqsc-trace\"");
+  (match field doc "version" with
+  | Some (Json.Int 1) -> ()
+  | _ -> err "version: expected 1");
+  (match field doc "dropped" with
+  | Some (Json.Int 0) -> ()
+  | Some (Json.Int n) -> err "dropped: %d event(s) lost to a full buffer" n
+  | _ -> err "dropped: missing or not an int");
+  let events =
+    match field doc "traceEvents" with
+    | Some (Json.List evs) -> evs
+    | _ ->
+        err "traceEvents: missing or not an array";
+        []
+  in
+  (* Per-track state: open-span name stack and the last timestamp. *)
+  let tracks : (int, string list ref * float ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let max_depth = ref 0 and counted = ref 0 in
+  List.iteri
+    (fun i ev ->
+      let str k = match field ev k with Some (Json.Str s) -> Some s | _ -> None in
+      let num k =
+        match field ev k with
+        | Some (Json.Int n) -> Some (float_of_int n)
+        | Some (Json.Float f) -> Some f
+        | _ -> None
+      in
+      match str "ph" with
+      | None -> err "event %d: missing ph" i
+      | Some "M" -> ()
+      | Some ph -> (
+          incr counted;
+          let name = str "name" and tid = num "tid" and ts = num "ts" in
+          (if name = None then err "event %d (ph %s): missing name" i ph);
+          match (tid, ts) with
+          | None, _ -> err "event %d (ph %s): missing tid" i ph
+          | _, None -> err "event %d (ph %s): missing ts" i ph
+          | Some tid, Some ts -> (
+              let tid = int_of_float tid in
+              let stack, last_ts =
+                match Hashtbl.find_opt tracks tid with
+                | Some s -> s
+                | None ->
+                    let s = (ref [], ref neg_infinity) in
+                    Hashtbl.add tracks tid s;
+                    s
+              in
+              if ts < !last_ts then
+                err "event %d: ts %g decreases (track %d was at %g)" i ts tid
+                  !last_ts;
+              last_ts := ts;
+              let name = Option.value name ~default:"" in
+              match ph with
+              | "B" ->
+                  stack := name :: !stack;
+                  max_depth := max !max_depth (List.length !stack)
+              | "E" -> (
+                  match !stack with
+                  | [] -> err "event %d: E %S on track %d with no open span" i name tid
+                  | top :: rest ->
+                      if name <> "" && name <> top then
+                        err "event %d: E %S closes open span %S on track %d" i
+                          name top tid;
+                      stack := rest)
+              | "i" | "C" -> ()
+              | ph -> err "event %d: unknown ph %S" i ph)))
+    events;
+  Hashtbl.iter
+    (fun tid (stack, _) ->
+      List.iter (fun name -> err "track %d: span %S never closed" tid name) !stack)
+    tracks;
+  if !errors = [] then
+    Ok { events = !counted; tracks = Hashtbl.length tracks; max_depth = !max_depth }
+  else Error (List.rev !errors)

@@ -1,0 +1,36 @@
+(** Chrome trace-event export for [Obs.Trace] dumps.
+
+    {!document} renders a trace dump as the [oqsc-trace] JSON document
+    (normatively specified in [docs/SCHEMA.md]): a Chrome/Perfetto
+    trace-event file — load it at [ui.perfetto.dev] or
+    [chrome://tracing] — wrapped with the repository's usual
+    [kind]/[version] envelope.  One track per domain, [ph:"B"]/[ph:"E"]
+    slice pairs per span, [ph:"i"] instants, [ph:"C"] counters, and
+    [ph:"M"] thread-name metadata.  Timestamps are microseconds from
+    the session start ([Obs.Trace.start]'s clock reading), emitted
+    through the shared sorted-key emitter.
+
+    Unlike every other document kind, [oqsc-trace] is {e exempt from
+    the determinism contract}: it exists to record wall-clock time, so
+    two runs never produce identical bytes.  {!lint} is the structural
+    gate CI applies instead. *)
+
+val document : Obs.Trace.dump -> Json.t
+(** Render a dump as the [oqsc-trace] v1 document. *)
+
+val write : string -> Obs.Trace.dump -> unit
+(** [write path dump] serializes {!document} to [path] ([-] for
+    stdout).
+    @raise Sys_error as [Out_channel.with_open_text] does. *)
+
+type stats = { events : int; tracks : int; max_depth : int }
+(** What {!lint} saw: total non-metadata events, distinct [tid]
+    tracks, and the deepest [B]-nesting across tracks. *)
+
+val lint : Json.t -> (stats, string list) result
+(** Structural validation of a parsed [oqsc-trace] document: the
+    envelope is well-formed, no events were dropped, every event
+    carries the keys its phase requires, timestamps are nondecreasing
+    per track, and every track's [B]/[E] events balance (LIFO, matching
+    names, depth returning to zero).  Returns every violation found,
+    not just the first. *)

@@ -73,12 +73,46 @@ let description id =
    [resources] snapshot covers exactly one experiment and inherits the
    same determinism (the sink observes; it never feeds back).  Nested
    [Parallel.map_chunks] inside an experiment merges per-chunk sinks in
-   chunk order, keeping the snapshot domain-count independent. *)
+   chunk order, keeping the snapshot domain-count independent.
+
+   The body also runs inside an [Obs.Scope.with_span] named
+   [experiment.<id>], which feeds both layers at once: the gated
+   [span.experiment.<id>] counter in [resources] (deterministic, like
+   any other span counter) and — when an [Obs.Trace] session is live —
+   a timed slice on whichever domain ran the experiment.  GC telemetry
+   is trace-only: when tracing, the [Gc.quick_stat] deltas of the body
+   ride out as a [gc.experiment] instant plus cumulative [gc] counter
+   samples, and never touch the sink. *)
 let result ?(quick = false) ?(seed = 2006) id : Report.t =
   let _, description, build = find id in
   let sink = Obs.create () in
   let t0 = Unix.gettimeofday () in
-  let body = Obs.Scope.with_sink sink (fun () -> build ~quick ~seed) in
+  let gc0 = if Obs.Trace.enabled () then Some (Gc.quick_stat ()) else None in
+  let body =
+    Obs.Scope.with_sink sink (fun () ->
+        Obs.Scope.with_span ("experiment." ^ id) (fun () -> build ~quick ~seed))
+  in
+  (match gc0 with
+  | None -> ()
+  | Some g0 ->
+      let g1 = Gc.quick_stat () in
+      Obs.Trace.instant "gc.experiment"
+        ~args:
+          [
+            ("id", Obs.Trace.Str id);
+            ( "minor_collections",
+              Obs.Trace.Int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
+            ( "major_collections",
+              Obs.Trace.Int (g1.Gc.major_collections - g0.Gc.major_collections) );
+            ( "promoted_words",
+              Obs.Trace.Float (g1.Gc.promoted_words -. g0.Gc.promoted_words) );
+          ];
+      Obs.Trace.counter "gc"
+        [
+          ("minor_collections", float_of_int g1.Gc.minor_collections);
+          ("major_collections", float_of_int g1.Gc.major_collections);
+          ("promoted_words", g1.Gc.promoted_words);
+        ]);
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   { Report.id; description; seed; quick; wall_ms; resources = Obs.snapshot sink; body }
 

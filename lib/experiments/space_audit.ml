@@ -7,6 +7,7 @@ type row = {
   classical_total_bits : int;
   quantum_total_bits : int option;
   quantum_qubits : int option;
+  wall_ms : float;
 }
 
 type fit = {
@@ -35,11 +36,16 @@ let default_classical_band = (0.28, 0.40)
 
 let quantum_cap quick = if quick then 4 else 6
 
+(* Per-row wall-clock is measured unconditionally (two gettimeofday
+   calls per k are noise) but serialized only on request: like the
+   experiments document's wall_ms it is telemetry, never gated, and
+   never feeds back into any measured quantity. *)
 let rows ?(quick = false) ~seed () =
   let rng = Rng.create seed in
   let ks = if quick then [ 1; 2; 3; 4; 5 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   List.map
     (fun k ->
+      let t0 = Unix.gettimeofday () in
       let inst = Lang.Instance.disjoint_pair (Rng.split rng) ~k in
       let input = inst.Lang.Instance.input in
       let quantum =
@@ -64,6 +70,7 @@ let rows ?(quick = false) ~seed () =
             (fun (q : Oqsc.Recognizer.run) ->
               q.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits)
             quantum;
+        wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
       })
     ks
 
@@ -173,10 +180,13 @@ let body a =
       ];
   }
 
-let to_json ~seed ~quick a =
+let total_wall_ms a = List.fold_left (fun acc r -> acc +. r.wall_ms) 0.0 a.rows
+
+let to_json ?(timing = false) ~seed ~quick a =
   let lo, hi = a.verdict.classical_band in
+  let wall r = if timing then [ ("wall_ms", Json.Float r.wall_ms) ] else [] in
   Json.Obj
-    [
+    ([
       ("kind", Json.Str "oqsc-space-audit");
       ("version", Json.Int 1);
       ("seed", Json.Int seed);
@@ -186,7 +196,7 @@ let to_json ~seed ~quick a =
           (List.map
              (fun r ->
                Json.Obj
-                 [
+                 ([
                    ("k", Json.Int r.k);
                    ("n", Json.Int r.n);
                    ("classical_storage_bits", Json.Int r.classical_storage_bits);
@@ -199,7 +209,8 @@ let to_json ~seed ~quick a =
                      match r.quantum_qubits with
                      | Some q -> Json.Int q
                      | None -> Json.Null );
-                 ])
+                 ]
+                 @ wall r))
              a.rows) );
       ( "fit",
         Json.Obj
@@ -221,6 +232,7 @@ let to_json ~seed ~quick a =
             ("passed", Json.Bool (passed a));
           ] );
     ]
+    @ if timing then [ ("wall_ms", Json.Float (total_wall_ms a)) ] else [])
 
 let print ?quick ~seed fmt =
   Report.render_body fmt (body (audit ?quick ~seed ()))

@@ -24,6 +24,9 @@ type row = {
   classical_total_bits : int;  (** peak metered bits incl. counters *)
   quantum_total_bits : int option;  (** classical + qubits; [None] above the simulation cap *)
   quantum_qubits : int option;
+  wall_ms : float;
+      (** wall-clock of this row's sweep — telemetry only, serialized
+          only with [~timing:true], never gated *)
 }
 
 type fit = {
@@ -63,7 +66,14 @@ val passed : audit -> bool
 val body : audit -> Report.body
 (** Table plus fit metrics, rendered like any experiment report. *)
 
-val to_json : seed:int -> quick:bool -> audit -> Json.t
-(** Standalone document, [kind = "oqsc-space-audit"], [version = 1]. *)
+val total_wall_ms : audit -> float
+(** Sum of the per-row wall-clocks. *)
+
+val to_json : ?timing:bool -> seed:int -> quick:bool -> audit -> Json.t
+(** Standalone document, [kind = "oqsc-space-audit"], [version = 1].
+    [~timing:true] (default false) adds a [wall_ms] float to every row
+    and a total [wall_ms] at top level; like the experiments document's
+    [wall_ms], they are telemetry the differ always ignores, so timed
+    and untimed documents gate interchangeably. *)
 
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit

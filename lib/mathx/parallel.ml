@@ -20,10 +20,17 @@ let map_chunks ?domains ~chunks f ~rng =
     | Some _ -> Array.init chunks (fun _ -> Obs.create ())
   in
   let call i =
-    match parent_sink with
-    | None -> f ~chunk:i ~rng:rngs.(i)
-    | Some _ ->
-        Obs.Scope.with_sink chunk_sinks.(i) (fun () -> f ~chunk:i ~rng:rngs.(i))
+    (* The span lands on whichever domain actually runs the chunk, so a
+       trace shows the work-stealing schedule as it happened. *)
+    Obs.Trace.with_span
+      ~args:[ ("chunk", Obs.Trace.Int i) ]
+      "parallel.map_chunk"
+      (fun () ->
+        match parent_sink with
+        | None -> f ~chunk:i ~rng:rngs.(i)
+        | Some _ ->
+            Obs.Scope.with_sink chunk_sinks.(i) (fun () ->
+                f ~chunk:i ~rng:rngs.(i)))
   in
   let results = Array.make chunks None in
   let next = Atomic.make 0 in
@@ -40,7 +47,11 @@ let map_chunks ?domains ~chunks f ~rng =
   if domains <= 1 || chunks <= 1 then worker ()
   else begin
     let spawned =
-      List.init (min domains chunks - 1) (fun _ -> Domain.spawn worker)
+      List.init
+        (min domains chunks - 1)
+        (fun _ ->
+          Domain.spawn (fun () ->
+              Obs.Trace.with_span "parallel.worker" worker))
     in
     worker ();
     List.iter Domain.join spawned
@@ -80,6 +91,16 @@ let chunk_bounds n chunks i = (i * n / chunks, (i + 1) * n / chunks)
    ambient Obs sink (spawned domains cannot see it) and chunk work must
    be independent. *)
 let dispatch_chunks ~domains ~chunks run =
+  (* Chunk spans only when a trace session is live: the closure below
+     costs an allocation, which the untraced hot path should not pay. *)
+  let run =
+    if Obs.Trace.enabled () then fun i ->
+      Obs.Trace.with_span
+        ~args:[ ("chunk", Obs.Trace.Int i) ]
+        "parallel.range_chunk"
+        (fun () -> run i)
+    else run
+  in
   if domains <= 1 || chunks <= 1 then
     for i = 0 to chunks - 1 do
       run i
@@ -97,7 +118,11 @@ let dispatch_chunks ~domains ~chunks run =
       loop ()
     in
     let spawned =
-      List.init (min domains chunks - 1) (fun _ -> Domain.spawn worker)
+      List.init
+        (min domains chunks - 1)
+        (fun _ ->
+          Domain.spawn (fun () ->
+              Obs.Trace.with_span "parallel.worker" worker))
     in
     worker ();
     List.iter Domain.join spawned

@@ -12,7 +12,15 @@
     ambient [Obs] sink installed, each chunk records into a private sink
     (whichever domain it runs on) and the private sinks are merged back
     into the caller's in chunk order after the join, so measured
-    resource totals are also independent of [domains]. *)
+    resource totals are also independent of [domains].
+
+    Timeline tracing rides along without joining the contract: when an
+    [Obs.Trace] session is live, every chunk brackets itself with a
+    timed span ([parallel.map_chunk] / [parallel.range_chunk], with the
+    chunk index as an argument) on whichever domain runs it, and each
+    spawned domain wraps its stealing loop in a [parallel.worker] span.
+    Tracing reads clocks and is exempt from determinism; it never
+    touches the chunk sinks, the PRNG streams, or the results. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cores - 1)], capped at 8 so nested parallel sections cannot

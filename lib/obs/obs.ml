@@ -1,7 +1,14 @@
 (* Counters, peak gauges, and spans behind the experiment `resources`
    section.  Everything here is deterministic: no clock, no I/O, no
    randomness — installing a sink must never change what a seeded
-   computation produces, only record what it spent. *)
+   computation produces, only record what it spent.
+
+   The one deliberate exception lives in the [Trace] submodule below: an
+   opt-in timeline recorder that DOES read a monotonic clock.  It is
+   kept entirely outside the sink/merge/snapshot path — nothing a sink
+   serializes can ever depend on it — so the determinism contract above
+   survives tracing untouched (CI byte-compares traced and untraced
+   runs to prove it). *)
 
 type gauge = { mutable level : int; mutable peak : int }
 
@@ -91,6 +98,149 @@ let merge ~into src =
       if g.peak > dst.peak then dst.peak <- g.peak)
     src.gauges
 
+(* --------------------------------------------------------------- trace *)
+
+module Trace = struct
+  (* Timed-event timeline, exported as Chrome trace-event JSON by
+     [Experiments.Chrome_trace].  Unlike the sink above this reads a
+     monotonic clock, so it is opt-in ([start]/[stop]) and never feeds
+     the gated [resources] path: recording appends to per-domain
+     buffers that only [stop] ever reads. *)
+
+  type value = Int of int | Float of float | Str of string
+  type kind = Begin | End | Instant | Counter
+
+  type event = {
+    kind : kind;
+    name : string;
+    ts_ns : int64;
+    domain : int;
+    args : (string * value) list;
+  }
+
+  let dummy =
+    { kind = Instant; name = ""; ts_ns = 0L; domain = 0; args = [] }
+
+  (* Bounded per-domain buffer.  Full buffers drop new events (counted
+     in [dropped]) rather than old ones, so the surviving prefix keeps
+     every span begin/end pairing it contains. *)
+  type ring = {
+    ring_domain : int;
+    cap : int;
+    mutable buf : event array;
+    mutable len : int;
+    mutable dropped : int;
+  }
+
+  type dump = { t0_ns : int64; events : event list; dropped : int }
+
+  let default_capacity = 1 lsl 16
+
+  let enabled_flag = Atomic.make false
+  let session = Atomic.make 0
+  let t0 = Atomic.make 0L
+  let capacity = Atomic.make default_capacity
+  let registry_lock = Mutex.create ()
+  let rings : ring list ref = ref []
+
+  let enabled () = Atomic.get enabled_flag
+
+  let now_ns () = Monotonic_clock.now ()
+
+  (* The calling domain's ring for the current session, created and
+     registered on first use.  DLS keeps the common path lock-free; the
+     mutex is only taken once per (domain, session). *)
+  let ring_key : (int * ring) option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let my_ring () =
+    let current = Atomic.get session in
+    match Domain.DLS.get ring_key with
+    | Some (s, r) when s = current -> r
+    | _ ->
+        let r =
+          {
+            ring_domain = (Domain.self () :> int);
+            cap = Atomic.get capacity;
+            buf = Array.make 64 dummy;
+            len = 0;
+            dropped = 0;
+          }
+        in
+        Mutex.lock registry_lock;
+        rings := r :: !rings;
+        Mutex.unlock registry_lock;
+        Domain.DLS.set ring_key (Some (current, r));
+        r
+
+  let push r e =
+    if r.len >= r.cap then r.dropped <- r.dropped + 1
+    else begin
+      if r.len = Array.length r.buf then begin
+        let bigger =
+          Array.make (min r.cap (2 * Array.length r.buf)) dummy
+        in
+        Array.blit r.buf 0 bigger 0 r.len;
+        r.buf <- bigger
+      end;
+      r.buf.(r.len) <- e;
+      r.len <- r.len + 1
+    end
+
+  let emit kind name args =
+    let r = my_ring () in
+    push r
+      { kind; name; ts_ns = now_ns (); domain = r.ring_domain; args }
+
+  let start ?capacity:(cap = default_capacity) () =
+    if cap < 1 then invalid_arg "Obs.Trace.start: capacity must be positive";
+    Mutex.lock registry_lock;
+    rings := [];
+    Mutex.unlock registry_lock;
+    Atomic.set capacity cap;
+    Atomic.incr session;
+    Atomic.set t0 (now_ns ());
+    Atomic.set enabled_flag true
+
+  let stop () =
+    Atomic.set enabled_flag false;
+    Mutex.lock registry_lock;
+    let collected = !rings in
+    rings := [];
+    Mutex.unlock registry_lock;
+    let events =
+      List.concat_map
+        (fun r -> Array.to_list (Array.sub r.buf 0 r.len))
+        collected
+    in
+    (* Per-ring order is already chronological (one domain, monotonic
+       clock); a stable sort on the timestamp interleaves the rings
+       without reordering any ring's own events. *)
+    let events =
+      List.stable_sort (fun a b -> Int64.compare a.ts_ns b.ts_ns) events
+    in
+    {
+      t0_ns = Atomic.get t0;
+      events;
+      dropped =
+        List.fold_left (fun acc (r : ring) -> acc + r.dropped) 0 collected;
+    }
+
+  let instant ?(args = []) name =
+    if Atomic.get enabled_flag then emit Instant name args
+
+  let counter name samples =
+    if Atomic.get enabled_flag then
+      emit Counter name (List.map (fun (k, v) -> (k, Float v)) samples)
+
+  let with_span ?(args = []) name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      emit Begin name args;
+      Fun.protect ~finally:(fun () -> emit End name []) f
+    end
+end
+
 (* --------------------------------------------------------------- scope *)
 
 module Scope = struct
@@ -115,6 +265,13 @@ module Scope = struct
   let gauge_observe name v =
     match Domain.DLS.get key with None -> () | Some t -> gauge_observe t name v
 
+  (* Scoped spans are the one probe that feeds both layers: the gated
+     [span.<name>] counter on the ambient sink (when installed) and,
+     when tracing is on, a timed slice under the same name — so the
+     counters and the timeline stay in sync by construction. *)
   let with_span name f =
-    match Domain.DLS.get key with None -> f () | Some t -> with_span t name f
+    Trace.with_span name (fun () ->
+        match Domain.DLS.get key with
+        | None -> f ()
+        | Some t -> with_span t name f)
 end

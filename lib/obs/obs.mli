@@ -95,6 +95,81 @@ val merge : into:t -> t -> unit
     sink; all three operations are commutative and associative, so the
     merged totals do not depend on scheduling. *)
 
+(** {1 Timeline tracing}
+
+    The opt-in timed layer next to the deterministic sink.  Where the
+    sink records {e how much} was spent (and is part of the gated
+    determinism contract), {!Trace} records {e when and where}: named
+    begin/end spans, instant events, and counter samples, each stamped
+    with a monotonic clock and the recording domain, buffered per
+    domain and exported as a Chrome trace-event document (see
+    [Experiments.Chrome_trace] and the [oqsc-trace] kind in
+    [docs/SCHEMA.md]).
+
+    Tracing is explicitly {e exempt} from the determinism contract —
+    it reads clocks — and is therefore kept strictly write-only with
+    respect to the rest of the system: no sink, counter, metric, or
+    seeded computation can observe whether tracing is on.  A traced
+    run must produce byte-identical gated JSON to an untraced one
+    (CI checks this). *)
+
+module Trace : sig
+  type value = Int of int | Float of float | Str of string
+  (** Argument payloads attached to events (rendered into the Chrome
+      [args] object). *)
+
+  type kind = Begin | End | Instant | Counter
+  (** Chrome trace-event phases: [Begin]/[End] bracket a named span on
+      one domain, [Instant] is a point event, [Counter] carries sampled
+      numeric series. *)
+
+  type event = {
+    kind : kind;
+    name : string;
+    ts_ns : int64;  (** monotonic clock, nanoseconds *)
+    domain : int;  (** id of the domain that recorded the event *)
+    args : (string * value) list;
+  }
+
+  type dump = {
+    t0_ns : int64;  (** clock value at {!start}; export subtracts it *)
+    events : event list;
+        (** all surviving events, stably sorted by timestamp (each
+            domain's own order is preserved) *)
+    dropped : int;  (** events discarded because a buffer filled up *)
+  }
+
+  val enabled : unit -> bool
+  (** Whether a trace session is currently recording. *)
+
+  val start : ?capacity:int -> unit -> unit
+  (** Begin a trace session: clears any previous session's buffers and
+      enables recording on every domain.  [capacity] bounds the event
+      count {e per domain} (default 65536); once a domain's buffer is
+      full its further events are counted in [dropped] rather than
+      recorded, so the retained prefix keeps its span pairing.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val stop : unit -> dump
+  (** Disable recording and return everything recorded since {!start}.
+      Call only when no spawned domain is still running traced work
+      (the [Mathx.Parallel] helpers join their domains before
+      returning, so call sites after a parallel section are safe). *)
+
+  val with_span : ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+  (** [with_span name f] brackets [f] with begin/end events on the
+      calling domain when tracing is enabled, and is exactly [f ()]
+      when it is not.  Exception-safe: the end event is emitted however
+      [f] exits. *)
+
+  val instant : ?args:(string * value) list -> string -> unit
+  (** Record a point event (no-op when tracing is off). *)
+
+  val counter : string -> (string * float) list -> unit
+  (** [counter name series] records sampled values for one or more
+      named series under a counter track (no-op when tracing is off). *)
+end
+
 (** {1 Ambient scope}
 
     The per-domain slot instrumented code reports through.  All
@@ -117,6 +192,9 @@ module Scope : sig
   val gauge_observe : string -> int -> unit
 
   val with_span : string -> (unit -> 'a) -> 'a
-  (** Like {!val:Obs.with_span} on the current sink; just runs the
-      function when no sink is installed. *)
+  (** Like the top-level [with_span] on the current sink; just runs
+      the function when no sink is installed.  Additionally emits a
+      {!Trace} span of the same [name] when tracing is enabled, so the
+      gated [span.<name>] counters and the timeline slices always
+      agree. *)
 end

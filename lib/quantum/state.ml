@@ -222,6 +222,7 @@ let[@inline] pair_index p q low_mask = ((p lsr q) lsl (q + 1)) lor (p land low_m
 let apply_gate1 s (g : Gates.single) q =
   check_qubit s q;
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.gate1" @@ fun () ->
   let bit = 1 lsl q in
   let low_mask = bit - 1 in
   let a = s.a in
@@ -298,6 +299,7 @@ let apply_controlled1 s (g : Gates.single) ~control ~target =
   check_qubit s target;
   if control = target then invalid_arg "State.apply_controlled1: control = target";
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.cgate1" @@ fun () ->
   let cbit = 1 lsl control and tbit = 1 lsl target in
   let a = s.a in
   let u00r = g.Gates.u00.Cplx.re and u00i = g.Gates.u00.Cplx.im in
@@ -330,6 +332,7 @@ let apply_cnot s ~control ~target = apply_controlled1 s Gates.x ~control ~target
 
 let apply_phase_if s pred =
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.phase_if" @@ fun () ->
   let a = s.a in
   kernel s (dim s) (fun lo hi ->
       for i = lo to hi - 1 do
@@ -342,6 +345,7 @@ let apply_phase_if s pred =
 let apply_xor_if s pred q =
   check_qubit s q;
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.xor_if" @@ fun () ->
   let bit = 1 lsl q in
   let low_mask = bit - 1 in
   let a = s.a in
@@ -386,6 +390,7 @@ let apply_xor_on_address s ~width ~address ?require ~target () =
   check_address_args s ~width ~address
     ~qubits_above:[ ("target", Some target); ("require", require) ];
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.xor_on_address" @@ fun () ->
   let a = s.a in
   let tbit = 1 lsl target in
   let rbit = match require with Some r -> 1 lsl r | None -> 0 in
@@ -407,6 +412,7 @@ let apply_xor_on_address s ~width ~address ?require ~target () =
 let apply_phase_on_address s ~width ~address ?require () =
   check_address_args s ~width ~address ~qubits_above:[ ("require", require) ];
   Obs.Scope.incr "quantum.gates";
+  Obs.Trace.with_span "state.phase_on_address" @@ fun () ->
   let a = s.a in
   let rbit = match require with Some r -> 1 lsl r | None -> 0 in
   let highs = dim s lsr width in
@@ -437,6 +443,7 @@ let prob_qubit_one s q =
 
 let measure_qubit s rng q =
   Obs.Scope.incr "quantum.measurements";
+  Obs.Trace.with_span "state.measure" @@ fun () ->
   let p1 = prob_qubit_one s q in
   let outcome = Rng.float rng < p1 in
   let keep_mask_set = outcome in

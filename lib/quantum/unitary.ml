@@ -104,6 +104,7 @@ let of_diagonal n f =
 let mul x y =
   if x.n <> y.n then invalid_arg "Unitary.mul: size mismatch";
   Obs.Scope.incr "quantum.matmuls";
+  Obs.Trace.with_span "unitary.matmul" @@ fun () ->
   let d = x.d in
   let r = zero_matrix x.n in
   let xa = x.a and ya = y.a and ra = r.a in
@@ -140,6 +141,7 @@ let adjoint x =
 let apply u s =
   if State.nqubits s <> u.n then invalid_arg "Unitary.apply: size mismatch";
   Obs.Scope.incr "quantum.matvecs";
+  Obs.Trace.with_span "unitary.matvec" @@ fun () ->
   let d = u.d in
   let out = State.create u.n in
   let ua = u.a in

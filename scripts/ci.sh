@@ -43,6 +43,29 @@ OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
   --json "$tmp/exp_par.json"
 cmp "$tmp/exp.json" "$tmp/exp_par.json"
 
+echo "== trace smoke =="
+# Tracing must be write-only: a traced run's gated JSON must match an
+# untraced baseline byte for byte, on the default, sequential, and
+# forced-chunked scheduling paths alike. Each emitted timeline must
+# also survive the structural linter (balanced per-track B/E spans,
+# nondecreasing timestamps, zero dropped events).
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
+  --json "$tmp/e3.json"
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
+  --trace "$tmp/e3_trace.json" --json "$tmp/e3_traced.json"
+cmp "$tmp/e3.json" "$tmp/e3_traced.json"
+dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace.json"
+
+dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 --sequential \
+  --trace "$tmp/e3_trace_seq.json" --json "$tmp/e3_traced_seq.json"
+cmp "$tmp/e3.json" "$tmp/e3_traced_seq.json"
+dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_seq.json"
+
+OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+  --only e3 --trace "$tmp/e3_trace_par.json" --json "$tmp/e3_traced_par.json"
+cmp "$tmp/e3.json" "$tmp/e3_traced_par.json"
+dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_par.json"
+
 echo "== space-audit gate =="
 # Exits non-zero unless the fitted classical exponent lands in the
 # n^(1/3) band and the quantum data prefers the logarithmic model; the
@@ -50,6 +73,19 @@ echo "== space-audit gate =="
 dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit.json"
 dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit2.json"
 cmp "$tmp/audit.json" "$tmp/audit2.json"
+# --timing adds wall_ms telemetry (and nothing else): the timed
+# document must differ from the baseline, and stripping its wall_ms
+# lines (plus the comma they force onto the preceding line, since
+# sorted keys put wall_ms last in each object) must give back the
+# baseline bytes exactly.
+dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --timing \
+  --json "$tmp/audit_timed.json"
+! cmp -s "$tmp/audit.json" "$tmp/audit_timed.json"
+awk '{ if ($0 ~ /"wall_ms"/) { sub(/,$/, "", prev); next }
+       if (have) print prev; prev = $0; have = 1 }
+     END { if (have) print prev }' \
+  "$tmp/audit_timed.json" > "$tmp/audit_stripped.json"
+cmp "$tmp/audit.json" "$tmp/audit_stripped.json"
 
 echo "== bench JSON smoke =="
 # One cheap kernel group; wall-clock varies, so gate only the shape

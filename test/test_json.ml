@@ -108,6 +108,77 @@ let test_diff_ignored_keys () =
   Alcotest.(check (list string)) "wall_ms ignored both ways" []
     (Json.diff with_timing without @ Json.diff without with_timing)
 
+let test_diff_ignored_at_depth () =
+  (* The full telemetry set — wall_ms, r_square, generated_at — is
+     ignored however deeply it nests (run-all puts wall_ms on every
+     result row; bench puts r_square on every kernel row). *)
+  let doc wall r2 stamp gated =
+    Json.Obj
+      [
+        ("generated_at", Json.Str stamp);
+        ( "results",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("id", Json.Str "e1");
+                  ("wall_ms", Json.Float wall);
+                  ( "body",
+                    Json.Obj
+                      [
+                        ("r_square", Json.Float r2); ("gated", Json.Int gated);
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  Alcotest.(check (list string)) "telemetry drift at any depth is silent" []
+    (Json.diff (doc 1.0 0.99 "2026-08-01" 7) (doc 250.0 0.42 "2026-08-05" 7));
+  (* ... while a sibling gated value still reports. *)
+  let drifts = Json.diff (doc 1.0 0.99 "a" 7) (doc 250.0 0.42 "b" 8) in
+  Alcotest.(check int) "exactly the gated sibling reports" 1 (List.length drifts);
+  check "the drift names the gated key, not the telemetry" true
+    (match drifts with
+    | [ d ] ->
+        let has_sub s sub =
+          let n = String.length s and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+          at 0
+        in
+        has_sub d "gated" && not (has_sub d "wall_ms")
+    | _ -> false);
+  (* An ignored-named key inside an ARRAY element's object is still
+     ignored: the filter applies at every object, whatever its depth. *)
+  Alcotest.(check (list string)) "custom ignore list respected" []
+    (Json.diff ~ignored:[ "id" ]
+       (Json.Obj [ ("id", Json.Str "a") ])
+       (Json.Obj [ ("id", Json.Str "b") ]))
+
+let prop_ignored_any_depth =
+  (* Wrap a drifting telemetry leaf in random layers of objects/arrays;
+     the diff must stay silent as long as the drift sits under an
+     ignored key, and must report once a sibling gated key drifts. *)
+  let gen = QCheck.Gen.(pair (list_size (int_bound 6) (int_bound 2)) (oneofl Json.default_ignored)) in
+  QCheck.Test.make ~name:"ignored keys are ignored at any nesting depth"
+    ~count:200 (QCheck.make gen) (fun (layers, key) ->
+      let wrap tele =
+        List.fold_left
+          (fun acc layer ->
+            match layer with
+            | 0 -> Json.Obj [ ("layer", acc) ]
+            | 1 -> Json.List [ acc; Json.Null ]
+            | _ -> Json.Obj [ ("a", acc); ("sibling", Json.Int 5) ])
+          (Json.Obj [ (key, Json.Float tele); ("g", Json.Int 7) ])
+          layers
+      in
+      (* Telemetry drifts only: silent. *)
+      Json.diff (wrap 1.0) (wrap 250.0) = []
+      &&
+      (* Gated sibling drifts at the same depth: reported. *)
+      let base = Json.Obj [ (key, Json.Int 1); ("g", Json.Int 5) ] in
+      let cur = Json.Obj [ (key, Json.Int 99); ("g", Json.Int 6) ] in
+      List.length (Json.diff base cur) = 1)
+
 let prop_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -151,5 +222,7 @@ let suite =
     ("diff structure", `Quick, test_diff_structure);
     ("diff serialization precision", `Quick, test_diff_serialization_precision);
     ("diff ignored keys", `Quick, test_diff_ignored_keys);
+    ("diff ignored at depth", `Quick, test_diff_ignored_at_depth);
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ignored_any_depth;
   ]

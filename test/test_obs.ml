@@ -265,6 +265,76 @@ let qcheck_tests =
         && Obs.gauge_peak a "g" <= Obs.gauge_peak one "g"
         && Obs.gauge_peak a "g" = max peak_a peak_b);
   ]
+  @
+  (* merge is commutative and associative up to everything a sink can
+     report — including span counters and gauges driven negative.
+     [merge] mutates its [into] argument, so every comparison rebuilds
+     its sinks from the generated scripts. *)
+  let script =
+    QCheck.(
+      small_list
+        (oneof
+           [
+             map (fun n -> `Add n) small_nat;
+             map (fun d -> `Gauge d) (int_range (-50) 50);
+             map (fun v -> `Observe v) (int_range 0 100);
+             oneofl [ `Span ];
+           ]))
+  in
+  let build ops =
+    let t = Obs.create () in
+    List.iter
+      (function
+        | `Add n -> Obs.add t "c" n
+        | `Gauge d -> Obs.gauge_add t "g" d
+        | `Observe v -> Obs.gauge_observe t "w" v
+        | `Span -> Obs.with_span t "s" (fun () -> Obs.gauge_add t "g" (-1)))
+      ops;
+    t
+  in
+  let observe t =
+    (Obs.snapshot t, Obs.gauge_level t "g", Obs.gauge_level t "w")
+  in
+  let open QCheck in
+  [
+    Test.make ~name:"merge is commutative on spans and negative gauges"
+      ~count:200 (pair script script)
+      (fun (sa, sb) ->
+        let ab =
+          let a = build sa and b = build sb in
+          Obs.merge ~into:a b;
+          observe a
+        in
+        let ba =
+          let a = build sa and b = build sb in
+          Obs.merge ~into:b a;
+          observe b
+        in
+        ab = ba);
+    Test.make ~name:"merge is associative on spans and negative gauges"
+      ~count:200
+      (triple script script script)
+      (fun (sa, sb, sc) ->
+        let left =
+          let a = build sa and b = build sb and c = build sc in
+          Obs.merge ~into:a b;
+          Obs.merge ~into:a c;
+          observe a
+        in
+        let right =
+          let a = build sa and b = build sb and c = build sc in
+          Obs.merge ~into:b c;
+          Obs.merge ~into:a b;
+          observe a
+        in
+        left = right);
+    Test.make ~name:"merging an empty sink is the identity" ~count:200 script
+      (fun s ->
+        let a = build s in
+        let before = observe a in
+        Obs.merge ~into:a (Obs.create ());
+        observe a = before);
+  ]
 
 let suite =
   [
