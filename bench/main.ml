@@ -17,6 +17,10 @@
      --quick            reduced experiment sweeps
      --only A,B         keep only kernels whose name contains one of the
                         comma-separated substrings (e.g. --only e1,e9)
+     --shard I/N        after --only, keep only shard I of N of the kernel
+                        list (0-based, round-robin by position); the JSON
+                        document carries a shard provenance field and a
+                        complete shard set recombines with 'oqsc merge'
      --json FILE        write kernel timings as sorted-key JSON (- for stdout)
      --check BASELINE   compare ns/run against a baseline JSON; exit 1 on
                         drift beyond --tolerance PCT (default 25%); the OLS
@@ -247,31 +251,36 @@ let run_microbenches tests =
     rows;
   rows
 
-let kernels_doc ~quick rows =
+let kernels_doc ~quick ?shard rows =
   let open Experiments.Json in
   Obj
-    [
-      ("kind", Str "oqsc-bench");
-      ("version", Int 1);
-      ("seed", Int seed);
-      ("quick", Bool quick);
-      ( "kernels",
-        List
-          (List.map
-             (fun (name, estimate, r2) ->
-               Obj
-                 [
-                   ("name", Str name);
-                   ( "ns_per_run",
-                     match estimate with Some e -> Float e | None -> Null );
-                   ("r_square", match r2 with Some r -> Float r | None -> Null);
-                 ])
-             rows) );
-    ]
+    ([
+       ("kind", Str "oqsc-bench");
+       ("version", Int 1);
+       ("seed", Int seed);
+       ("quick", Bool quick);
+       ( "kernels",
+         List
+           (List.map
+              (fun (name, estimate, r2) ->
+                Obj
+                  [
+                    ("name", Str name);
+                    ( "ns_per_run",
+                      match estimate with Some e -> Float e | None -> Null );
+                    ("r_square", match r2 with Some r -> Float r | None -> Null);
+                  ])
+              rows) );
+     ]
+    @
+    match shard with
+    | None -> []
+    | Some spec -> [ Experiments.Merge.json_field spec ])
 
 type opts = {
   quick : bool;
   only : string list;
+  shard : Experiments.Merge.spec option;
   json_file : string option;
   check : string option;
   tolerance : float;
@@ -280,7 +289,7 @@ type opts = {
 }
 
 let usage =
-  "usage: bench/main.exe [--quick] [--only A,B] [--json FILE] [--check BASELINE] [--tolerance PCT] [--no-tables] [--trace FILE]"
+  "usage: bench/main.exe [--quick] [--only A,B] [--shard I/N] [--json FILE] [--check BASELINE] [--tolerance PCT] [--no-tables] [--trace FILE]"
 
 let parse_args () =
   let rec go opts = function
@@ -292,6 +301,12 @@ let parse_args () =
           |> List.filter (fun s -> s <> "")
         in
         go { opts with only } rest
+    | "--shard" :: spec :: rest -> (
+        match Experiments.Merge.parse_spec spec with
+        | Ok shard -> go { opts with shard = Some shard } rest
+        | Error msg ->
+            Printf.eprintf "--shard: %s\n%s\n" msg usage;
+            exit 2)
     | "--json" :: file :: rest -> go { opts with json_file = Some file } rest
     | "--check" :: file :: rest -> go { opts with check = Some file } rest
     | "--tolerance" :: pct :: rest -> (
@@ -307,7 +322,7 @@ let parse_args () =
         exit 2
   in
   go
-    { quick = false; only = []; json_file = None; check = None;
+    { quick = false; only = []; shard = None; json_file = None; check = None;
       tolerance = 25.0; tables = true; trace_file = None }
     (List.tl (Array.to_list Sys.argv))
 
@@ -331,11 +346,22 @@ let () =
     Printf.eprintf "--only matched no kernels\n";
     exit 2
   end;
+  let tests =
+    match opts.shard with
+    | None -> tests
+    | Some spec -> Experiments.Merge.assign spec tests
+  in
+  if tests = [] then begin
+    (* Only reachable with more shards than kernels. *)
+    Printf.eprintf "--shard %s selected no kernels\n"
+      (Experiments.Merge.to_string (Option.get opts.shard));
+    exit 2
+  end;
   if opts.trace_file <> None then Obs.Trace.start ();
   let rows =
     Obs.Trace.with_span "bench.kernels" (fun () -> run_microbenches tests)
   in
-  let doc = kernels_doc ~quick:opts.quick rows in
+  let doc = kernels_doc ~quick:opts.quick ?shard:opts.shard rows in
   (match
      match opts.json_file with
      | Some "-" -> print_string (Experiments.Json.to_string doc)

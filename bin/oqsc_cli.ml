@@ -6,9 +6,13 @@
      run   - run a recognizer (quantum / block / naive / sketch) on an input
      ne    - decide the L_NE extension language nondeterministically
      run-all - run experiments across domains, emit/check JSON results,
-             optionally record a Chrome trace timeline (--trace)
+             optionally record a Chrome trace timeline (--trace); --shard
+             I/N runs one process-level shard of the selection
      space-audit - fit space-scaling exponents and gate them against
-             the paper's bands
+             the paper's bands; --shard I/N measures one slice of the
+             k sweep (gate deferred to merge)
+     merge - recombine a complete --shard document set into bytes
+             identical to the unsharded run
      trace-lint - structurally validate an oqsc-trace document
      exp   - run one experiment (e1..e15) or all of them
      ids   - list experiment ids with descriptions *)
@@ -173,8 +177,16 @@ let run_all_cmd =
           ~doc:
             "Record a wall-clock timeline of the run and write it to FILE (- for stdout) as Chrome trace-event JSON (kind oqsc-trace; load in Perfetto or chrome://tracing). Tracing never affects results: the --json document is byte-identical with and without it.")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Run only shard I of N (0-based): the selected experiments are dealt round-robin by catalogue position, so the N shards partition the run and each shard's output is byte-stable. The JSON document carries a shard provenance field; recombine a complete shard set with 'oqsc merge'.")
+  in
   let action quick seed only sequential domains json_file timing check tolerance quiet
-      trace_file =
+      trace_file shard =
     let only =
       Option.map
         (fun s ->
@@ -182,9 +194,43 @@ let run_all_cmd =
           |> List.filter (fun id -> id <> ""))
         only
     in
+    let shard =
+      match shard with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Experiments.Merge.parse_spec s)
+    in
     if only = Some [] then
       `Error (false, "--only selected no experiments; try 'oqsc ids'")
-    else begin
+    else
+    match
+      Option.fold ~none:(Ok ()) ~some:Experiments.Registry.validate_only only
+    with
+    | Error msg -> `Error (false, "--only: " ^ msg)
+    | Ok () ->
+    match shard with
+    | Error msg -> `Error (false, "--shard: " ^ msg)
+    | Ok shard ->
+    (* The work list this process owns: the catalogue filtered by
+       --only, then dealt round-robin into N shards by position. *)
+    let selected =
+      let base =
+        match only with
+        | None -> Experiments.Registry.ids
+        | Some wanted ->
+            List.filter
+              (fun id -> List.mem id wanted)
+              Experiments.Registry.ids
+      in
+      match shard with
+      | None -> base
+      | Some spec -> Experiments.Merge.assign spec base
+    in
+    let shard_field =
+      Option.map
+        (fun (s : Experiments.Merge.spec) -> (s.index, s.count))
+        shard
+    in
+    begin
     if trace_file <> None then Obs.Trace.start ();
     (* The run and render phases land inside the trace; everything from
        the JSON emit on happens after [stop], which also means a crash
@@ -193,7 +239,7 @@ let run_all_cmd =
       let results =
         Obs.Trace.with_span "run-all.experiments" (fun () ->
             Experiments.Registry.results ~quick ~seed ~sequential ?domains
-              ?only ())
+              ~only:selected ())
       in
       if not quiet then
         Obs.Trace.with_span "run-all.render" (fun () ->
@@ -225,7 +271,10 @@ let run_all_cmd =
                  acc +. r.Experiments.Report.wall_ms)
                0.0 results)
         end;
-        let doc ~timing = Experiments.Json.of_results ~timing ~seed ~quick results in
+        let doc ~timing =
+          Experiments.Json.of_results ~timing ?shard:shard_field ~seed ~quick
+            results
+        in
         match
           match json_file with
           | Some "-" ->
@@ -270,7 +319,7 @@ let run_all_cmd =
     Term.(
       ret
         (const action $ quick $ seed $ only $ sequential $ domains $ json_file
-       $ timing $ check $ tolerance $ quiet $ trace_file))
+       $ timing $ check $ tolerance $ quiet $ trace_file $ shard))
 
 (* ---------------------------------------------------------- space-audit *)
 
@@ -294,23 +343,24 @@ let space_audit_cmd =
           ~doc:
             "Print a per-row wall-clock summary and include wall_ms telemetry (per row and total) in the JSON document; the --check differ always ignores wall_ms, so timed and untimed documents gate interchangeably.")
   in
-  let action quick seed json_file quiet timing =
-    let a = Experiments.Space_audit.audit ~quick ~seed () in
-    if not quiet then begin
-      Experiments.Report.render_body Format.std_formatter
-        (Experiments.Space_audit.body a);
-      Format.pp_print_flush Format.std_formatter ()
-    end;
-    if timing then begin
-      Printf.printf "\n== timing (wall-clock per row) ==\n";
-      List.iter
-        (fun (r : Experiments.Space_audit.row) ->
-          Printf.printf "k=%-2d %10.1f ms\n" r.Experiments.Space_audit.k
-            r.Experiments.Space_audit.wall_ms)
-        a.Experiments.Space_audit.rows;
-      Printf.printf "all  %10.1f ms\n" (Experiments.Space_audit.total_wall_ms a)
-    end;
-    let doc = Experiments.Space_audit.to_json ~timing ~seed ~quick a in
+  let shard =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Measure only shard I of N of the k sweep (0-based, round-robin by row position; skipped rows still burn their PRNG splits so shard rows are byte-identical to the full sweep's). A shard document carries the shard provenance field and no fit/verdict — and the exit-code gate is deferred — until a complete shard set is recombined with 'oqsc merge'.")
+  in
+  let timing_table rows total =
+    Printf.printf "\n== timing (wall-clock per row) ==\n";
+    List.iter
+      (fun (r : Experiments.Space_audit.row) ->
+        Printf.printf "k=%-2d %10.1f ms\n" r.Experiments.Space_audit.k
+          r.Experiments.Space_audit.wall_ms)
+      rows;
+    Printf.printf "all  %10.1f ms\n" total
+  in
+  let write_doc json_file doc k =
     match
       match json_file with
       | Some "-" -> print_string (Experiments.Json.to_string doc)
@@ -320,22 +370,120 @@ let space_audit_cmd =
       | None -> ()
     with
     | exception Sys_error msg -> `Error (false, "--json: " ^ msg)
-    | () ->
-        if Experiments.Space_audit.passed a then `Ok ()
-        else begin
-          Printf.eprintf
-            "space-audit FAILED: classical_ok=%b quantum_ok=%b\n"
-            a.Experiments.Space_audit.verdict
-              .Experiments.Space_audit.classical_ok
-            a.Experiments.Space_audit.verdict.Experiments.Space_audit.quantum_ok;
-          exit 1
-        end
+    | () -> k ()
+  in
+  let action quick seed json_file quiet timing shard =
+    match
+      match shard with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Experiments.Merge.parse_spec s)
+    with
+    | Error msg -> `Error (false, "--shard: " ^ msg)
+    | Ok (Some spec) ->
+        (* One shard of the sweep: rows only.  The fit needs the full
+           row set, so the verdict (and the non-zero exit it drives)
+           belongs to the merged document, not to any single shard. *)
+        let shard = (spec.Experiments.Merge.index, spec.Experiments.Merge.count) in
+        let rows = Experiments.Space_audit.rows ~quick ~shard ~seed () in
+        if not quiet then begin
+          Experiments.Report.render_body Format.std_formatter
+            (Experiments.Space_audit.shard_body ~shard rows);
+          Format.pp_print_flush Format.std_formatter ()
+        end;
+        if timing then
+          timing_table rows
+            (List.fold_left
+               (fun acc (r : Experiments.Space_audit.row) ->
+                 acc +. r.Experiments.Space_audit.wall_ms)
+               0.0 rows);
+        write_doc json_file
+          (Experiments.Space_audit.shard_to_json ~timing ~shard ~seed ~quick
+             rows)
+          (fun () -> `Ok ())
+    | Ok None ->
+        let a = Experiments.Space_audit.audit ~quick ~seed () in
+        if not quiet then begin
+          Experiments.Report.render_body Format.std_formatter
+            (Experiments.Space_audit.body a);
+          Format.pp_print_flush Format.std_formatter ()
+        end;
+        if timing then
+          timing_table a.Experiments.Space_audit.rows
+            (Experiments.Space_audit.total_wall_ms a);
+        write_doc json_file
+          (Experiments.Space_audit.to_json ~timing ~seed ~quick a)
+          (fun () ->
+            if Experiments.Space_audit.passed a then `Ok ()
+            else begin
+              Printf.eprintf "space-audit FAILED: classical_ok=%b quantum_ok=%b\n"
+                a.Experiments.Space_audit.verdict
+                  .Experiments.Space_audit.classical_ok
+                a.Experiments.Space_audit.verdict
+                  .Experiments.Space_audit.quantum_ok;
+              exit 1
+            end)
   in
   Cmd.v
     (Cmd.info "space-audit"
        ~doc:
          "Sweep k, fit space-scaling exponents for the classical and quantum machines, and exit non-zero unless the classical slope lands in its n^(1/3) band and the quantum data prefers the logarithmic model.")
-    Term.(ret (const action $ quick $ seed $ json_file $ quiet $ timing))
+    Term.(ret (const action $ quick $ seed $ json_file $ quiet $ timing $ shard))
+
+(* ---------------------------------------------------------------- merge *)
+
+let merge_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output path for the merged document, or - for stdout.")
+  in
+  let inputs =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"IN"
+          ~doc:
+            "Shard documents written with --shard (any order).  Together they must form one complete, disjoint shard set from a single run configuration.")
+  in
+  let action out inputs =
+    let read_doc path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | raw -> (
+          match Experiments.Json.parse raw with
+          | Ok doc -> Ok (path, doc)
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+    in
+    let rec read_all acc = function
+      | [] -> Ok (List.rev acc)
+      | path :: rest -> (
+          match read_doc path with
+          | Ok entry -> read_all (entry :: acc) rest
+          | Error msg -> Error msg)
+    in
+    match read_all [] inputs with
+    | Error msg -> `Error (false, "merge: " ^ msg)
+    | Ok docs -> (
+        match Experiments.Merge.merge docs with
+        | Error msg -> `Error (false, "merge: " ^ msg)
+        | Ok merged -> (
+            let text = Experiments.Json.to_string merged in
+            match
+              match out with
+              | "-" -> print_string text
+              | path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc text)
+            with
+            | exception Sys_error msg -> `Error (false, "merge: " ^ msg)
+            | () -> `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Recombine a complete set of --shard JSON documents into one document byte-identical to the corresponding unsharded run (the shard provenance field is validated, then dropped; a sharded space-audit's fit and verdict are recomputed from the merged rows).")
+    Term.(ret (const action $ out $ inputs))
 
 (* ----------------------------------------------------------- trace-lint *)
 
@@ -425,6 +573,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; trace_lint_cmd; exp_cmd; ne_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

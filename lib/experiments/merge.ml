@@ -1,0 +1,330 @@
+(* Process-level sharding: deterministic partition of a work list into
+   N shards, shard provenance for the JSON envelopes, and the merge that
+   recombines a complete shard set into the document an unsharded run
+   would have produced.
+
+   The partition is round-robin by position (item j goes to shard
+   j mod N), a pure function of the list — never of domain count, wall
+   clock, or environment — so each shard's output is byte-stable and
+   the shards of a list are always a partition of it.
+
+   Merging validates before it combines: every input must carry a
+   [shard] envelope field, agree on kind / schema version / seed /
+   quick, and the shard set must be exactly {0/N .. (N-1)/N} with
+   payload entries disjoint across shards.  On success the [shard]
+   field is dropped and the payload is reassembled in canonical order
+   (catalogue order for experiments, ascending [k] for audit rows,
+   kernel name for bench rows), which makes the merged bytes identical
+   to an unsharded run for the deterministic document kinds. *)
+
+type spec = { index : int; count : int }
+
+let spec_format =
+  "expected I/N with integers 0 <= I < N (shard I of N shards, e.g. 0/3)"
+
+let parse_spec s =
+  let malformed () =
+    Error (Printf.sprintf "malformed shard spec %S: %s" s spec_format)
+  in
+  match String.index_opt s '/' with
+  | None -> malformed ()
+  | Some cut -> (
+      let index_txt = String.sub s 0 cut in
+      let count_txt = String.sub s (cut + 1) (String.length s - cut - 1) in
+      match (int_of_string_opt index_txt, int_of_string_opt count_txt) with
+      | Some index, Some count ->
+          if count < 1 then
+            Error
+              (Printf.sprintf "invalid shard count in %S: N must be >= 1 (%s)"
+                 s spec_format)
+          else if index < 0 || index >= count then
+            Error
+              (Printf.sprintf
+                 "shard index out of range in %S: need 0 <= I < %d (%s)" s
+                 count spec_format)
+          else Ok { index; count }
+      | _ -> malformed ())
+
+let to_string { index; count } = Printf.sprintf "%d/%d" index count
+let keeps { index; count } position = position mod count = index
+let assign spec items = List.filteri (fun position _ -> keeps spec position) items
+
+let json_field { index; count } =
+  ("shard", Json.Obj [ ("index", Json.Int index); ("of", Json.Int count) ])
+
+(* ------------------------------------------------------------- merge *)
+
+exception Merge_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Merge_error s)) fmt
+
+let obj_fields label = function
+  | Json.Obj fields -> fields
+  | v -> fail "%s: expected an object, got %s" label (Json.type_name v)
+
+let get label name fields =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail "%s: missing %S" label name
+
+let int_field label name fields =
+  match get label name fields with
+  | Json.Int i -> i
+  | v -> fail "%s: %S must be an int, got %s" label name (Json.type_name v)
+
+let str_field label name fields =
+  match get label name fields with
+  | Json.Str s -> s
+  | v -> fail "%s: %S must be a string, got %s" label name (Json.type_name v)
+
+let bool_field label name fields =
+  match get label name fields with
+  | Json.Bool b -> b
+  | v -> fail "%s: %S must be a bool, got %s" label name (Json.type_name v)
+
+let list_field label name fields =
+  match get label name fields with
+  | Json.List items -> items
+  | v -> fail "%s: %S must be an array, got %s" label name (Json.type_name v)
+
+type envelope = {
+  label : string;
+  kind : string;
+  version : int;
+  seed : int;
+  quick : bool;
+  shard : spec;
+  fields : (string * Json.t) list;
+}
+
+(* The schema versions this tool knows how to reassemble; a shard
+   recorded by a newer emitter must not be silently merged into an
+   older-shaped document. *)
+let mergeable_versions =
+  [ ("oqsc-experiments", 2); ("oqsc-space-audit", 1); ("oqsc-bench", 1) ]
+
+let envelope (label, doc) =
+  let fields = obj_fields label doc in
+  let kind = str_field label "kind" fields in
+  let version = int_field label "version" fields in
+  (match List.assoc_opt kind mergeable_versions with
+  | None ->
+      fail "%s: unsupported document kind %S (mergeable kinds: %s)" label kind
+        (String.concat ", " (List.map fst mergeable_versions))
+  | Some expected ->
+      if version <> expected then
+        fail "%s: version skew: %s document is version %d, this tool merges version %d"
+          label kind version expected);
+  let shard =
+    match List.assoc_opt "shard" fields with
+    | None ->
+        fail "%s: not a shard document (missing the \"shard\" envelope field)"
+          label
+    | Some (Json.Obj s) ->
+        let index = int_field (label ^ ": shard") "index" s in
+        let count = int_field (label ^ ": shard") "of" s in
+        if count < 1 || index < 0 || index >= count then
+          fail "%s: invalid shard provenance %d/%d" label index count;
+        { index; count }
+    | Some v ->
+        fail "%s: \"shard\" must be an object, got %s" label (Json.type_name v)
+  in
+  {
+    label;
+    kind;
+    version;
+    seed = int_field label "seed" fields;
+    quick = bool_field label "quick" fields;
+    shard;
+    fields;
+  }
+
+let validate_envelopes first rest =
+  List.iter
+    (fun e ->
+      if e.kind <> first.kind then
+        fail "envelope mismatch: %s is kind %S but %s is kind %S" first.label
+          first.kind e.label e.kind;
+      if e.seed <> first.seed then
+        fail "envelope mismatch: %s has seed %d but %s has seed %d" first.label
+          first.seed e.label e.seed;
+      if e.quick <> first.quick then
+        fail "envelope mismatch: %s has quick %b but %s has quick %b"
+          first.label first.quick e.label e.quick;
+      if e.shard.count <> first.shard.count then
+        fail "shard count mismatch: %s is of %d shards but %s is of %d"
+          first.label first.shard.count e.label e.shard.count)
+    rest;
+  let count = first.shard.count in
+  let seen = Array.make count None in
+  List.iter
+    (fun e ->
+      match seen.(e.shard.index) with
+      | Some other ->
+          fail "duplicate shard %s: %s and %s" (to_string e.shard) other
+            e.label
+      | None -> seen.(e.shard.index) <- Some e.label)
+    (first :: rest);
+  let missing = ref [] in
+  Array.iteri
+    (fun i claimed ->
+      if claimed = None then missing := string_of_int i :: !missing)
+    seen;
+  if !missing <> [] then
+    fail "incomplete shard set: missing shard(s) %s of %d"
+      (String.concat ", " (List.rev !missing))
+      count
+
+(* -------------------------------------------- per-kind payload merge *)
+
+let catalogue_position label id =
+  let rec go i = function
+    | [] ->
+        fail "%s: unknown experiment id %S; valid ids: %s" label id
+          (String.concat ", " Registry.ids)
+    | id' :: rest -> if String.equal id id' then i else go (i + 1) rest
+  in
+  go 0 Registry.ids
+
+let sort_disjoint ~what entries =
+  (* [entries] are [(position, name, label, payload)]; positions must be
+     unique across shards, and the stable sort lets the adjacency scan
+     name both offending documents. *)
+  let sorted =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare (a : int) b) entries
+  in
+  let rec scan = function
+    | (p, name, la, _) :: ((q, _, lb, _) :: _ as rest) ->
+        if p = q then
+          fail "overlapping shards: %s %s appears in both %s and %s" what name
+            la lb;
+        scan rest
+    | _ -> ()
+  in
+  scan sorted;
+  List.map (fun (_, _, _, payload) -> payload) sorted
+
+let merge_experiments envelopes =
+  let entries =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun x ->
+            let id =
+              str_field (e.label ^ ": experiment") "id"
+                (obj_fields (e.label ^ ": experiment") x)
+            in
+            (catalogue_position e.label id, id, e.label, x))
+          (list_field e.label "experiments" e.fields))
+      envelopes
+  in
+  Json.List (sort_disjoint ~what:"experiment" entries)
+
+let merge_bench envelopes =
+  let entries =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun x ->
+            let name =
+              str_field (e.label ^ ": kernel") "name"
+                (obj_fields (e.label ^ ": kernel") x)
+            in
+            (name, e.label, x))
+          (list_field e.label "kernels" e.fields))
+      envelopes
+  in
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
+  in
+  let rec scan = function
+    | (a, la, _) :: ((b, lb, _) :: _ as rest) ->
+        if String.equal a b then
+          fail "overlapping shards: kernel %S appears in both %s and %s" a la
+            lb;
+        scan rest
+    | _ -> ()
+  in
+  scan sorted;
+  Json.List (List.map (fun (_, _, x) -> x) sorted)
+
+let audit_row label x =
+  let fields = obj_fields label x in
+  let int name = int_field label name fields in
+  let opt_int name =
+    match get label name fields with
+    | Json.Int i -> Some i
+    | Json.Null -> None
+    | v -> fail "%s: %S must be an int or null, got %s" label name (Json.type_name v)
+  in
+  let wall =
+    match List.assoc_opt "wall_ms" fields with
+    | None -> None
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | Some v -> fail "%s: \"wall_ms\" must be a number, got %s" label (Json.type_name v)
+  in
+  ( {
+      Space_audit.k = int "k";
+      n = int "n";
+      classical_storage_bits = int "classical_storage_bits";
+      classical_total_bits = int "classical_total_bits";
+      quantum_total_bits = opt_int "quantum_total_bits";
+      quantum_qubits = opt_int "quantum_qubits";
+      wall_ms = Option.value wall ~default:0.0;
+    },
+    wall <> None )
+
+let merge_audit envelopes first =
+  let entries =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun x ->
+            let row, timed = audit_row (e.label ^ ": row") x in
+            (row.Space_audit.k, row, e.label, timed))
+          (list_field e.label "rows" e.fields))
+      envelopes
+  in
+  (match entries with [] -> fail "no audit rows to merge" | _ -> ());
+  let timing = List.for_all (fun (_, _, _, t) -> t) entries in
+  if (not timing) && List.exists (fun (_, _, _, t) -> t) entries then
+    fail "inconsistent timing telemetry: some rows carry wall_ms, some do not";
+  let rows =
+    sort_disjoint ~what:"audit row k ="
+      (List.map (fun (k, row, label, _) -> (k, string_of_int k, label, row)) entries)
+  in
+  (* Fit and verdict are recomputed over the full row set — they are a
+     pure function of the (integer) row data, so the merged document is
+     byte-identical to an unsharded audit. *)
+  Space_audit.to_json ~timing ~seed:first.seed ~quick:first.quick
+    (Space_audit.of_rows rows)
+
+let merge docs =
+  match docs with
+  | [] -> Error "no input documents"
+  | _ -> (
+      try
+        let envelopes = List.map envelope docs in
+        let first = List.hd envelopes in
+        validate_envelopes first (List.tl envelopes);
+        match first.kind with
+        | "oqsc-space-audit" -> Ok (merge_audit envelopes first)
+        | kind ->
+            let payload =
+              match kind with
+              | "oqsc-experiments" ->
+                  ("experiments", merge_experiments envelopes)
+              | "oqsc-bench" -> ("kernels", merge_bench envelopes)
+              | _ -> assert false (* [envelope] rejected unknown kinds *)
+            in
+            Ok
+              (Json.Obj
+                 [
+                   ("kind", Json.Str first.kind);
+                   ("version", Json.Int first.version);
+                   ("seed", Json.Int first.seed);
+                   ("quick", Json.Bool first.quick);
+                   payload;
+                 ])
+      with Merge_error msg -> Error msg)

@@ -64,6 +64,19 @@ let description id =
   let _, d, _ = find id in
   d
 
+(* The CLI's front line for --only/--shard selections: unlike [find]'s
+   bare [Not_found], the message names every offending id and lists the
+   valid ones, so a typo in a CI matrix fails with its fix attached. *)
+let validate_only wanted =
+  match List.filter (fun id -> not (List.mem id ids)) wanted with
+  | [] -> Ok ()
+  | unknown ->
+      Error
+        (Printf.sprintf "unknown experiment id%s %s; valid ids: %s"
+           (if List.length unknown > 1 then "s" else "")
+           (String.concat ", " unknown)
+           (String.concat ", " ids))
+
 (* Run one experiment to its structured result.  Results depend only on
    (id, quick, seed) — every experiment derives all randomness from its
    own [Rng.create seed] — so parallel and sequential execution agree

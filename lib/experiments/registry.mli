@@ -13,6 +13,12 @@ val ids : string list
 val description : string -> string
 (** One-line description of an experiment id.  @raise Not_found. *)
 
+val validate_only : string list -> (unit, string) result
+(** [Ok ()] when every id is in the catalogue; otherwise an error
+    message naming the unknown id(s) and listing the valid ones — what
+    the CLI prints before exiting non-zero on a bad [--only]/[--shard]
+    selection. *)
+
 val result : ?quick:bool -> ?seed:int -> string -> Report.t
 (** Runs one experiment to its structured result.  Default seed 2006
     (the paper's year), quick = false.  @raise Not_found for unknown

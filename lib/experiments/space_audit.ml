@@ -39,40 +39,62 @@ let quantum_cap quick = if quick then 4 else 6
 (* Per-row wall-clock is measured unconditionally (two gettimeofday
    calls per k are noise) but serialized only on request: like the
    experiments document's wall_ms it is telemetry, never gated, and
-   never feeds back into any measured quantity. *)
-let rows ?(quick = false) ~seed () =
+   never feeds back into any measured quantity.
+
+   [shard = (i, n)] restricts the sweep to the rows at positions
+   [j mod n = i] of the k list.  The per-row PRNGs are sequential
+   splits of one stream, so a skipped row must still burn exactly the
+   splits it would have consumed — that keeps every measured row
+   byte-identical to the same row of the full sweep, which is what
+   lets [oqsc merge] reassemble an unsharded document. *)
+let rows ?(quick = false) ?shard ~seed () =
   let rng = Rng.create seed in
   let ks = if quick then [ 1; 2; 3; 4; 5 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-  List.map
-    (fun k ->
-      let t0 = Unix.gettimeofday () in
-      let inst = Lang.Instance.disjoint_pair (Rng.split rng) ~k in
-      let input = inst.Lang.Instance.input in
-      let quantum =
-        if k <= quantum_cap quick then
-          Some (Oqsc.Recognizer.run ~rng:(Rng.split rng) input)
-        else None
-      in
-      let b = Oqsc.Classical_block.run ~rng:(Rng.split rng) input in
-      {
-        k;
-        n = String.length input;
-        classical_storage_bits = b.Oqsc.Classical_block.storage_bits;
-        classical_total_bits = b.Oqsc.Classical_block.space_bits;
-        quantum_total_bits =
-          Option.map
-            (fun (q : Oqsc.Recognizer.run) ->
-              q.Oqsc.Recognizer.space.Oqsc.Recognizer.classical_bits
-              + q.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits)
-            quantum;
-        quantum_qubits =
-          Option.map
-            (fun (q : Oqsc.Recognizer.run) ->
-              q.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits)
-            quantum;
-        wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
-      })
-    ks
+  let keep position =
+    match shard with None -> true | Some (i, n) -> position mod n = i
+  in
+  List.concat
+    (List.mapi
+       (fun position k ->
+         if not (keep position) then begin
+           ignore (Rng.split rng) (* the instance's stream *);
+           if k <= quantum_cap quick then
+             ignore (Rng.split rng) (* the recognizer's stream *);
+           ignore (Rng.split rng) (* the block machine's stream *);
+           []
+         end
+         else begin
+           let t0 = Unix.gettimeofday () in
+           let inst = Lang.Instance.disjoint_pair (Rng.split rng) ~k in
+           let input = inst.Lang.Instance.input in
+           let quantum =
+             if k <= quantum_cap quick then
+               Some (Oqsc.Recognizer.run ~rng:(Rng.split rng) input)
+             else None
+           in
+           let b = Oqsc.Classical_block.run ~rng:(Rng.split rng) input in
+           [
+             {
+               k;
+               n = String.length input;
+               classical_storage_bits = b.Oqsc.Classical_block.storage_bits;
+               classical_total_bits = b.Oqsc.Classical_block.space_bits;
+               quantum_total_bits =
+                 Option.map
+                   (fun (q : Oqsc.Recognizer.run) ->
+                     q.Oqsc.Recognizer.space.Oqsc.Recognizer.classical_bits
+                     + q.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits)
+                   quantum;
+               quantum_qubits =
+                 Option.map
+                   (fun (q : Oqsc.Recognizer.run) ->
+                     q.Oqsc.Recognizer.space.Oqsc.Recognizer.qubits)
+                   quantum;
+               wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+             };
+           ]
+         end)
+       ks)
 
 let fits rows =
   let classical_points =
@@ -122,41 +144,59 @@ let judge ?(classical_band = default_classical_band) fit =
     quantum_ok = fit.quantum_log_r2 >= fit.quantum_power_r2;
   }
 
+let of_rows ?classical_band rows =
+  let fit = fits rows in
+  { rows; fit; verdict = judge ?classical_band fit }
+
 let audit ?quick ?classical_band ~seed () =
-  let rs = rows ?quick ~seed () in
-  let fit = fits rs in
-  { rows = rs; fit; verdict = judge ?classical_band fit }
+  of_rows ?classical_band (rows ?quick ~seed ())
 
 let passed a = a.verdict.classical_ok && a.verdict.quantum_ok
+
+let rows_table rows =
+  Report.table
+    ~title:"SPACE AUDIT  fitted scaling of the two machines on L_DISJ"
+    ~header:
+      [
+        "k";
+        "n";
+        "block store bits";
+        "block total bits";
+        "quantum bits";
+        "(qubits)";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.int r.k;
+           Report.int r.n;
+           Report.int r.classical_storage_bits;
+           Report.int r.classical_total_bits;
+           Report.opt Report.int r.quantum_total_bits;
+           Report.opt Report.int r.quantum_qubits;
+         ])
+       rows)
+
+(* A shard of the sweep has too few points to fit honestly, so its body
+   is the measured rows alone; fit and verdict appear after the shards
+   are recombined with [oqsc merge]. *)
+let shard_body ~shard:(index, count) rows =
+  {
+    Report.tables = [ rows_table rows ];
+    notes =
+      [
+        Printf.sprintf
+          "shard %d/%d of the k sweep; fit and verdict are computed from the \
+           merged document (oqsc merge)"
+          index count;
+      ];
+    metrics = [];
+  }
 
 let body a =
   let lo, hi = a.verdict.classical_band in
   {
-    Report.tables =
-      [
-        Report.table
-          ~title:"SPACE AUDIT  fitted scaling of the two machines on L_DISJ"
-          ~header:
-            [
-              "k";
-              "n";
-              "block store bits";
-              "block total bits";
-              "quantum bits";
-              "(qubits)";
-            ]
-          (List.map
-             (fun r ->
-               [
-                 Report.int r.k;
-                 Report.int r.n;
-                 Report.int r.classical_storage_bits;
-                 Report.int r.classical_total_bits;
-                 Report.opt Report.int r.quantum_total_bits;
-                 Report.opt Report.int r.quantum_qubits;
-               ])
-             a.rows);
-      ];
+    Report.tables = [ rows_table a.rows ];
     notes =
       [
         Printf.sprintf
@@ -182,36 +222,58 @@ let body a =
 
 let total_wall_ms a = List.fold_left (fun acc r -> acc +. r.wall_ms) 0.0 a.rows
 
+let rows_json ~timing rows =
+  let wall r = if timing then [ ("wall_ms", Json.Float r.wall_ms) ] else [] in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           ([
+              ("k", Json.Int r.k);
+              ("n", Json.Int r.n);
+              ("classical_storage_bits", Json.Int r.classical_storage_bits);
+              ("classical_total_bits", Json.Int r.classical_total_bits);
+              ( "quantum_total_bits",
+                match r.quantum_total_bits with
+                | Some q -> Json.Int q
+                | None -> Json.Null );
+              ( "quantum_qubits",
+                match r.quantum_qubits with
+                | Some q -> Json.Int q
+                | None -> Json.Null );
+            ]
+           @ wall r))
+       rows)
+
+let envelope ~seed ~quick =
+  [
+    ("kind", Json.Str "oqsc-space-audit");
+    ("version", Json.Int 1);
+    ("seed", Json.Int seed);
+    ("quick", Json.Bool quick);
+  ]
+
+let sum_wall_ms rows = List.fold_left (fun acc r -> acc +. r.wall_ms) 0.0 rows
+
+(* A shard document: the envelope, its rows, and the shard provenance
+   field — no fit or verdict, which only make sense on the full sweep
+   (the merge recomputes them from the recombined rows). *)
+let shard_to_json ?(timing = false) ~shard:(index, count) ~seed ~quick rows =
+  Json.Obj
+    (envelope ~seed ~quick
+    @ [
+        ("rows", rows_json ~timing rows);
+        ( "shard",
+          Json.Obj [ ("index", Json.Int index); ("of", Json.Int count) ] );
+      ]
+    @ if timing then [ ("wall_ms", Json.Float (sum_wall_ms rows)) ] else [])
+
 let to_json ?(timing = false) ~seed ~quick a =
   let lo, hi = a.verdict.classical_band in
-  let wall r = if timing then [ ("wall_ms", Json.Float r.wall_ms) ] else [] in
   Json.Obj
-    ([
-      ("kind", Json.Str "oqsc-space-audit");
-      ("version", Json.Int 1);
-      ("seed", Json.Int seed);
-      ("quick", Json.Bool quick);
-      ( "rows",
-        Json.List
-          (List.map
-             (fun r ->
-               Json.Obj
-                 ([
-                   ("k", Json.Int r.k);
-                   ("n", Json.Int r.n);
-                   ("classical_storage_bits", Json.Int r.classical_storage_bits);
-                   ("classical_total_bits", Json.Int r.classical_total_bits);
-                   ( "quantum_total_bits",
-                     match r.quantum_total_bits with
-                     | Some q -> Json.Int q
-                     | None -> Json.Null );
-                   ( "quantum_qubits",
-                     match r.quantum_qubits with
-                     | Some q -> Json.Int q
-                     | None -> Json.Null );
-                 ]
-                 @ wall r))
-             a.rows) );
+    (envelope ~seed ~quick
+    @ [
+      ("rows", rows_json ~timing a.rows);
       ( "fit",
         Json.Obj
           [

@@ -54,8 +54,18 @@ val quantum_cap : bool -> int
 (** Largest [k] whose recognizer is dense-simulated ([4] quick, [6]
     full; [2k + 2] qubits). *)
 
-val rows : ?quick:bool -> seed:int -> unit -> row list
-(** [k] in [1..5] (quick) or [1..8] (full), one instance per [k]. *)
+val rows : ?quick:bool -> ?shard:int * int -> seed:int -> unit -> row list
+(** [k] in [1..5] (quick) or [1..8] (full), one instance per [k].
+    [shard = (i, n)] measures only the rows at positions [j mod n = i]
+    of the sweep; skipped rows still burn the PRNG splits they would
+    have consumed, so every returned row is byte-identical to the same
+    row of the full sweep (the property [oqsc merge] relies on). *)
+
+val of_rows : ?classical_band:float * float -> row list -> audit
+(** Fits and judges an already-measured row set — the merge tool's path
+    to recomputing [fit]/[verdict] over recombined shard rows.  Needs
+    at least two classical and two quantum points (the full sweep
+    always has them). *)
 
 val audit :
   ?quick:bool -> ?classical_band:float * float -> seed:int -> unit -> audit
@@ -66,6 +76,10 @@ val passed : audit -> bool
 val body : audit -> Report.body
 (** Table plus fit metrics, rendered like any experiment report. *)
 
+val shard_body : shard:int * int -> row list -> Report.body
+(** The rows table alone (a shard has too few points to fit honestly),
+    with a note naming the shard and pointing at [oqsc merge]. *)
+
 val total_wall_ms : audit -> float
 (** Sum of the per-row wall-clocks. *)
 
@@ -75,5 +89,12 @@ val to_json : ?timing:bool -> seed:int -> quick:bool -> audit -> Json.t
     and a total [wall_ms] at top level; like the experiments document's
     [wall_ms], they are telemetry the differ always ignores, so timed
     and untimed documents gate interchangeably. *)
+
+val shard_to_json :
+  ?timing:bool -> shard:int * int -> seed:int -> quick:bool -> row list -> Json.t
+(** A shard document: the same envelope and rows serialization as
+    {!to_json} plus the gated [shard] provenance field, and no
+    [fit]/[verdict] (recomputed by [oqsc merge] over the recombined
+    rows — see docs/SCHEMA.md). *)
 
 val print : ?quick:bool -> seed:int -> Format.formatter -> unit

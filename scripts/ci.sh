@@ -3,104 +3,189 @@
 # pipeline — the emitted document must parse (the CLI's own --check
 # re-reads it) and round-trip through the regression gate at zero
 # tolerance. Run from anywhere; operates on the repository root.
+#
+# Usage: scripts/ci.sh [STAGE]
+#
+# With no argument every stage runs in order — the full local gate.
+# Naming a stage runs just that section (what the GitHub Actions matrix
+# fans out across jobs): build, docs, tests, smoke, trace, shard,
+# audit, bench, baseline.
 set -eu
+
+stage="${1:-all}"
+case "$stage" in
+  all|build|docs|tests|smoke|trace|shard|audit|bench|baseline) ;;
+  *)
+    echo "unknown stage '$stage'" >&2
+    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|shard|audit|bench|baseline]" >&2
+    exit 2
+    ;;
+esac
+want() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
 
 cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== build =="
-dune build @all
-
-echo "== docs =="
-# @doc needs odoc; build it where the tool exists, skip (loudly) where
-# it does not so the gate stays runnable on minimal images.
-if command -v odoc >/dev/null 2>&1; then
-  dune build @doc @doc-private
-else
-  echo "odoc not installed; skipping documentation build"
+if want build; then
+  echo "== build =="
+  dune build @all
 fi
 
-echo "== tests =="
-dune runtest
+if want docs; then
+  echo "== docs =="
+  # @doc needs odoc; build it where the tool exists, skip (loudly) where
+  # it does not so the gate stays runnable on minimal images.
+  if command -v odoc >/dev/null 2>&1; then
+    dune build @doc @doc-private
+  else
+    echo "odoc not installed; skipping documentation build"
+  fi
+fi
 
-echo "== run-all JSON smoke =="
-# Emit a quick baseline, then check the very same run against it: this
-# exercises the emitter, the parser, and the differ end to end, and
-# fails if the document stopped being byte-deterministic.
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --json "$tmp/exp.json"
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
-  --check "$tmp/exp.json" --tolerance 0.0
+if want tests; then
+  echo "== tests =="
+  dune runtest
+fi
 
-# Parallel and sequential runs must produce identical bytes.
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --sequential \
-  --json "$tmp/exp_seq.json"
-cmp "$tmp/exp.json" "$tmp/exp_seq.json"
+if want smoke; then
+  echo "== run-all JSON smoke =="
+  # Emit a quick baseline, then check the very same run against it: this
+  # exercises the emitter, the parser, and the differ end to end, and
+  # fails if the document stopped being byte-deterministic.
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --json "$tmp/exp.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --check "$tmp/exp.json" --tolerance 0.0
 
-# Both register-backend scheduling paths must too: force every
-# amplitude loop through the chunked dispatch and compare bytes.
-OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
-  --json "$tmp/exp_par.json"
-cmp "$tmp/exp.json" "$tmp/exp_par.json"
+  # Parallel and sequential runs must produce identical bytes.
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --sequential \
+    --json "$tmp/exp_seq.json"
+  cmp "$tmp/exp.json" "$tmp/exp_seq.json"
 
-echo "== trace smoke =="
-# Tracing must be write-only: a traced run's gated JSON must match an
-# untraced baseline byte for byte, on the default, sequential, and
-# forced-chunked scheduling paths alike. Each emitted timeline must
-# also survive the structural linter (balanced per-track B/E spans,
-# nondecreasing timestamps, zero dropped events).
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
-  --json "$tmp/e3.json"
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
-  --trace "$tmp/e3_trace.json" --json "$tmp/e3_traced.json"
-cmp "$tmp/e3.json" "$tmp/e3_traced.json"
-dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace.json"
+  # Both register-backend scheduling paths must too: force every
+  # amplitude loop through the chunked dispatch and compare bytes.
+  OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --json "$tmp/exp_par.json"
+  cmp "$tmp/exp.json" "$tmp/exp_par.json"
+fi
 
-dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 --sequential \
-  --trace "$tmp/e3_trace_seq.json" --json "$tmp/e3_traced_seq.json"
-cmp "$tmp/e3.json" "$tmp/e3_traced_seq.json"
-dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_seq.json"
+if want trace; then
+  echo "== trace smoke =="
+  # Tracing must be write-only: a traced run's gated JSON must match an
+  # untraced baseline byte for byte, on the default, sequential, and
+  # forced-chunked scheduling paths alike. Each emitted timeline must
+  # also survive the structural linter (balanced per-track B/E spans,
+  # nondecreasing timestamps, zero dropped events).
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
+    --json "$tmp/e3.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 \
+    --trace "$tmp/e3_trace.json" --json "$tmp/e3_traced.json"
+  cmp "$tmp/e3.json" "$tmp/e3_traced.json"
+  dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace.json"
 
-OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
-  --only e3 --trace "$tmp/e3_trace_par.json" --json "$tmp/e3_traced_par.json"
-cmp "$tmp/e3.json" "$tmp/e3_traced_par.json"
-dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_par.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e3 --sequential \
+    --trace "$tmp/e3_trace_seq.json" --json "$tmp/e3_traced_seq.json"
+  cmp "$tmp/e3.json" "$tmp/e3_traced_seq.json"
+  dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_seq.json"
 
-echo "== space-audit gate =="
-# Exits non-zero unless the fitted classical exponent lands in the
-# n^(1/3) band and the quantum data prefers the logarithmic model; the
-# emitted document must also be byte-stable across runs.
-dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit.json"
-dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit2.json"
-cmp "$tmp/audit.json" "$tmp/audit2.json"
-# --timing adds wall_ms telemetry (and nothing else): the timed
-# document must differ from the baseline, and stripping its wall_ms
-# lines (plus the comma they force onto the preceding line, since
-# sorted keys put wall_ms last in each object) must give back the
-# baseline bytes exactly.
-dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --timing \
-  --json "$tmp/audit_timed.json"
-! cmp -s "$tmp/audit.json" "$tmp/audit_timed.json"
-awk '{ if ($0 ~ /"wall_ms"/) { sub(/,$/, "", prev); next }
-       if (have) print prev; prev = $0; have = 1 }
-     END { if (have) print prev }' \
-  "$tmp/audit_timed.json" > "$tmp/audit_stripped.json"
-cmp "$tmp/audit.json" "$tmp/audit_stripped.json"
+  OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --only e3 --trace "$tmp/e3_trace_par.json" --json "$tmp/e3_traced_par.json"
+  cmp "$tmp/e3.json" "$tmp/e3_traced_par.json"
+  dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_par.json"
+fi
 
-echo "== bench JSON smoke =="
-# One cheap kernel group; wall-clock varies, so gate only the shape
-# (names present, document parses) with a very loose tolerance.
-dune exec bench/main.exe -- --quick --no-tables --only e2 --json "$tmp/bench.json"
-dune exec bench/main.exe -- --quick --no-tables --only e2 \
-  --check "$tmp/bench.json" --tolerance 90
+if want shard; then
+  echo "== shard + merge smoke =="
+  # Three process-level shards of the quick run, merged back, must be
+  # byte-identical to the unsharded document: the merge tool validates
+  # the shard provenance fields, drops them, and reassembles the
+  # experiment list in catalogue order.
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --json "$tmp/shard_full.json"
+  for i in 0 1 2; do
+    dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+      --shard "$i/3" --json "$tmp/shard_$i.json"
+  done
+  # Merge order must not matter.
+  dune exec bin/oqsc_cli.exe -- merge "$tmp/shard_merged.json" \
+    "$tmp/shard_2.json" "$tmp/shard_0.json" "$tmp/shard_1.json"
+  cmp "$tmp/shard_full.json" "$tmp/shard_merged.json"
 
-echo "== bench baseline check =="
-# Gate the full kernel set against the committed dated baseline. The
-# tolerance is deliberately loose (timings are machine-dependent); what
-# this really pins is the kernel catalogue — a renamed or vanished
-# kernel fails regardless of tolerance. Re-record and commit a new
-# dated file after intentional kernel changes (see EXPERIMENTS.md).
-dune exec bench/main.exe -- --no-tables \
-  --check BENCH_2026-08-05.json --tolerance 90
+  # The space-audit k sweep shards the same way; the merged document
+  # recomputes fit/verdict from the recombined rows and must match the
+  # unsharded audit byte for byte.
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/sa_full.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet \
+    --shard 0/2 --json "$tmp/sa_0.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet \
+    --shard 1/2 --json "$tmp/sa_1.json"
+  dune exec bin/oqsc_cli.exe -- merge "$tmp/sa_merged.json" \
+    "$tmp/sa_1.json" "$tmp/sa_0.json"
+  cmp "$tmp/sa_full.json" "$tmp/sa_merged.json"
 
-echo "== ci OK =="
+  # Malformed selections must fail non-zero with a usable message.
+  ! dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --shard 3/3 2>/dev/null
+  ! dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --shard 0/0 2>/dev/null
+  ! dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --shard x/3 2>/dev/null
+  ! dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e99 2>/dev/null
+  # ... and so must an incomplete or duplicated shard set.
+  ! dune exec bin/oqsc_cli.exe -- merge "$tmp/bad.json" \
+    "$tmp/shard_0.json" "$tmp/shard_1.json" 2>/dev/null
+  ! dune exec bin/oqsc_cli.exe -- merge "$tmp/bad.json" \
+    "$tmp/shard_0.json" "$tmp/shard_0.json" "$tmp/shard_1.json" "$tmp/shard_2.json" 2>/dev/null
+fi
+
+if want audit; then
+  echo "== space-audit gate =="
+  # Exits non-zero unless the fitted classical exponent lands in the
+  # n^(1/3) band and the quantum data prefers the logarithmic model; the
+  # emitted document must also be byte-stable across runs.
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --json "$tmp/audit2.json"
+  cmp "$tmp/audit.json" "$tmp/audit2.json"
+  # --timing adds wall_ms telemetry (and nothing else): the timed
+  # document must differ from the baseline, and stripping its wall_ms
+  # lines (plus the comma they force onto the preceding line, since
+  # sorted keys put wall_ms last in each object) must give back the
+  # baseline bytes exactly.
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --timing \
+    --json "$tmp/audit_timed.json"
+  ! cmp -s "$tmp/audit.json" "$tmp/audit_timed.json"
+  awk '{ if ($0 ~ /"wall_ms"/) { sub(/,$/, "", prev); next }
+         if (have) print prev; prev = $0; have = 1 }
+       END { if (have) print prev }' \
+    "$tmp/audit_timed.json" > "$tmp/audit_stripped.json"
+  cmp "$tmp/audit.json" "$tmp/audit_stripped.json"
+fi
+
+if want bench; then
+  echo "== bench JSON smoke =="
+  # One cheap kernel group; wall-clock varies, so gate only the shape
+  # (names present, document parses) with a very loose tolerance.
+  dune exec bench/main.exe -- --quick --no-tables --only e2 --json "$tmp/bench.json"
+  dune exec bench/main.exe -- --quick --no-tables --only e2 \
+    --check "$tmp/bench.json" --tolerance 90
+
+  # Sharded bench documents recombine: timings differ run to run, so
+  # gate the merged document's kernel catalogue, not its numbers.
+  dune exec bench/main.exe -- --quick --no-tables --only e2,e5,e13 \
+    --shard 0/2 --json "$tmp/bench_0.json"
+  dune exec bench/main.exe -- --quick --no-tables --only e2,e5,e13 \
+    --shard 1/2 --json "$tmp/bench_1.json"
+  dune exec bin/oqsc_cli.exe -- merge "$tmp/bench_merged.json" \
+    "$tmp/bench_1.json" "$tmp/bench_0.json"
+  dune exec bench/main.exe -- --quick --no-tables --only e2,e5,e13 \
+    --check "$tmp/bench_merged.json" --tolerance 10000
+fi
+
+if want baseline; then
+  echo "== bench baseline check =="
+  # Gate the full kernel set against the committed dated baseline. The
+  # tolerance is deliberately loose (timings are machine-dependent); what
+  # this really pins is the kernel catalogue — a renamed or vanished
+  # kernel fails regardless of tolerance. Re-record and commit a new
+  # dated file after intentional kernel changes (see EXPERIMENTS.md).
+  dune exec bench/main.exe -- --no-tables \
+    --check BENCH_2026-08-05.json --tolerance 90
+fi
+
+echo "== ci $stage OK =="

@@ -24,6 +24,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("json", Test_json.suite);
       ("runner", Test_runner.suite);
+      ("merge", Test_merge.suite);
       ("integration", Test_integration.suite);
       ("edges", Test_edges.suite);
     ]
