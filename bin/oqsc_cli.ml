@@ -15,6 +15,8 @@
              identical to the unsharded run
      trace-lint - structurally validate an oqsc-trace document
      exp   - run one experiment (e1..e15) or all of them
+     vm    - list, disassemble, or run the bytecode-compiled machine
+             gallery (lib/vm)
      ids   - list experiment ids with descriptions *)
 
 open Cmdliner
@@ -185,8 +187,16 @@ let run_all_cmd =
           ~doc:
             "Run only shard I of N (0-based): the selected experiments are dealt round-robin by catalogue position, so the N shards partition the run and each shard's output is byte-stable. The JSON document carries a shard provenance field; recombine a complete shard set with 'oqsc merge'.")
   in
+  let compiled =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "Execute circuits through the lib/vm bytecode engine instead of the gate-IR walker (also enabled by OQSC_COMPILED=1). Compiled programs are memoised per (experiment, seed, variant); results are bit-identical to the walker, so the --json document does not change — CI holds the two paths byte-equal.")
+  in
   let action quick seed only sequential domains json_file timing check tolerance quiet
-      trace_file shard =
+      trace_file shard compiled =
+    if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
     let only =
       Option.map
         (fun s ->
@@ -319,7 +329,7 @@ let run_all_cmd =
     Term.(
       ret
         (const action $ quick $ seed $ only $ sequential $ domains $ json_file
-       $ timing $ check $ tolerance $ quiet $ trace_file $ shard))
+       $ timing $ check $ tolerance $ quiet $ trace_file $ shard $ compiled))
 
 (* ---------------------------------------------------------- space-audit *)
 
@@ -540,6 +550,85 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Run one experiment (or all) and print its table.")
     Term.(ret (const action $ id $ quick $ seed))
 
+(* ------------------------------------------------------------------- vm *)
+
+(* The E15 machine gallery under the bytecode compiler: the same
+   programs the experiment compiles to real OPTMs, here lowered to flat
+   oqvm bytecode (golden-tested listings live in test/golden/). *)
+let vm_gallery : (string * (unit -> Machine.Program.t)) list =
+  [
+    ("parity", fun () -> Machine.Program.parity);
+    ("run-length-equal", fun () -> Machine.Program.run_length_equal ~width:5);
+    ("fingerprint-eq", fun () -> Machine.Program.fingerprint_eq ~p:17 ~t:3);
+    ("ldisj-shape", fun () -> Machine.Program.ldisj_shape ~width:7);
+    ("beacon", fun () -> Machine.Program.beacon);
+  ]
+
+let vm_cmd =
+  let what =
+    Arg.(
+      value
+      & pos 0 (enum [ ("list", `List); ("disasm", `Disasm); ("run", `Run) ]) `List
+      & info [] ~docv:"ACTION" ~doc:"list | disasm | run.")
+  in
+  let prog =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Gallery program name (see 'oqsc vm list').")
+  in
+  let input =
+    Arg.(
+      value & opt string "-"
+      & info [ "input" ] ~docv:"FILE" ~doc:"Input file for run, or - for stdin.")
+  in
+  let action what prog input =
+    let with_program k =
+      match prog with
+      | None -> `Error (false, "vm: name a gallery program; try 'oqsc vm list'")
+      | Some n -> (
+          match List.assoc_opt n vm_gallery with
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "vm: unknown program %S; valid: %s" n
+                    (String.concat ", " (List.map fst vm_gallery)) )
+          | Some p -> k (Vm.Mcode.compile (p ())))
+    in
+    match what with
+    | `List ->
+        List.iter
+          (fun (n, p) ->
+            let c = Vm.Mcode.compile (p ()) in
+            Printf.printf "%-18s width %d  registers %d  instructions %3d  %4d bytes\n"
+              n (Vm.Mcode.width c) (Vm.Mcode.registers c)
+              (Vm.Mcode.instructions c) (Vm.Mcode.size c))
+          vm_gallery;
+        `Ok ()
+    | `Disasm -> with_program (fun c -> print_string (Vm.Mcode.disasm c); `Ok ())
+    | `Run ->
+        with_program (fun c ->
+            let w = read_input input in
+            let r = Vm.Mcode.run c w in
+            Printf.printf "verdict: %s\n"
+              (match r.Machine.Program.verdict with
+              | Some true -> "accept"
+              | Some false -> "reject"
+              | None -> "none (step cap)");
+            if r.Machine.Program.output <> "" then
+              Printf.printf "output: %s\n" r.Machine.Program.output;
+            Printf.printf "registers: [%s]\n"
+              (String.concat "; "
+                 (Array.to_list
+                    (Array.map string_of_int r.Machine.Program.final_registers)));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "vm"
+       ~doc:
+         "List, disassemble, or run the bytecode-compiled machine gallery (the same register programs e15 compiles to real OPTMs; the bytecode interpreter is step-for-step identical to Machine.Program.interpret).")
+    Term.(ret (const action $ what $ prog $ input))
+
 (* ------------------------------------------------------------------ ids *)
 
 let ne_cmd =
@@ -573,6 +662,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; vm_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,65 @@
+type ctx = {
+  experiment : string;
+  k : int;
+  seed : int;
+  variant : string;
+  mutable seen : Obj.t list;  (* program sources in first-sighting order *)
+}
+
+let ctx_key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_context ~experiment ?(k = 0) ~seed ~variant f =
+  let prev = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (Some { experiment; k; seed; variant; seen = [] });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key prev) f
+
+let context () =
+  Option.map
+    (fun c -> (c.experiment, c.k, c.seed, c.variant))
+    (Domain.DLS.get ctx_key)
+
+let tag_for v =
+  match Domain.DLS.get ctx_key with
+  | None -> None
+  | Some c ->
+      let o = Obj.repr v in
+      let rec find i = function
+        | [] -> None
+        | x :: tl -> if x == o then Some i else find (i + 1) tl
+      in
+      let seq =
+        match find 0 c.seen with
+        | Some i -> i + 1
+        | None ->
+            c.seen <- c.seen @ [ o ];
+            List.length c.seen
+      in
+      Some
+        (Printf.sprintf "%s/k%d/s%d/%s/src.%d" c.experiment c.k c.seed
+           c.variant seq)
+
+(* ----------------------------------------------------------- accounting *)
+
+type event = [ `Hit | `Miss | `Bypass | `Invalidate ]
+
+(* A private sink, never the ambient scope: keeps the counters out of
+   the gated [resources] JSON.  One sink is shared by every domain, so
+   all access goes through the lock. *)
+let sink = ref (Obs.create ())
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter_of = function
+  | `Hit -> "vm.cache.hit"
+  | `Miss -> "vm.cache.miss"
+  | `Bypass -> "vm.cache.bypass"
+  | `Invalidate -> "vm.cache.invalidate"
+
+let note ev = locked (fun () -> Obs.incr !sink (counter_of ev))
+let hits () = locked (fun () -> Obs.count !sink "vm.cache.hit")
+let misses () = locked (fun () -> Obs.count !sink "vm.cache.miss")
+let stats () = locked (fun () -> Obs.snapshot !sink)
+let reset_stats () = locked (fun () -> sink := Obs.create ())

@@ -1,0 +1,62 @@
+(** Cache keys, contexts, and hit/miss accounting for compiled programs.
+
+    Compiled programs are memoised per {e cache context}: a
+    [(experiment id, k, seed, variant)] quadruple installed for a
+    dynamic extent on the calling domain (the experiment registry
+    installs one around every experiment body, [space-audit] one per
+    sweep row).  Within a context, each distinct program source object
+    is assigned a stable sequence number in order of first sighting;
+    because experiment bodies are seed-deterministic, the same
+    [(experiment, k, seed, variant)] run always meets the same sources
+    in the same order, so the derived keys are reproducible across
+    repeated invocations in one process — that is what lets a second
+    [run-all --only e11] reuse the first run's compiled programs.
+
+    Outside any context there is no sound reusable key, so callers
+    bypass the store (and say so on the [vm.cache.bypass] counter).
+
+    Accounting goes to a {e private} [Obs] sink, never to the ambient
+    {!Obs.Scope}: the gated [resources] section of the experiment JSON
+    must stay byte-identical whether the compiled engine is on or off,
+    so the cache's counters are kept out of it by construction and read
+    back through {!stats} instead. *)
+
+val with_context :
+  experiment:string -> ?k:int -> seed:int -> variant:string -> (unit -> 'a) -> 'a
+(** [with_context ~experiment ?k ~seed ~variant f] installs a fresh
+    cache context on the calling domain for the extent of [f] (restoring
+    the previous one afterwards, exceptions included).  [k] defaults to
+    0 for experiments that do not sweep it; [variant] distinguishes
+    otherwise-identical runs whose programs differ (["quick"] vs
+    ["full"]). *)
+
+val context : unit -> (string * int * int * string) option
+(** The [(experiment, k, seed, variant)] installed on this domain. *)
+
+val tag_for : 'a -> string option
+(** [tag_for source] is the full cache key for compiling [source] (a
+    heap-allocated program source, compared physically), or [None] when
+    no context is installed.  The key spells out every context field
+    plus the source's first-sighting sequence number, e.g.
+    ["e11/k0/s2006/quick/src.2"]. *)
+
+(** {1 Accounting} *)
+
+type event = [ `Hit | `Miss | `Bypass | `Invalidate ]
+(** [`Invalidate]: a keyed entry was found but its stored shape no
+    longer matched the source (e.g. the circuit grew since it was
+    compiled), so it was recompiled in place. *)
+
+val note : event -> unit
+(** Count one cache event ([vm.cache.hit] / [.miss] / [.bypass] /
+    [.invalidate] on the private sink).  Thread-safe. *)
+
+val hits : unit -> int
+
+val misses : unit -> int
+
+val stats : unit -> (string * int) list
+(** Snapshot of all cache counters (sorted, possibly empty). *)
+
+val reset_stats : unit -> unit
+(** Zero the counters (tests; {!Engine.reset} calls it). *)

@@ -1,0 +1,14 @@
+let enable () = Circuit.Circ.set_compiled_runner (Some Qcode.run_cached)
+let disable () = Circuit.Circ.set_compiled_runner None
+let enabled () = Circuit.Circ.compiled_runner_installed ()
+
+let env_requested () =
+  match Sys.getenv_opt "OQSC_COMPILED" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+let init_from_env () = if env_requested () then enable ()
+
+let reset () =
+  Qcode.clear_store ();
+  Cache.reset_stats ()

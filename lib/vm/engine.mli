@@ -1,0 +1,36 @@
+(** Switchboard for the bytecode execution path.
+
+    The [circuit] library cannot depend on [vm] (the compiler consumes
+    circuits), so {!Circuit.Circ} exposes a runner hook instead and this
+    module owns it: {!enable} installs {!Qcode.run_cached} behind
+    [Circ.run], rerouting every circuit execution in the process through
+    the bytecode interpreter; {!disable} restores the IR walker.  The
+    two paths are bit-identical (see {!Qcode}), so flipping the engine
+    never changes gated JSON — [scripts/ci.sh compiled] holds the repo
+    to that by byte-comparing [run-all --compiled] against the default
+    walker output.
+
+    Wired to the user through [run-all --compiled] / [oqsc vm] and, for
+    harnesses that take no flags (the bench runner), through the
+    [OQSC_COMPILED] environment variable via {!init_from_env}. *)
+
+val enable : unit -> unit
+(** Route [Circuit.Circ.run] through the bytecode engine.  Idempotent. *)
+
+val disable : unit -> unit
+(** Restore the IR walker.  Idempotent. *)
+
+val enabled : unit -> bool
+(** Whether the bytecode runner is currently installed. *)
+
+val env_requested : unit -> bool
+(** True when [OQSC_COMPILED] is set to anything but [""], ["0"] or
+    ["false"] — same convention as the other [OQSC_*] switches. *)
+
+val init_from_env : unit -> unit
+(** {!enable} iff {!env_requested}; leaves the engine untouched
+    otherwise (never force-disables an engine a caller enabled). *)
+
+val reset : unit -> unit
+(** Drop all memoised programs and zero the cache counters.  Does not
+    change whether the engine is enabled. *)

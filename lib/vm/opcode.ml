@@ -1,0 +1,66 @@
+let magic = "OQVM"
+let version = 1
+let kind_machine = Char.code 'M'
+let kind_quantum = Char.code 'Q'
+let header_size = 8
+let flag_fall = 0x80
+
+(* Group 0: machine control flow. *)
+let m_acc = 0x01
+let m_rej = 0x02
+let m_jmp = 0x03
+let m_jeq = 0x04
+let m_jlt = 0x05
+let m_jmax = 0x06
+let m_read = 0x07
+
+(* Group 1: machine register file. *)
+let m_inc = 0x10
+let m_clr = 0x11
+let m_ldi = 0x12
+let m_add = 0x13
+let m_sub = 0x14
+let m_emit = 0x15
+
+(* Group 2: quantum gates, in Circ.apply_gate dispatch order. *)
+let q_h = 0x20
+let q_t = 0x21
+let q_tdg = 0x22
+let q_s = 0x23
+let q_sdg = 0x24
+let q_x = 0x25
+let q_z = 0x26
+let q_cnot = 0x27
+let q_cz = 0x28
+let q_ccx = 0x29
+let q_mcx = 0x2A
+let q_mcz = 0x2B
+
+let name op =
+  match op with
+  | 0x01 -> "acc"
+  | 0x02 -> "rej"
+  | 0x03 -> "jmp"
+  | 0x04 -> "jeq"
+  | 0x05 -> "jlt"
+  | 0x06 -> "jmax"
+  | 0x07 -> "read"
+  | 0x10 -> "inc"
+  | 0x11 -> "clr"
+  | 0x12 -> "ldi"
+  | 0x13 -> "add"
+  | 0x14 -> "sub"
+  | 0x15 -> "emit"
+  | 0x20 -> "qh"
+  | 0x21 -> "qt"
+  | 0x22 -> "qtdg"
+  | 0x23 -> "qs"
+  | 0x24 -> "qsdg"
+  | 0x25 -> "qx"
+  | 0x26 -> "qz"
+  | 0x27 -> "qcnot"
+  | 0x28 -> "qcz"
+  | 0x29 -> "qccx"
+  | 0x2A -> "qmcx"
+  | 0x2B -> "qmcz"
+  | _ -> invalid_arg (Printf.sprintf "Vm.Opcode.name: unknown opcode 0x%02X" op)

@@ -1,0 +1,68 @@
+(** The oqvm instruction encoding, shared by the compilers
+    ({!Qcode}, {!Mcode}), their interpreters, and the disassembler.
+
+    A compiled program is one flat [Bytes] value: an 8-byte header
+    followed by a stream of variable-length instructions.  Opcodes are a
+    single byte in the register-VM style of PMunch's [data.vm]: the low
+    seven bits name the operation (three bits of group, four of member)
+    and the top bit is the variable-length {e fallthrough flag} — when
+    set on a machine opcode, the instruction's final continuation
+    operand is omitted and control falls through to the next instruction
+    in the byte stream.  The normative opcode table lives in
+    [docs/BYTECODE.md]; the golden disassembly tests pin it. *)
+
+(** {1 Envelope} *)
+
+val magic : string
+(** ["OQVM"], bytes 0-3 of every program. *)
+
+val version : int
+(** Encoding version, byte 4.  Currently [1]. *)
+
+val kind_machine : int
+(** Header kind byte (offset 5) of a compiled register program: ['M']. *)
+
+val kind_quantum : int
+(** Header kind byte (offset 5) of a compiled circuit: ['Q']. *)
+
+val header_size : int
+(** Bytes before the first instruction (8).  Jump targets and
+    disassembly offsets are relative to this point. *)
+
+val flag_fall : int
+(** The fallthrough bit, [0x80]. *)
+
+(** {1 Machine opcodes (group 0: control, group 1: register file)} *)
+
+val m_acc : int
+val m_rej : int
+val m_jmp : int
+val m_jeq : int
+val m_jlt : int
+val m_jmax : int
+val m_read : int
+val m_inc : int
+val m_clr : int
+val m_ldi : int
+val m_add : int
+val m_sub : int
+val m_emit : int
+
+(** {1 Quantum opcodes (group 2)} *)
+
+val q_h : int
+val q_t : int
+val q_tdg : int
+val q_s : int
+val q_sdg : int
+val q_x : int
+val q_z : int
+val q_cnot : int
+val q_cz : int
+val q_ccx : int
+val q_mcx : int
+val q_mcz : int
+
+val name : int -> string
+(** Mnemonic of a base opcode (fallthrough flag stripped by the caller).
+    @raise Invalid_argument on a byte outside the table. *)

@@ -8,16 +8,16 @@
 #
 # With no argument every stage runs in order — the full local gate.
 # Naming a stage runs just that section (what the GitHub Actions matrix
-# fans out across jobs): build, docs, tests, smoke, trace, shard,
-# audit, bench, baseline.
+# fans out across jobs): build, docs, tests, smoke, trace, compiled,
+# shard, audit, bench, baseline.
 set -eu
 
 stage="${1:-all}"
 case "$stage" in
-  all|build|docs|tests|smoke|trace|shard|audit|bench|baseline) ;;
+  all|build|docs|tests|smoke|trace|compiled|shard|audit|bench|baseline) ;;
   *)
     echo "unknown stage '$stage'" >&2
-    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|shard|audit|bench|baseline]" >&2
+    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|audit|bench|baseline]" >&2
     exit 2
     ;;
 esac
@@ -92,6 +92,40 @@ if want trace; then
     --only e3 --trace "$tmp/e3_trace_par.json" --json "$tmp/e3_traced_par.json"
   cmp "$tmp/e3.json" "$tmp/e3_traced_par.json"
   dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/e3_trace_par.json"
+fi
+
+if want compiled; then
+  echo "== compiled engine smoke =="
+  # The bytecode engine must be invisible in results: a --compiled run's
+  # gated JSON must be byte-identical to the IR walker's, on the default
+  # and the forced-chunked scheduling paths, and through the OQSC_COMPILED
+  # env switch (the route harnesses without flags use). A traced compiled
+  # run must leave the JSON untouched and emit a timeline that survives
+  # the structural linter (it carries the vm.compile / vm.exec spans).
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --json "$tmp/walk.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --compiled \
+    --json "$tmp/comp.json"
+  cmp "$tmp/walk.json" "$tmp/comp.json"
+
+  OQSC_PAR_THRESHOLD=0 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --compiled --json "$tmp/comp_par.json"
+  cmp "$tmp/walk.json" "$tmp/comp_par.json"
+
+  OQSC_COMPILED=1 dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --json "$tmp/comp_env.json"
+  cmp "$tmp/walk.json" "$tmp/comp_env.json"
+
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e11 \
+    --json "$tmp/walk_e11.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e11 --compiled \
+    --trace "$tmp/comp_trace.json" --json "$tmp/comp_e11.json"
+  cmp "$tmp/walk_e11.json" "$tmp/comp_e11.json"
+  dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/comp_trace.json"
+
+  # The bytecode machine gallery must list, disassemble, and run.
+  dune exec bin/oqsc_cli.exe -- vm list >/dev/null
+  dune exec bin/oqsc_cli.exe -- vm disasm ldisj-shape >/dev/null
+  printf 1101 | dune exec bin/oqsc_cli.exe -- vm run parity | grep -q reject
 fi
 
 if want shard; then

@@ -1,0 +1,43 @@
+(* Regenerate the committed disassembler listings in test/golden/.
+   Run after an intentional encoding or disassembly format change:
+
+     dune exec test/gen_goldens.exe -- test/golden
+
+   then review the diff and commit.  The listings must stay in sync
+   with lowered_golden_circuit and machine_gallery in test_vm.ml. *)
+
+open Machine
+open Circuit
+
+let machine_gallery =
+  [
+    ("parity", Program.parity);
+    ("run_length_equal", Program.run_length_equal ~width:5);
+    ("fingerprint_eq", Program.fingerprint_eq ~p:17 ~t:3);
+    ("ldisj_shape", Program.ldisj_shape ~width:7);
+    ("beacon", Program.beacon);
+  ]
+
+let lowered_golden_circuit () =
+  Lower.to_basis
+    (Circ.of_gates ~nqubits:3
+       [
+         Gate.H 0;
+         Gate.T 1;
+         Gate.Cz (0, 1);
+         Gate.Ccx { c1 = 0; c2 = 1; target = 2 };
+         Gate.X 2;
+       ])
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  let write name text =
+    let path = Filename.concat dir (name ^ ".disasm") in
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+    Printf.printf "wrote %s\n" path
+  in
+  List.iter
+    (fun (name, p) -> write name (Vm.Mcode.disasm (Vm.Mcode.compile p)))
+    machine_gallery;
+  write "lowered_circuit"
+    (Vm.Qcode.disasm (Vm.Qcode.compile (lowered_golden_circuit ())))

@@ -26,5 +26,6 @@ let () =
       ("runner", Test_runner.suite);
       ("merge", Test_merge.suite);
       ("integration", Test_integration.suite);
+      ("vm", Test_vm.suite);
       ("edges", Test_edges.suite);
     ]

@@ -1,0 +1,604 @@
+(* Tests for the lib/vm bytecode subsystem: encoders, the two
+   interpreters (circuit and register-machine), the disassemblers
+   against committed golden listings, the compiled-program cache, and
+   the engine hook behind run-all --compiled.
+
+   The load-bearing properties are differential: random circuits must
+   execute *bit-identically* (exact float equality on every amplitude)
+   under the bytecode interpreter and the gate-IR walker, on both the
+   sequential and the forced-chunked parallel scheduling paths; random
+   register programs must match Machine.Program.interpret on verdict,
+   output, and final registers, including at arbitrary max_steps
+   boundaries. *)
+
+open Quantum
+open Circuit
+open Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ----------------------------------------------------------- helpers *)
+
+let bell = [ Gate.H 0; Gate.Cnot { control = 0; target = 1 } ]
+
+(* Exact equality, not approx_equal: the contract is bit-identical. *)
+let states_identical s1 s2 =
+  let d = State.dim s1 in
+  State.dim s2 = d
+  &&
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if State.re s1 i <> State.re s2 i || State.im s1 i <> State.im s2 i then
+      ok := false
+  done;
+  !ok
+
+(* Walker vs bytecode from basis state |start>; the engine hook must be
+   uninstalled so Circ.run is the IR walker. *)
+let paths_agree circ start =
+  Vm.Engine.disable ();
+  let nq = Circ.nqubits circ in
+  let walk = State.basis nq start in
+  Circ.run circ walk;
+  let vm = State.basis nq start in
+  Vm.Qcode.run (Vm.Qcode.compile circ) vm;
+  states_identical walk vm
+
+let run_result_equal (a : Program.run_result) (b : Program.run_result) =
+  a.Program.verdict = b.Program.verdict
+  && a.Program.output = b.Program.output
+  && a.Program.final_registers = b.Program.final_registers
+
+let golden_path name = Filename.concat "golden" (name ^ ".disasm")
+
+let read_golden name =
+  In_channel.with_open_text (golden_path name) In_channel.input_all
+
+(* The deterministic lowered circuit the committed listing pins: a
+   structured probe with every gate class, compiled to {H, T, CNOT}. *)
+let lowered_golden_circuit () =
+  Lower.to_basis
+    (Circ.of_gates ~nqubits:3
+       [
+         Gate.H 0;
+         Gate.T 1;
+         Gate.Cz (0, 1);
+         Gate.Ccx { c1 = 0; c2 = 1; target = 2 };
+         Gate.X 2;
+       ])
+
+let machine_gallery =
+  [
+    ("parity", Program.parity);
+    ("run_length_equal", Program.run_length_equal ~width:5);
+    ("fingerprint_eq", Program.fingerprint_eq ~p:17 ~t:3);
+    ("ldisj_shape", Program.ldisj_shape ~width:7);
+    ("beacon", Program.beacon);
+  ]
+
+(* ------------------------------------------------------------ encoding *)
+
+let test_qcode_header () =
+  let c = Circ.of_gates ~nqubits:2 bell in
+  let prog = Vm.Qcode.compile c in
+  check_int "nqubits" 2 (Vm.Qcode.nqubits prog);
+  check_int "gates" 2 (Vm.Qcode.gates prog);
+  (* 8-byte header + H(2) + CNOT(3). *)
+  check_int "size" 13 (Vm.Qcode.size prog);
+  let b = Vm.Qcode.to_bytes prog in
+  check_str "magic" "OQVM" (Bytes.sub_string b 0 4);
+  check_int "version" 1 (Bytes.get_uint8 b 4);
+  check_int "kind Q" (Char.code 'Q') (Bytes.get_uint8 b 5);
+  check_int "header nqubits" 2 (Bytes.get_uint8 b 6)
+
+let test_mcode_header () =
+  let prog = Vm.Mcode.compile Program.parity in
+  check_str "name" "parity" (Vm.Mcode.name prog);
+  check_int "width" 1 (Vm.Mcode.width prog);
+  check_int "registers" 2 (Vm.Mcode.registers prog);
+  check_int "instructions" 5 (Vm.Mcode.instructions prog);
+  let b = Vm.Mcode.to_bytes prog in
+  check_str "magic" "OQVM" (Bytes.sub_string b 0 4);
+  check_int "kind M" (Char.code 'M') (Bytes.get_uint8 b 5);
+  check_int "header width" 1 (Bytes.get_uint8 b 6);
+  check_int "header registers" 2 (Bytes.get_uint8 b 7)
+
+let test_fallthrough_elision () =
+  (* Goto to the next instruction is 1 byte (flag set); an explicit
+     backward Goto costs 3.  Decode the flag straight off the bytes. *)
+  let p next =
+    {
+      Program.name = "fall";
+      width = 1;
+      registers = 1;
+      code = [| Program.Goto next; Program.Accept |];
+    }
+  in
+  let falls = Vm.Mcode.compile (p 1) in
+  let backward = Vm.Mcode.compile (p 0) in
+  check_int "elided size" (8 + 1 + 1) (Vm.Mcode.size falls);
+  check_int "explicit size" (8 + 3 + 1) (Vm.Mcode.size backward);
+  check "flag set" true
+    (Bytes.get_uint8 (Vm.Mcode.to_bytes falls) 8 land 0x80 <> 0);
+  check "flag clear" true
+    (Bytes.get_uint8 (Vm.Mcode.to_bytes backward) 8 land 0x80 = 0)
+
+let test_compile_validates () =
+  let bad =
+    { Program.name = "bad"; width = 1; registers = 1; code = [| Program.Goto 7 |] }
+  in
+  check "invalid program rejected" true
+    (match Vm.Mcode.compile bad with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_qcode_register_mismatch () =
+  let prog = Vm.Qcode.compile (Circ.of_gates ~nqubits:2 bell) in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Vm.Qcode.run: register size mismatch") (fun () ->
+      Vm.Qcode.run prog (State.create 3))
+
+(* ------------------------------------------------- machine semantics *)
+
+let test_mcode_gallery_agrees () =
+  let inputs =
+    [ ""; "0"; "1"; "#"; "1101"; "000111"; "10#01"; "111#111"; "0101#1010#";
+      "1#1#1#"; String.make 40 '1'; "01#10#01#10" ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let compiled = Vm.Mcode.compile p in
+      List.iter
+        (fun input ->
+          let reference = Program.interpret p input in
+          let got = Vm.Mcode.run compiled input in
+          check
+            (Printf.sprintf "%s on %S" name input)
+            true
+            (run_result_equal reference got))
+        inputs)
+    machine_gallery
+
+let test_mcode_step_cap_exact () =
+  (* The verdict must flip from None to Some at exactly the same
+     max_steps boundary as the interpreter's. *)
+  let p = Program.parity in
+  let compiled = Vm.Mcode.compile p in
+  for cap = 0 to 12 do
+    let reference = Program.interpret ~max_steps:cap p "1101" in
+    let got = Vm.Mcode.run ~max_steps:cap compiled "1101" in
+    check
+      (Printf.sprintf "cap %d" cap)
+      true
+      (run_result_equal reference got)
+  done
+
+let test_mcode_bad_symbol () =
+  let compiled = Vm.Mcode.compile Program.parity in
+  Alcotest.check_raises "bad symbol"
+    (Invalid_argument "Vm.Mcode.run: bad input symbol") (fun () ->
+      ignore (Vm.Mcode.run compiled "10x"))
+
+(* --------------------------------------------------------- goldens *)
+
+let test_machine_goldens () =
+  List.iter
+    (fun (name, p) ->
+      check_str
+        (Printf.sprintf "golden %s" name)
+        (read_golden name)
+        (Vm.Mcode.disasm (Vm.Mcode.compile p)))
+    machine_gallery
+
+let test_circuit_golden () =
+  check_str "golden lowered circuit"
+    (read_golden "lowered_circuit")
+    (Vm.Qcode.disasm (Vm.Qcode.compile (lowered_golden_circuit ())))
+
+let test_disasm_stable () =
+  (* Disassembling twice, or from a recompiled program, is bytewise
+     stable — the property the goldens rely on. *)
+  List.iter
+    (fun (name, p) ->
+      let d1 = Vm.Mcode.disasm (Vm.Mcode.compile p) in
+      let d2 = Vm.Mcode.disasm (Vm.Mcode.compile p) in
+      check_str (Printf.sprintf "stable %s" name) d1 d2)
+    machine_gallery;
+  let c = lowered_golden_circuit () in
+  check_str "stable circuit"
+    (Vm.Qcode.disasm (Vm.Qcode.compile c))
+    (Vm.Qcode.disasm (Vm.Qcode.compile c))
+
+(* ------------------------------------------------------------- cache *)
+
+let test_cache_context () =
+  check "no ambient context" true (Vm.Cache.context () = None);
+  Vm.Cache.with_context ~experiment:"e3" ~k:4 ~seed:7 ~variant:"full"
+    (fun () ->
+      check "installed" true
+        (Vm.Cache.context () = Some ("e3", 4, 7, "full")));
+  check "restored" true (Vm.Cache.context () = None)
+
+let test_cache_tags () =
+  let c1 = Circ.of_gates ~nqubits:1 [ Gate.H 0 ] in
+  let c2 = Circ.of_gates ~nqubits:1 [ Gate.T 0 ] in
+  check "no context, no tag" true (Vm.Cache.tag_for c1 = None);
+  Vm.Cache.with_context ~experiment:"e9" ~seed:11 ~variant:"quick" (fun () ->
+      check "first sighting" true
+        (Vm.Cache.tag_for c1 = Some "e9/k0/s11/quick/src.1");
+      check "second object" true
+        (Vm.Cache.tag_for c2 = Some "e9/k0/s11/quick/src.2");
+      check "same object, same tag" true
+        (Vm.Cache.tag_for c1 = Some "e9/k0/s11/quick/src.1"));
+  (* A fresh context restarts the sequence: the tag depends only on the
+     deterministic first-sighting order, which is what makes reuse
+     across repeated invocations sound. *)
+  Vm.Cache.with_context ~experiment:"e9" ~seed:11 ~variant:"quick" (fun () ->
+      check "sequence restarts" true
+        (Vm.Cache.tag_for c2 = Some "e9/k0/s11/quick/src.1"))
+
+let test_cache_hit_miss_counters () =
+  Vm.Engine.reset ();
+  let c = Circ.of_gates ~nqubits:2 bell in
+  let exec () = Vm.Qcode.run_cached c (State.create 2) in
+  Vm.Cache.with_context ~experiment:"t" ~seed:1 ~variant:"quick" exec;
+  check_int "one miss" 1 (Vm.Cache.misses ());
+  check_int "no hit yet" 0 (Vm.Cache.hits ());
+  Vm.Cache.with_context ~experiment:"t" ~seed:1 ~variant:"quick" exec;
+  check_int "still one miss" 1 (Vm.Cache.misses ());
+  check_int "one hit" 1 (Vm.Cache.hits ());
+  (* Different seed, different key: a miss, not a collision. *)
+  Vm.Cache.with_context ~experiment:"t" ~seed:2 ~variant:"quick" exec;
+  check_int "second miss" 2 (Vm.Cache.misses ())
+
+let test_cache_bypass () =
+  Vm.Engine.reset ();
+  Vm.Qcode.run_cached (Circ.of_gates ~nqubits:1 [ Gate.H 0 ]) (State.create 1);
+  check_int "bypassed" 1
+    (List.assoc "vm.cache.bypass" (Vm.Cache.stats ()));
+  check_int "no miss" 0 (Vm.Cache.misses ())
+
+let test_cache_invalidate_on_shape_change () =
+  Vm.Engine.reset ();
+  let c2 = Circ.of_gates ~nqubits:2 bell in
+  let c3 = Circ.of_gates ~nqubits:3 [ Gate.H 2 ] in
+  (* Same key (first sighting in equal contexts), different shape: the
+     stale entry must be recompiled, not served. *)
+  Vm.Cache.with_context ~experiment:"t" ~seed:1 ~variant:"full" (fun () ->
+      Vm.Qcode.run_cached c2 (State.create 2));
+  Vm.Cache.with_context ~experiment:"t" ~seed:1 ~variant:"full" (fun () ->
+      Vm.Qcode.run_cached c3 (State.create 3));
+  check_int "invalidated" 1
+    (List.assoc "vm.cache.invalidate" (Vm.Cache.stats ()))
+
+let test_cache_hit_executes_identically () =
+  (* Regression: a cache hit must execute exactly like a fresh compile
+     (and like the walker). *)
+  Vm.Engine.reset ();
+  let circ =
+    Lower.to_basis
+      (Circ.of_gates ~nqubits:3
+         [ Gate.H 0; Gate.Ccx { c1 = 0; c2 = 1; target = 2 }; Gate.T 2 ])
+  in
+  let nq = Circ.nqubits circ in
+  let run_cached () =
+    let s = State.create nq in
+    Vm.Cache.with_context ~experiment:"reg" ~seed:3 ~variant:"quick" (fun () ->
+        Vm.Qcode.run_cached circ s);
+    s
+  in
+  let miss = run_cached () in
+  let hit = run_cached () in
+  check_int "second run hit" 1 (Vm.Cache.hits ());
+  let walk = State.create nq in
+  Vm.Engine.disable ();
+  Circ.run circ walk;
+  check "hit = miss" true (states_identical miss hit);
+  check "hit = walker" true (states_identical walk hit)
+
+(* ------------------------------------------------------------ engine *)
+
+let test_engine_toggle () =
+  Vm.Engine.disable ();
+  check "off" false (Vm.Engine.enabled ());
+  Vm.Engine.enable ();
+  check "on" true (Vm.Engine.enabled ());
+  Vm.Engine.enable ();
+  check "idempotent" true (Vm.Engine.enabled ());
+  Vm.Engine.disable ();
+  check "off again" false (Vm.Engine.enabled ())
+
+let test_engine_env () =
+  let set v = Unix.putenv "OQSC_COMPILED" v in
+  Fun.protect
+    ~finally:(fun () ->
+      set "";
+      Vm.Engine.disable ())
+    (fun () ->
+      set "";
+      check "empty off" false (Vm.Engine.env_requested ());
+      set "0";
+      check "0 off" false (Vm.Engine.env_requested ());
+      set "false";
+      check "false off" false (Vm.Engine.env_requested ());
+      set "1";
+      check "1 on" true (Vm.Engine.env_requested ());
+      set "yes";
+      check "yes on" true (Vm.Engine.env_requested ());
+      Vm.Engine.disable ();
+      set "0";
+      Vm.Engine.init_from_env ();
+      check "init honours off" false (Vm.Engine.enabled ());
+      set "1";
+      Vm.Engine.init_from_env ();
+      check "init honours on" true (Vm.Engine.enabled ()))
+
+let test_engine_routes_circ_run () =
+  Vm.Engine.reset ();
+  let circ = Circ.of_gates ~nqubits:2 bell in
+  let walk = State.create 2 in
+  Vm.Engine.disable ();
+  Circ.run circ walk;
+  let routed = State.create 2 in
+  Vm.Engine.enable ();
+  Fun.protect ~finally:Vm.Engine.disable (fun () -> Circ.run circ routed);
+  (* No context installed: the engine still runs (bypassing the store)
+     and must be bit-identical. *)
+  check "bypass counted" true
+    (List.assoc "vm.cache.bypass" (Vm.Cache.stats ()) >= 1);
+  check "routed = walker" true (states_identical walk routed)
+
+let test_registry_reuse_across_invocations () =
+  (* The satellite contract: repeated run-all --only style invocations
+     in one process reuse compiled programs (hits, no growth in misses)
+     and produce identical reports — with the engine result also equal
+     to the walker's. *)
+  let walker = Experiments.Registry.result ~quick:true ~seed:2006 "e11" in
+  Vm.Engine.reset ();
+  Vm.Engine.enable ();
+  Fun.protect ~finally:Vm.Engine.disable (fun () ->
+      let r1 = Experiments.Registry.result ~quick:true ~seed:2006 "e11" in
+      let misses_after_first = Vm.Cache.misses () in
+      let hits_after_first = Vm.Cache.hits () in
+      let r2 = Experiments.Registry.result ~quick:true ~seed:2006 "e11" in
+      check "compiled something" true (misses_after_first > 0);
+      check "second invocation only hits" true
+        (Vm.Cache.misses () = misses_after_first);
+      check "second invocation hit the store" true
+        (Vm.Cache.hits () > hits_after_first);
+      check "reports identical across invocations" true
+        (r1.Experiments.Report.body = r2.Experiments.Report.body
+        && r1.Experiments.Report.resources = r2.Experiments.Report.resources);
+      check "engine report = walker report" true
+        (walker.Experiments.Report.body = r1.Experiments.Report.body
+        && walker.Experiments.Report.resources
+           = r1.Experiments.Report.resources))
+
+(* ------------------------------------------------- differential qcheck *)
+
+let gate_gen nq =
+  let open QCheck.Gen in
+  let q = int_range 0 (nq - 1) in
+  let rot b i = (b + i) mod nq in
+  let g1 =
+    oneof
+      [
+        map (fun q -> Gate.H q) q;
+        map (fun q -> Gate.T q) q;
+        map (fun q -> Gate.Tdg q) q;
+        map (fun q -> Gate.S q) q;
+        map (fun q -> Gate.Sdg q) q;
+        map (fun q -> Gate.X q) q;
+        map (fun q -> Gate.Z q) q;
+      ]
+  in
+  let g2 =
+    oneof
+      [
+        map (fun b -> Gate.Cnot { control = rot b 0; target = rot b 1 }) q;
+        map (fun b -> Gate.Cz (rot b 0, rot b 1)) q;
+      ]
+  in
+  let g3 =
+    oneof
+      [
+        map (fun b -> Gate.Ccx { c1 = rot b 0; c2 = rot b 1; target = rot b 2 }) q;
+        map (fun b -> Gate.Mcz [ rot b 0; rot b 1; rot b 2 ]) q;
+      ]
+  in
+  let gmcx =
+    map
+      (fun b ->
+        Gate.Mcx { controls = [ rot b 0; rot b 1; rot b 2 ]; target = rot b 3 })
+      q
+  in
+  if nq >= 4 then frequency [ (6, g1); (4, g2); (2, g3); (1, gmcx) ]
+  else frequency [ (6, g1); (4, g2); (2, g3) ]
+
+let circuit_case ~max_qubits =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 3 max_qubits >>= fun nq ->
+      list_size (int_range 1 25) (gate_gen nq) >>= fun gs ->
+      int_bound ((1 lsl nq) - 1) >>= fun start -> return (nq, gs, start))
+  in
+  let print (nq, gs, start) =
+    Format.asprintf "@[<v>nq=%d start=|%d>@,%a@]" nq start
+      (Format.pp_print_list Gate.pp)
+      gs
+  in
+  make ~print gen
+
+let instr_gen n registers width =
+  let open QCheck.Gen in
+  let t = int_bound (n - 1) in
+  let r = int_bound (registers - 1) in
+  frequency
+    [
+      ( 3,
+        map
+          (fun ((a, b), (c, d)) ->
+            Program.Read { on_zero = a; on_one = b; on_hash = c; on_eof = d })
+          (pair (pair t t) (pair t t)) );
+      (2, map (fun (reg, next) -> Program.Inc { reg; next }) (pair r t));
+      (1, map (fun (reg, next) -> Program.Reset { reg; next }) (pair r t));
+      ( 1,
+        map
+          (fun ((reg, value), next) -> Program.Set { reg; value; next })
+          (pair (pair r (int_bound ((1 lsl width) - 1))) t) );
+      ( 1,
+        map
+          (fun ((dst, src), next) -> Program.Add { dst; src; next })
+          (pair (pair r r) t) );
+      ( 1,
+        map
+          (fun ((dst, src), next) -> Program.Sub { dst; src; next })
+          (pair (pair r r) t) );
+      ( 2,
+        map
+          (fun ((reg_a, reg_b), (if_eq, if_ne)) ->
+            Program.Jump_if_eq { reg_a; reg_b; if_eq; if_ne })
+          (pair (pair r r) (pair t t)) );
+      ( 2,
+        map
+          (fun ((reg_a, reg_b), (if_lt, if_ge)) ->
+            Program.Jump_if_lt { reg_a; reg_b; if_lt; if_ge })
+          (pair (pair r r) (pair t t)) );
+      ( 1,
+        map
+          (fun (reg, (if_max, if_not)) ->
+            Program.Jump_if_max { reg; if_max; if_not })
+          (pair r (pair t t)) );
+      ( 1,
+        map
+          (fun (symbol, next) -> Program.Emit { symbol; next })
+          (pair (oneofl [ 'a'; 'b'; '!' ]) t) );
+      (1, map (fun tgt -> Program.Goto tgt) t);
+      (1, return Program.Accept);
+      (1, return Program.Reject);
+    ]
+
+let program_case =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 2 12 >>= fun n ->
+      int_range 1 4 >>= fun registers ->
+      int_range 1 6 >>= fun width ->
+      array_size (return n) (instr_gen n registers width) >>= fun code ->
+      string_size ~gen:(oneofl [ '0'; '1'; '#' ]) (int_range 0 25)
+      >>= fun input ->
+      int_range 0 200 >>= fun cap ->
+      return ({ Program.name = "rand"; width; registers; code }, input, cap))
+  in
+  let print (p, input, cap) =
+    Format.asprintf "width=%d regs=%d cap=%d input=%S code=[%s]"
+      p.Program.width p.Program.registers cap input
+      (String.concat "; "
+         (Array.to_list
+            (Array.map
+               (fun (i : Program.instr) ->
+                 match i with
+                 | Program.Read _ -> "read"
+                 | Program.Inc _ -> "inc"
+                 | Program.Reset _ -> "clr"
+                 | Program.Set _ -> "ldi"
+                 | Program.Add _ -> "add"
+                 | Program.Sub _ -> "sub"
+                 | Program.Jump_if_eq _ -> "jeq"
+                 | Program.Jump_if_lt _ -> "jlt"
+                 | Program.Jump_if_max _ -> "jmax"
+                 | Program.Emit _ -> "emit"
+                 | Program.Goto _ -> "jmp"
+                 | Program.Accept -> "acc"
+                 | Program.Reject -> "rej")
+               p.Program.code)))
+  in
+  make ~print gen
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"bytecode = walker on random structured circuits"
+      ~count:120 (circuit_case ~max_qubits:5) (fun (nq, gs, start) ->
+        paths_agree (Circ.of_gates ~nqubits:nq gs) start);
+    Test.make ~name:"bytecode = walker on random lowered circuits (<= 8 qubits)"
+      ~count:60 (circuit_case ~max_qubits:4) (fun (nq, gs, start) ->
+        let lowered = Lower.to_basis (Circ.of_gates ~nqubits:nq gs) in
+        assume (Circ.nqubits lowered <= 8);
+        Circ.is_basis_only lowered && paths_agree lowered start);
+    Test.make ~name:"bytecode = walker on the forced-parallel path" ~count:60
+      (circuit_case ~max_qubits:5) (fun (nq, gs, start) ->
+        let saved = State.parallel_threshold () in
+        State.set_parallel_threshold 0;
+        Fun.protect
+          ~finally:(fun () -> State.set_parallel_threshold saved)
+          (fun () -> paths_agree (Circ.of_gates ~nqubits:nq gs) start));
+    (* Each generated circuit gets its own context key: the cache's
+       soundness precondition is one deterministic circuit stream per
+       (experiment, k, seed, variant), which unrelated random circuits
+       sharing a key would violate. *)
+    (let case = ref 0 in
+     Test.make ~name:"cached engine = walker on random circuits" ~count:60
+       (circuit_case ~max_qubits:5) (fun (nq, gs, start) ->
+         incr case;
+         let circ = Circ.of_gates ~nqubits:nq gs in
+         Vm.Engine.disable ();
+         let walk = State.basis nq start in
+         Circ.run circ walk;
+         let routed = State.basis nq start in
+         Vm.Engine.enable ();
+         Fun.protect ~finally:Vm.Engine.disable (fun () ->
+             Vm.Cache.with_context ~experiment:"prop" ~seed:!case
+               ~variant:"quick" (fun () ->
+                 Circ.run circ routed;
+                 (* And again through the hit path. *)
+                 Circ.run circ (State.basis nq start)));
+         states_identical walk routed));
+    Test.make ~name:"bytecode machine = interpreter on random programs"
+      ~count:200 program_case (fun (p, input, _cap) ->
+        let reference = Program.interpret ~max_steps:2000 p input in
+        let got = Vm.Mcode.run ~max_steps:2000 (Vm.Mcode.compile p) input in
+        run_result_equal reference got);
+    Test.make ~name:"bytecode machine honours arbitrary step caps" ~count:150
+      program_case (fun (p, input, cap) ->
+        let reference = Program.interpret ~max_steps:cap p input in
+        let got = Vm.Mcode.run ~max_steps:cap (Vm.Mcode.compile p) input in
+        run_result_equal reference got);
+    Test.make ~name:"machine disassembly is decodable on random programs"
+      ~count:100 program_case (fun (p, _, _) ->
+        let compiled = Vm.Mcode.compile p in
+        let d = Vm.Mcode.disasm compiled in
+        (* One listing line per instruction, plus the two-line header. *)
+        let lines = String.split_on_char '\n' (String.trim d) in
+        List.length lines = Vm.Mcode.instructions compiled + 2);
+  ]
+
+let suite =
+  [
+    ("qcode header", `Quick, test_qcode_header);
+    ("mcode header", `Quick, test_mcode_header);
+    ("fallthrough elision", `Quick, test_fallthrough_elision);
+    ("compile validates", `Quick, test_compile_validates);
+    ("qcode register mismatch", `Quick, test_qcode_register_mismatch);
+    ("machine gallery agrees", `Quick, test_mcode_gallery_agrees);
+    ("step cap exact", `Quick, test_mcode_step_cap_exact);
+    ("bad input symbol", `Quick, test_mcode_bad_symbol);
+    ("machine goldens", `Quick, test_machine_goldens);
+    ("circuit golden", `Quick, test_circuit_golden);
+    ("disasm stable", `Quick, test_disasm_stable);
+    ("cache context", `Quick, test_cache_context);
+    ("cache tags", `Quick, test_cache_tags);
+    ("cache hit/miss counters", `Quick, test_cache_hit_miss_counters);
+    ("cache bypass", `Quick, test_cache_bypass);
+    ("cache invalidate on shape change", `Quick, test_cache_invalidate_on_shape_change);
+    ("cache hit executes identically", `Quick, test_cache_hit_executes_identically);
+    ("engine toggle", `Quick, test_engine_toggle);
+    ("engine env switch", `Quick, test_engine_env);
+    ("engine routes Circ.run", `Quick, test_engine_routes_circ_run);
+    ("registry reuse across invocations", `Slow, test_registry_reuse_across_invocations);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
