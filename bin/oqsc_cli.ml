@@ -17,6 +17,11 @@
      exp   - run one experiment (e1..e15) or all of them
      vm    - list, disassemble, or run the bytecode-compiled machine
              gallery (lib/vm)
+     serve - long-lived batched experiment service (NDJSON on
+             stdin/stdout, or length-prefixed frames on --socket);
+             wire protocol in docs/PROTOCOL.md
+     bench-serve - replay a recorded request mix against the serve
+             engine and report throughput + server-side p50/p99
      ids   - list experiment ids with descriptions *)
 
 open Cmdliner
@@ -629,6 +634,186 @@ let vm_cmd =
          "List, disassemble, or run the bytecode-compiled machine gallery (the same register programs e15 compiles to real OPTMs; the bytecode interpreter is step-for-step identical to Machine.Program.interpret).")
     Term.(ret (const action $ what $ prog $ input))
 
+(* ---------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at PATH (length-prefixed frames; see docs/PROTOCOL.md) instead of newline-delimited JSON on stdin/stdout.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int Serve.Server.default_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission-queue capacity; a full queue answers queue_full.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Serve.Server.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Queue length that triggers a parallel flush (clamped to the queue capacity).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Cap the parallel runner at N domains.")
+  in
+  let compiled =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "Dispatch machine-backed experiments through the bytecode-compiled engine; the process-wide compiled cache then stays warm across requests.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record serve.request / serve.flush spans for the whole session and write Chrome trace-event JSON to FILE on exit. Tracing never affects reply payloads.")
+  in
+  let action socket queue batch domains compiled trace_file =
+    if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
+    if queue < 1 then `Error (false, "serve: --queue must be >= 1")
+    else if batch < 1 then `Error (false, "serve: --batch must be >= 1")
+    else begin
+      let t = Serve.Server.create ~capacity:queue ~batch ?domains () in
+      if trace_file <> None then Obs.Trace.start ();
+      let finish_trace () =
+        match trace_file with
+        | None -> ()
+        | Some path ->
+            let dump = Obs.Trace.stop () in
+            (try Experiments.Chrome_trace.write path dump
+             with Sys_error msg -> Printf.eprintf "--trace: %s\n" msg)
+      in
+      match
+        match socket with
+        | None -> Serve.Server.serve_channels t stdin stdout
+        | Some path -> Serve.Server.serve_socket t path
+      with
+      | () ->
+          finish_trace ();
+          `Ok ()
+      | exception Failure msg ->
+          if trace_file <> None then ignore (Obs.Trace.stop ());
+          `Error (false, msg)
+      | exception Unix.Unix_error (e, fn, arg) ->
+          if trace_file <> None then ignore (Obs.Trace.stop ());
+          `Error
+            ( false,
+              Printf.sprintf "serve: %s %s: %s" fn arg (Unix.error_message e) )
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived batched experiment service speaking the versioned request/reply protocol of docs/PROTOCOL.md (newline-delimited JSON on stdin/stdout, or length-prefixed frames with --socket). Served run/sweep payloads are byte-identical to run-all --only / space-audit --shard output.")
+    Term.(
+      ret (const action $ socket $ queue $ batch $ domains $ compiled $ trace_file))
+
+(* ---------------------------------------------------------- bench-serve *)
+
+let bench_serve_cmd =
+  let mix =
+    Arg.(
+      value
+      & pos 0 string "examples/serve_mix.ndjson"
+      & info [] ~docv:"MIX"
+          ~doc:"Request mix: a file of newline-delimited request envelopes.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Replay against a running 'oqsc serve --socket PATH' process instead of an in-process engine.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"After the replay, send a shutdown request to the --socket server and wait for its reply.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N" ~doc:"Replay the whole mix N times back to back.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int Serve.Server.default_capacity
+      & info [ "queue" ] ~docv:"N" ~doc:"In-process engine queue capacity.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Serve.Server.default_batch
+      & info [ "batch" ] ~docv:"N" ~doc:"In-process engine flush threshold.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Cap the in-process parallel runner at N domains.")
+  in
+  let payload_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "payload-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write every completed run/sweep payload as canonical pretty JSON to DIR/<request-id>.json — what CI compares byte-for-byte against one-shot CLI output.")
+  in
+  let compiled =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:"In-process mode: dispatch through the bytecode-compiled engine.")
+  in
+  let action mix socket shutdown repeat queue batch domains payload_dir compiled
+      =
+    if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
+    match Serve.Bench_serve.load_mix mix with
+    | Error msg -> `Error (false, "bench-serve: " ^ msg)
+    | Ok lines -> (
+        let result =
+          match socket with
+          | Some sock ->
+              Serve.Bench_serve.replay_socket ?payload_dir ~repeat ~shutdown
+                ~socket:sock lines
+          | None ->
+              if shutdown then Error "--shutdown requires --socket"
+              else
+                Serve.Bench_serve.replay_in_process ?payload_dir ~repeat
+                  ~capacity:queue ~batch ?domains lines
+        in
+        match result with
+        | Error msg -> `Error (false, "bench-serve: " ^ msg)
+        | Ok report ->
+            Serve.Bench_serve.print Format.std_formatter report;
+            Format.pp_print_flush Format.std_formatter ();
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Replay a recorded request mix against the serve engine (in-process, or over --socket against a live server), strictly validating every reply envelope, and report client-side throughput next to the server's p50/p99 latency.")
+    Term.(
+      ret
+        (const action $ mix $ socket $ shutdown $ repeat $ queue $ batch
+       $ domains $ payload_dir $ compiled))
+
 (* ------------------------------------------------------------------ ids *)
 
 let ne_cmd =
@@ -662,6 +847,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; vm_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; vm_cmd; serve_cmd; bench_serve_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -157,6 +157,15 @@ let results ?(quick = false) ?(seed = 2006) ?(sequential = false) ?domains
     (fun ~chunk ~rng:_ -> result ~quick ~seed arr.(chunk))
     ~rng:(Rng.create seed)
 
+(* The single-id JSON entry point: the oqsc-experiments document for
+   exactly one experiment, byte-identical to what
+   `run-all --only <id> --json -` emits for the same (quick, seed) —
+   both are [Json.of_results] over the same [result].  This is the
+   payload contract the serve wire protocol (docs/PROTOCOL.md) and its
+   CI byte-comparison rest on. *)
+let document ?(quick = false) ?(seed = 2006) id : Json.t =
+  Json.of_results ~seed ~quick [ result ~quick ~seed id ]
+
 let run ?quick ?seed id fmt = Report.render fmt (result ?quick ?seed id)
 
 let run_all ?quick ?seed fmt =

@@ -40,6 +40,15 @@ val results :
     [--sequential] escape hatch; otherwise [domains] defaults to
     {!Mathx.Parallel.recommended_domains}. *)
 
+val document : ?quick:bool -> ?seed:int -> string -> Json.t
+(** [document id] is the [oqsc-experiments] JSON document for exactly
+    one experiment — byte-for-byte what
+    [run-all --only id --json -] emits at the same [(quick, seed)].
+    This is the single-id entry point the [lib/serve] request engine
+    answers [run] requests with, so a served payload is checkable
+    against the one-shot CLI with [cmp].  Defaults match [run-all]:
+    seed 2006, quick = false.  @raise Not_found for unknown ids. *)
+
 val run : ?quick:bool -> ?seed:int -> string -> Format.formatter -> unit
 (** Runs one experiment and prints its table.  @raise Not_found. *)
 

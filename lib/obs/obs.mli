@@ -142,6 +142,13 @@ module Trace : sig
   val enabled : unit -> bool
   (** Whether a trace session is currently recording. *)
 
+  val now_ns : unit -> int64
+  (** The monotonic clock every trace event is stamped with, in
+      nanoseconds from an arbitrary origin.  Exposed so latency
+      accounting outside this module (the [lib/serve] request engine's
+      per-request [wall_ms]) reads the same clock as the timeline;
+      reading it never records anything and works with tracing off. *)
+
   val start : ?capacity:int -> unit -> unit
   (** Begin a trace session: clears any previous session's buffers and
       enables recording on every domain.  [capacity] bounds the event

@@ -1,0 +1,255 @@
+(* Mix replay: the measuring half of the serve subsystem.  Both modes
+   funnel every wire reply through the same strict validator, so the
+   replay doubles as a protocol-conformance check of whatever produced
+   the replies (the in-process engine or a remote oqsc serve). *)
+
+module Json = Experiments.Json
+
+type report = {
+  requests : int;
+  replies : int;
+  ok : int;
+  errors : int;
+  wall_ms : float;
+  throughput_rps : float;
+  stats : Json.t;
+}
+
+let stats_id = "bench.stats"
+let shutdown_id = "bench.shutdown"
+let reserved id = String.length id >= 6 && String.sub id 0 6 = "bench."
+
+let load_mix path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | raw -> (
+      let lines =
+        String.split_on_char '\n' raw
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> Error (Printf.sprintf "%s: empty request mix" path)
+      | lines -> Ok lines)
+
+(* ------------------------------------------------------- accounting *)
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" dir (Unix.error_message e))
+
+let write_payload dir id payload =
+  let path = Filename.concat dir (id ^ ".json") in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.to_string payload))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+(* One validated wire reply folded into the running tally.  [line] is
+   the reply exactly as it crossed (or would cross) the wire; strict
+   decoding here is the "no undocumented reply key" gate. *)
+type tally = {
+  mutable seen : int;  (* mix replies *)
+  mutable ok_count : int;
+  mutable err_count : int;
+  mutable stats : Json.t option;
+  mutable stopped : bool;
+}
+
+let absorb ?payload_dir tally line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "reply is not valid JSON: %s" msg)
+  | Ok json -> (
+      match Protocol.reply_of_json json with
+      | Error msg -> Error (Printf.sprintf "protocol violation in reply: %s" msg)
+      | Ok (Protocol.Ok_reply { id; op; payload; _ }) -> (
+          if String.equal id stats_id then begin
+            tally.stats <- Some payload;
+            Ok ()
+          end
+          else if String.equal id shutdown_id then begin
+            tally.stopped <- true;
+            Ok ()
+          end
+          else if String.equal op "shutdown" then
+            Error "request mix must not contain shutdown; use --shutdown instead"
+          else begin
+            tally.seen <- tally.seen + 1;
+            tally.ok_count <- tally.ok_count + 1;
+            match payload_dir with
+            | Some dir when String.equal op "run" || String.equal op "sweep" ->
+                write_payload dir id payload
+            | _ -> Ok ()
+          end)
+      | Ok (Protocol.Error_reply _) ->
+          tally.seen <- tally.seen + 1;
+          tally.err_count <- tally.err_count + 1;
+          Ok ())
+
+let fresh_tally () =
+  { seen = 0; ok_count = 0; err_count = 0; stats = None; stopped = false }
+
+let check_mix lines =
+  let bad =
+    List.filter_map
+      (fun line ->
+        match Protocol.parse_line line with
+        | Ok { Protocol.id; _ } when reserved id -> Some id
+        | _ -> None)
+      lines
+  in
+  match bad with
+  | [] -> Ok ()
+  | id :: _ ->
+      Error (Printf.sprintf "mix uses reserved id %S (bench.* is reserved)" id)
+
+let build_report ~requests ~wall_ms tally =
+  {
+    requests;
+    replies = tally.seen;
+    ok = tally.ok_count;
+    errors = tally.err_count;
+    wall_ms;
+    throughput_rps =
+      (if wall_ms > 0.0 then float_of_int requests /. (wall_ms /. 1000.0)
+       else 0.0);
+    stats = (match tally.stats with Some s -> s | None -> Json.Obj []);
+  }
+
+(* ------------------------------------------------------- in-process *)
+
+let stats_line =
+  Protocol.to_line
+    (Protocol.request_to_json { Protocol.id = stats_id; op = Protocol.Stats })
+
+let replay_in_process ?payload_dir ?(repeat = 1) ?capacity ?batch ?domains lines
+    =
+  let ( let* ) = Result.bind in
+  let* () = if repeat >= 1 then Ok () else Error "repeat must be >= 1" in
+  let* () = check_mix lines in
+  let* () = match payload_dir with None -> Ok () | Some d -> ensure_dir d in
+  let server = Server.create ?capacity ?batch ?domains () in
+  let tally = fresh_tally () in
+  let t0 = Obs.Trace.now_ns () in
+  (* Replies take the full wire round trip — encode to a line, strict
+     re-decode — so in-process replay validates the same bytes a socket
+     client would see. *)
+  let absorb_replies replies =
+    List.fold_left
+      (fun acc reply ->
+        let* () = acc in
+        absorb ?payload_dir tally
+          (Protocol.to_line (Protocol.reply_to_json reply)))
+      (Ok ()) replies
+  in
+  let* () =
+    List.fold_left
+      (fun acc line ->
+        let* () = acc in
+        if tally.stopped then Ok ()
+        else
+          let { Server.replies; stop } = Server.submit_line server line in
+          let* () = absorb_replies replies in
+          if stop then
+            Error "request mix must not contain shutdown; use --shutdown instead"
+          else Ok ())
+      (Ok ())
+      (List.concat (List.init repeat (fun _ -> lines)))
+  in
+  let* () =
+    let { Server.replies; _ } = Server.submit_line server stats_line in
+    absorb_replies replies
+  in
+  let wall_ms =
+    Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
+  in
+  Ok (build_report ~requests:(repeat * List.length lines) ~wall_ms tally)
+
+(* ----------------------------------------------------------- socket *)
+
+let shutdown_line =
+  Protocol.to_line
+    (Protocol.request_to_json
+       { Protocol.id = shutdown_id; op = Protocol.Shutdown })
+
+let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ~socket lines =
+  let ( let* ) = Result.bind in
+  let* () = if repeat >= 1 then Ok () else Error "repeat must be >= 1" in
+  let* () = check_mix lines in
+  let* () = match payload_dir with None -> Ok () | Some d -> ensure_dir d in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+  | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let tally = fresh_tally () in
+      let t0 = Obs.Trace.now_ns () in
+      (* Sender thread: the reader drains concurrently, so a replay
+         larger than the socket buffers cannot deadlock. *)
+      let sender =
+        Thread.create
+          (fun () ->
+            try
+              for _ = 1 to repeat do
+                List.iter (fun line -> Protocol.write_frame oc line) lines
+              done;
+              Protocol.write_frame oc stats_line;
+              if shutdown then Protocol.write_frame oc shutdown_line
+            with Sys_error _ -> ())
+          ()
+      in
+      let expected =
+        (repeat * List.length lines) + 1 + (if shutdown then 1 else 0)
+      in
+      let rec read_loop received =
+        if received >= expected then Ok ()
+        else
+          match Protocol.read_frame ic with
+          | Ok None ->
+              Error
+                (Printf.sprintf
+                   "server closed the connection after %d of %d replies"
+                   received expected)
+          | Error msg -> Error (Printf.sprintf "framing violation: %s" msg)
+          | Ok (Some body) ->
+              let* () = absorb ?payload_dir tally body in
+              read_loop (received + 1)
+      in
+      let result = read_loop 0 in
+      Thread.join sender;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let* () = result in
+      let wall_ms =
+        Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
+      in
+      Ok (build_report ~requests:(repeat * List.length lines) ~wall_ms tally)
+
+(* ------------------------------------------------------------ print *)
+
+let stat_float stats key =
+  match stats with
+  | Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> 0.0)
+  | _ -> 0.0
+
+let print fmt r =
+  Format.fprintf fmt "bench-serve: %d request(s) sent, %d replied (%d ok, %d error)@."
+    r.requests r.replies r.ok r.errors;
+  Format.fprintf fmt "wall %.1f ms  throughput %.1f req/s@." r.wall_ms
+    r.throughput_rps;
+  Format.fprintf fmt
+    "latency p50 %.1f ms  p99 %.1f ms  (server-side, %d completed run/sweep)@."
+    (stat_float r.stats "p50_ms")
+    (stat_float r.stats "p99_ms")
+    (int_of_float (stat_float r.stats "completed"))

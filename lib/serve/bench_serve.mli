@@ -1,0 +1,71 @@
+(** Request-mix replay behind [oqsc bench-serve]: the load generator
+    that measures a served deployment.
+
+    A {e mix} is a file of newline-delimited request envelopes — the
+    NDJSON transport's input, committed under [examples/serve_mix.ndjson]
+    — replayed either against an in-process {!Server.t} (default; no
+    sockets, fully deterministic payloads) or over the length-prefixed
+    Unix-domain transport of a running [oqsc serve --socket] process.
+
+    Every reply is strictly re-decoded through {!Protocol.reply_of_json}
+    before it counts, so a reply carrying an undocumented envelope key,
+    error code, or type fails the replay — this is the mechanical check
+    behind docs/PROTOCOL.md's "no undocumented reply key" guarantee,
+    and CI runs it on every push.
+
+    After the mix (all repeats), the replayer issues its own [stats]
+    request and reports the server-side p50/p99 latency over completed
+    [run]/[sweep] requests next to the client-side throughput.  Ids
+    beginning with ["bench."] are reserved for these internal requests;
+    a mix must not use them, and must not contain [shutdown] (pass
+    [~shutdown:true] to stop the server after the replay instead). *)
+
+type report = {
+  requests : int;  (** mix envelopes sent, across all repeats *)
+  replies : int;  (** mix replies received (internal stats/shutdown excluded) *)
+  ok : int;
+  errors : int;
+  wall_ms : float;  (** client-side wall clock for the whole replay *)
+  throughput_rps : float;  (** [requests / wall] in requests per second *)
+  stats : Experiments.Json.t;
+      (** the server's [stats] payload after the replay — p50/p99 live
+          here (docs/PROTOCOL.md, "stats") *)
+}
+
+val load_mix : string -> (string list, string) result
+(** Read a mix file into its non-blank lines.  [Error] on I/O failure
+    or an empty mix. *)
+
+val replay_in_process :
+  ?payload_dir:string ->
+  ?repeat:int ->
+  ?capacity:int ->
+  ?batch:int ->
+  ?domains:int ->
+  string list ->
+  (report, string) result
+(** Replay the lines against a fresh in-process engine ([capacity],
+    [batch], [domains] as {!Server.create}).  [repeat] (default 1)
+    replays the whole mix that many times back to back — the sustained-
+    throughput knob.  [payload_dir] writes every completed [run]/[sweep]
+    payload as canonical pretty JSON to [DIR/<request-id>.json]
+    (creating [DIR]), which is what CI [cmp]s against one-shot CLI
+    output. *)
+
+val replay_socket :
+  ?payload_dir:string ->
+  ?repeat:int ->
+  ?shutdown:bool ->
+  socket:string ->
+  string list ->
+  (report, string) result
+(** Replay over a live [oqsc serve --socket] server: one frame per
+    envelope, written from a sender thread while the main thread drains
+    reply frames (so a large [repeat] cannot deadlock on socket
+    buffers).  [shutdown] (default false) sends a final [shutdown]
+    request and waits for its reply — the clean way for CI to stop the
+    background server it started. *)
+
+val print : Format.formatter -> report -> unit
+(** Render a report: sent/reply counts, client-side wall clock and
+    throughput, and the server-side p50/p99 from {!report.stats}. *)

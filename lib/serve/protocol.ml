@@ -1,0 +1,358 @@
+(* Wire protocol v1 codec.  docs/PROTOCOL.md is the normative spec;
+   keep the two in lockstep — a key added here without a spec row is a
+   bug the CI replay (bench-serve's strict reply validation) catches. *)
+
+module Json = Experiments.Json
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+type op =
+  | Run of { exp : string; quick : bool; seed : int }
+  | Sweep of { index : int; count : int; quick : bool; seed : int }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : string; op : op }
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unsupported_version
+  | Unknown_op
+  | Unknown_experiment
+  | Bad_shard
+  | Queue_full
+  | Frame_error
+  | Internal_error
+
+type reply =
+  | Ok_reply of { id : string; op : string; payload : Json.t; wall_ms : float }
+  | Error_reply of { id : string option; code : error_code; message : string }
+
+let codes =
+  [
+    (Parse_error, "parse_error");
+    (Bad_request, "bad_request");
+    (Unsupported_version, "unsupported_version");
+    (Unknown_op, "unknown_op");
+    (Unknown_experiment, "unknown_experiment");
+    (Bad_shard, "bad_shard");
+    (Queue_full, "queue_full");
+    (Frame_error, "frame_error");
+    (Internal_error, "internal_error");
+  ]
+
+let code_to_string c = List.assoc c codes
+
+let code_of_string s =
+  List.find_map (fun (c, name) -> if String.equal name s then Some c else None) codes
+
+(* Correlation ids double as payload-dump file names (bench-serve's
+   --payload-dir), so the admitted alphabet is deliberately narrow. *)
+let id_ok id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       id
+
+let op_name = function
+  | Run _ -> "run"
+  | Sweep _ -> "sweep"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+(* --------------------------------------------------------- encoding *)
+
+let request_to_json { id; op } =
+  let base = [ ("v", Json.Int version); ("id", Json.Str id); ("op", Json.Str (op_name op)) ] in
+  let args =
+    match op with
+    | Run { exp; quick; seed } ->
+        [ ("exp", Json.Str exp); ("quick", Json.Bool quick); ("seed", Json.Int seed) ]
+    | Sweep { index; count; quick; seed } ->
+        [
+          ("index", Json.Int index);
+          ("of", Json.Int count);
+          ("quick", Json.Bool quick);
+          ("seed", Json.Int seed);
+        ]
+    | Ping | Stats | Shutdown -> []
+  in
+  Json.Obj (base @ args)
+
+let reply_to_json = function
+  | Ok_reply { id; op; payload; wall_ms } ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("id", Json.Str id);
+          ("ok", Json.Bool true);
+          ("op", Json.Str op);
+          ("payload", payload);
+          ("wall_ms", Json.Float wall_ms);
+        ]
+  | Error_reply { id; code; message } ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("id", (match id with Some i -> Json.Str i | None -> Json.Null));
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.Str (code_to_string code));
+                ("message", Json.Str message);
+              ] );
+        ]
+
+(* --------------------------------------------------------- decoding *)
+
+(* Strict field access over one envelope: every defined key is taken
+   exactly once, and whatever remains afterwards is an undocumented key
+   the decoder rejects.  This strictness is the protocol's forward
+   evolution rule — new keys require a version bump, not silence. *)
+type fields = { mutable remaining : (string * Json.t) list }
+
+let take fs key =
+  let rec go acc = function
+    | [] -> None
+    | (k, v) :: rest when String.equal k key ->
+        fs.remaining <- List.rev_append acc rest;
+        Some v
+    | kv :: rest -> go (kv :: acc) rest
+  in
+  go [] fs.remaining
+
+let bad fmt = Printf.ksprintf (fun m -> Error (Bad_request, m)) fmt
+
+type decode_error = { id : string option; code : error_code; message : string }
+
+let decode json =
+  match json with
+  | Json.Obj members -> (
+      let fs = { remaining = members } in
+      match take fs "v" with
+      | None -> bad "missing field \"v\" (protocol version)"
+      | Some (Json.Int v) when v <> version ->
+          Error
+            ( Unsupported_version,
+              Printf.sprintf "protocol version %d is not supported; supported: %d" v
+                version )
+      | Some (Json.Int _) -> (
+          match take fs "id" with
+          | None -> bad "missing field \"id\""
+          | Some (Json.Str id) when id_ok id -> (
+              match take fs "op" with
+              | None -> bad "missing field \"op\""
+              | Some (Json.Str op) -> (
+                  let opt_bool key default =
+                    match take fs key with
+                    | None -> Ok default
+                    | Some (Json.Bool b) -> Ok b
+                    | Some _ -> bad "field %S must be a boolean" key
+                  in
+                  let opt_int key default =
+                    match take fs key with
+                    | None -> Ok default
+                    | Some (Json.Int i) -> Ok i
+                    | Some _ -> bad "field %S must be an integer" key
+                  in
+                  let req_int key =
+                    match take fs key with
+                    | None -> bad "op %S requires field %S" op key
+                    | Some (Json.Int i) -> Ok i
+                    | Some _ -> bad "field %S must be an integer" key
+                  in
+                  let finish op =
+                    match fs.remaining with
+                    | [] -> Ok { id; op }
+                    | (k, _) :: _ -> bad "unknown field %S" k
+                  in
+                  let ( let* ) = Result.bind in
+                  match op with
+                  | "run" -> (
+                      match take fs "exp" with
+                      | None -> bad "op \"run\" requires field \"exp\""
+                      | Some (Json.Str exp) ->
+                          let* quick = opt_bool "quick" false in
+                          let* seed = opt_int "seed" 2006 in
+                          if List.mem exp Experiments.Registry.ids then
+                            finish (Run { exp; quick; seed })
+                          else
+                            Error
+                              ( Unknown_experiment,
+                                Printf.sprintf
+                                  "unknown experiment %S; valid ids: %s" exp
+                                  (String.concat ", " Experiments.Registry.ids) )
+                      | Some _ -> bad "field \"exp\" must be a string")
+                  | "sweep" ->
+                      let* index = req_int "index" in
+                      let* count = req_int "of" in
+                      let* quick = opt_bool "quick" false in
+                      let* seed = opt_int "seed" 2006 in
+                      if count >= 1 && index >= 0 && index < count then
+                        finish (Sweep { index; count; quick; seed })
+                      else
+                        Error
+                          ( Bad_shard,
+                            Printf.sprintf
+                              "sweep shard %d/%d violates 0 <= index < of" index
+                              count )
+                  | "ping" -> finish Ping
+                  | "stats" -> finish Stats
+                  | "shutdown" -> finish Shutdown
+                  | other ->
+                      Error
+                        ( Unknown_op,
+                          Printf.sprintf
+                            "unknown op %S; valid: run, sweep, ping, stats, shutdown"
+                            other ))
+              | Some _ -> bad "field \"op\" must be a string")
+          | Some (Json.Str id) ->
+              bad "invalid id %S (want [A-Za-z0-9._-]{1,64})" id
+          | Some _ -> bad "field \"id\" must be a string")
+      | Some _ -> bad "field \"v\" must be an integer")
+  | _ -> Error (Bad_request, "request envelope must be a JSON object")
+
+(* Best-effort id recovery so error replies stay correlatable: any
+   well-formed "id" member of the rejected envelope is echoed back. *)
+let recover_id = function
+  | Json.Obj members -> (
+      match List.assoc_opt "id" members with
+      | Some (Json.Str id) when id_ok id -> Some id
+      | _ -> None)
+  | _ -> None
+
+let request_of_json json =
+  match decode json with
+  | Ok r -> Ok r
+  | Error (code, message) -> Error { id = recover_id json; code; message }
+
+let reply_of_json json =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match json with
+  | Json.Obj members -> (
+      let fs = { remaining = members } in
+      let finish reply =
+        match fs.remaining with
+        | [] -> Ok reply
+        | (k, _) :: _ -> fail "undocumented reply key %S" k
+      in
+      let ok_reply id_field =
+        match (id_field, take fs "op", take fs "payload", take fs "wall_ms") with
+        | Json.Str id, Some (Json.Str op), Some payload, Some (Json.Float wall_ms)
+          ->
+            finish (Ok_reply { id; op; payload; wall_ms })
+        | Json.Str id, Some (Json.Str op), Some payload, Some (Json.Int w) ->
+            finish (Ok_reply { id; op; payload; wall_ms = float_of_int w })
+        | Json.Str _, _, _, _ ->
+            fail "ok reply must carry string op, payload, numeric wall_ms"
+        | _ -> fail "ok reply id must be a string"
+      in
+      let error_reply id_field =
+        let id =
+          match id_field with
+          | Json.Str id -> Ok (Some id)
+          | Json.Null -> Ok None
+          | _ -> fail "error reply id must be a string or null"
+        in
+        match (id, take fs "error") with
+        | Error msg, _ -> Error msg
+        | Ok id, Some (Json.Obj err) -> (
+            let efs = { remaining = err } in
+            let code_field = take efs "code" in
+            let message_field = take efs "message" in
+            match (code_field, message_field, efs.remaining) with
+            | Some (Json.Str code), Some (Json.Str message), [] -> (
+                match code_of_string code with
+                | Some code -> finish (Error_reply { id; code; message })
+                | None -> fail "undocumented error code %S" code)
+            | _, _, (k, _) :: _ -> fail "undocumented error key %S" k
+            | _ -> fail "error object must carry code and message strings")
+        | Ok _, _ -> fail "error reply must carry an \"error\" object"
+      in
+      match (take fs "v", take fs "id", take fs "ok") with
+      | Some (Json.Int v), _, _ when v <> version ->
+          fail "reply version %d is not %d" v version
+      | Some (Json.Int _), Some id_field, Some (Json.Bool true) ->
+          ok_reply id_field
+      | Some (Json.Int _), Some id_field, Some (Json.Bool false) ->
+          error_reply id_field
+      | _ -> fail "reply envelope must carry integer v, id, boolean ok")
+  | _ -> Error "reply envelope must be a JSON object"
+
+(* ---------------------------------------------------------- framing *)
+
+(* Compact rendering: identical value formatting to the pretty emitter
+   (sorted keys, %.1f / %.12g floats, same escapes) with all structural
+   whitespace removed, so an NDJSON line parses back to the same
+   [Json.t] and pretty-prints to the same bytes. *)
+let to_line v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Json.Null -> Buffer.add_string buf "null"
+    | Json.Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Json.Int i -> Buffer.add_string buf (string_of_int i)
+    | Json.Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Json.float_repr f)
+        else Buffer.add_string buf "null"
+    | Json.Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (Json.escape s);
+        Buffer.add_char buf '"'
+    | Json.List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Json.Obj fields ->
+        let fields =
+          List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+        in
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (key, value) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (Json.escape key);
+            Buffer.add_string buf "\":";
+            go value)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let parse_line line =
+  match Json.parse line with
+  | Error msg -> Error { id = None; code = Parse_error; message = msg }
+  | Ok json -> request_of_json json
+
+let write_frame oc body =
+  let n = String.length body in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.write_frame: %d bytes > max_frame" n);
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  output_bytes oc header;
+  output_string oc body;
+  flush oc
+
+let read_frame ic =
+  match really_input_string ic 4 with
+  | exception End_of_file -> Ok None
+  | header -> (
+      let n = Int32.to_int (String.get_int32_be header 0) in
+      if n < 0 || n > max_frame then
+        Error (Printf.sprintf "declared frame length %d exceeds max_frame %d" n max_frame)
+      else
+        match really_input_string ic n with
+        | exception End_of_file -> Error "EOF inside a frame body"
+        | body -> Ok (Some body))

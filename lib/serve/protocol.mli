@@ -1,0 +1,123 @@
+(** The serve wire protocol, version 1 — codec layer.
+
+    This module is the executable half of [docs/PROTOCOL.md], the
+    normative specification of every byte [oqsc serve] reads or writes:
+    the request/reply envelopes, the error codes, the compact one-line
+    JSON rendering used by the NDJSON transport, and the length-prefixed
+    frame codec used by the Unix-domain-socket transport.  The JSON
+    values themselves are [Experiments.Json.t], so payloads inherit the
+    repository's canonical emitter (sorted keys, fixed float
+    formatting) and a served payload re-serializes to the same bytes
+    the one-shot CLI writes.
+
+    Decoding is {e strict} in both directions: an envelope carrying a
+    key this version does not define is rejected, which is how CI
+    enforces that no undocumented reply key ever reaches the wire. *)
+
+val version : int
+(** The protocol version this codec speaks: [1].  Requests must carry
+    it in their [v] field; every reply echoes it. *)
+
+val max_frame : int
+(** Upper bound, in bytes, on the body of one length-prefixed frame
+    (16 MiB).  A declared length beyond this is a framing violation:
+    the server replies [`Frame_error] and closes the connection. *)
+
+(** {1 Requests} *)
+
+type op =
+  | Run of { exp : string; quick : bool; seed : int }
+      (** Run one registry experiment; the reply payload is the
+          [oqsc-experiments] document [run-all --only exp] would emit
+          at the same (quick, seed).  Defaults: quick = false,
+          seed = 2006. *)
+  | Sweep of { index : int; count : int; quick : bool; seed : int }
+      (** Measure shard [index]/[count] of the space-audit k sweep; the
+          reply payload is the [oqsc-space-audit] shard document
+          [space-audit --shard index/count] would emit. *)
+  | Ping  (** Liveness probe; replies [{"pong": true}]. *)
+  | Stats  (** Latency/throughput accounting since server start. *)
+  | Shutdown  (** Drain the queue, reply, then stop the server. *)
+
+type request = { id : string; op : op }
+(** One admitted request.  [id] is the client-chosen correlation token
+    (matching [[A-Za-z0-9._-]{1,64}]); every reply echoes the id of the
+    request it answers. *)
+
+(** {1 Replies} *)
+
+type error_code =
+  | Parse_error  (** the line/frame body is not valid JSON *)
+  | Bad_request  (** envelope shape: missing/ill-typed/unknown fields, bad id *)
+  | Unsupported_version  (** [v] is an int but not {!version} *)
+  | Unknown_op  (** [op] is a string this version does not define *)
+  | Unknown_experiment  (** [run] named an id outside the registry *)
+  | Bad_shard  (** [sweep] indices violate [0 <= index < count] *)
+  | Queue_full  (** backpressure: admission queue at capacity *)
+  | Frame_error  (** length-prefixed transport: oversized frame *)
+  | Internal_error  (** the dispatched work raised; message carries the exception *)
+
+type reply =
+  | Ok_reply of { id : string; op : string; payload : Experiments.Json.t; wall_ms : float }
+      (** Success envelope: [op] names the request's operation, [payload]
+          carries the operation's document, [wall_ms] is the server-side
+          wall clock spent answering (telemetry — never part of the
+          payload byte-identity contract). *)
+  | Error_reply of { id : string option; code : error_code; message : string }
+      (** Failure envelope.  [id] is [None] exactly when the request was
+          too malformed to recover one (it serializes as JSON [null]). *)
+
+val code_to_string : error_code -> string
+(** The wire name of a code, e.g. [Queue_full] -> ["queue_full"]. *)
+
+val code_of_string : string -> error_code option
+
+val op_name : op -> string
+(** The wire name of an operation: ["run"], ["sweep"], ["ping"],
+    ["stats"], or ["shutdown"] — what an {!Ok_reply}'s [op] field
+    echoes. *)
+
+type decode_error = { id : string option; code : error_code; message : string }
+(** A rejected request, ready to answer: [code]/[message] say why, and
+    [id] is the correlation token when one could still be recovered
+    from the malformed envelope ([None] otherwise — the reply's [id]
+    is then JSON [null]). *)
+
+(** {1 Envelope codec} *)
+
+val request_to_json : request -> Experiments.Json.t
+
+val request_of_json : Experiments.Json.t -> (request, decode_error) result
+(** Strict decode of a request envelope; the error carries the code the
+    server must reply with ([Parse_error] aside: [Bad_request],
+    [Unsupported_version], [Unknown_op], [Unknown_experiment], or
+    [Bad_shard]) and a human-readable message. *)
+
+val reply_to_json : reply -> Experiments.Json.t
+val reply_of_json : Experiments.Json.t -> (reply, string) result
+(** Strict decode of a reply envelope — the client-side validator
+    [bench-serve] runs on every reply, so an undocumented key or code
+    on the wire fails the replay rather than passing silently. *)
+
+(** {1 Framing} *)
+
+val to_line : Experiments.Json.t -> string
+(** Compact single-line rendering (no newline): the NDJSON transport's
+    line body.  Same sorted keys and float formatting as
+    [Experiments.Json.to_string], so [payload] objects re-serialize to
+    the pretty form byte-identically after a round trip. *)
+
+val parse_line : string -> (request, decode_error) result
+(** [request_of_json] over a parsed NDJSON line; a JSON syntax error
+    maps to [Parse_error] (with no recoverable id). *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one length-prefixed frame: a 4-byte big-endian body length
+    followed by the body.  @raise Invalid_argument if the body exceeds
+    {!max_frame}. *)
+
+val read_frame : in_channel -> (string option, string) result
+(** Read one frame: [Ok None] on clean EOF at a frame boundary,
+    [Ok (Some body)] otherwise.  [Error _] on a framing violation — a
+    declared length that is negative or beyond {!max_frame}, or EOF in
+    the middle of a frame — after which the stream is unusable. *)

@@ -1,0 +1,35 @@
+(* Two-list FIFO (no Stdlib.Queue: this module shadows the name inside
+   the serve library, and the structure is three fields anyway). *)
+
+type 'a t = {
+  cap : int;
+  mutable front : 'a list;  (* next to drain, in order *)
+  mutable back : 'a list;  (* newest first *)
+  mutable len : int;
+  mutable high : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Queue.create: capacity < 1";
+  { cap = capacity; front = []; back = []; len = 0; high = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let peak t = t.high
+let is_empty t = t.len = 0
+
+let admit t x =
+  if t.len >= t.cap then false
+  else begin
+    t.back <- x :: t.back;
+    t.len <- t.len + 1;
+    if t.len > t.high then t.high <- t.len;
+    true
+  end
+
+let drain t =
+  let batch = t.front @ List.rev t.back in
+  t.front <- [];
+  t.back <- [];
+  t.len <- 0;
+  batch

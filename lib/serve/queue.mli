@@ -1,0 +1,39 @@
+(** Bounded FIFO admission queue with explicit backpressure.
+
+    The server admits [run]/[sweep] requests here before batching them
+    onto the parallel runner.  Admission never blocks: when the queue
+    is at capacity, {!admit} refuses and the server immediately answers
+    the client with a [queue_full] error reply — backpressure is a
+    protocol message, not a stalled connection (docs/PROTOCOL.md,
+    "Backpressure").  The high-water mark is tracked for [stats]
+    replies.
+
+    Single-domain use only (the server's admission loop); this is not a
+    concurrent queue. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A fresh empty queue admitting at most [capacity] elements at once.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently admitted and not yet drained. *)
+
+val peak : 'a t -> int
+(** High-water mark of {!length} since {!create} — what a [stats]
+    reply serves as [queue_peak]. *)
+
+val is_empty : 'a t -> bool
+
+val admit : 'a t -> 'a -> bool
+(** [admit t x] appends [x] and returns [true], or returns [false]
+    (and changes nothing) when the queue already holds [capacity]
+    elements — the caller's cue to reply [queue_full]. *)
+
+val drain : 'a t -> 'a list
+(** All admitted elements in admission order; the queue is empty
+    afterwards.  This is the batch the server hands to
+    [Mathx.Parallel]. *)

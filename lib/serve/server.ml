@@ -1,0 +1,274 @@
+(* The serve engine: bounded admission, batched dispatch, latency
+   accounting, and the two wire transports.  Protocol semantics live in
+   docs/PROTOCOL.md; payload determinism is inherited wholesale from
+   Registry.document / Space_audit.shard_to_json, so this module never
+   constructs a gated byte itself. *)
+
+module Json = Experiments.Json
+
+let default_capacity = 64
+let default_batch = 8
+
+type t = {
+  queue : Protocol.request Queue.t;
+  batch : int;
+  domains : int option;
+  started_ns : int64;
+  mutable latencies_ms : float list;  (* completed run/sweep, newest first *)
+  mutable completed : int;
+  mutable errors : int;
+  mutable rejected : int;
+}
+
+let create ?(capacity = default_capacity) ?(batch = default_batch) ?domains () =
+  if batch < 1 then invalid_arg "Serve.Server.create: batch < 1";
+  {
+    queue = Queue.create ~capacity;
+    batch;
+    domains;
+    started_ns = Obs.Trace.now_ns ();
+    latencies_ms = [];
+    completed = 0;
+    errors = 0;
+    rejected = 0;
+  }
+
+type outcome = { replies : Protocol.reply list; stop : bool }
+
+(* ---------------------------------------------------------- dispatch *)
+
+let ms_since t0 = Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
+
+(* One queued request to its reply, on whichever domain runs the chunk.
+   The trace span mirrors the registry's experiment.<id> spans: opt-in,
+   wall-clock, write-only w.r.t. everything gated. *)
+let dispatch (req : Protocol.request) : Protocol.reply =
+  let t0 = Obs.Trace.now_ns () in
+  match
+    Obs.Trace.with_span "serve.request"
+      ~args:
+        [
+          ("id", Obs.Trace.Str req.Protocol.id);
+          ("op", Obs.Trace.Str (Protocol.op_name req.Protocol.op));
+        ]
+      (fun () ->
+        match req.Protocol.op with
+        | Protocol.Run { exp; quick; seed } ->
+            Experiments.Registry.document ~quick ~seed exp
+        | Protocol.Sweep { index; count; quick; seed } ->
+            let rows =
+              Experiments.Space_audit.rows ~quick ~shard:(index, count) ~seed ()
+            in
+            Experiments.Space_audit.shard_to_json ~shard:(index, count) ~seed
+              ~quick rows
+        | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+            (* Control ops never enter the queue (see [submit]). *)
+            assert false)
+  with
+  | payload ->
+      Protocol.Ok_reply
+        {
+          id = req.Protocol.id;
+          op = Protocol.op_name req.Protocol.op;
+          payload;
+          wall_ms = ms_since t0;
+        }
+  | exception e ->
+      Protocol.Error_reply
+        {
+          id = Some req.Protocol.id;
+          code = Protocol.Internal_error;
+          message = Printexc.to_string e;
+        }
+
+let record t = function
+  | Protocol.Ok_reply { wall_ms; _ } ->
+      t.completed <- t.completed + 1;
+      t.latencies_ms <- wall_ms :: t.latencies_ms
+  | Protocol.Error_reply _ -> t.errors <- t.errors + 1
+
+(* Flush the queue as one batch across domains — one request per chunk,
+   replies in admission order.  The chunk PRNGs are unused: every
+   payload derives its randomness from the request's own seed, exactly
+   like the one-shot CLI. *)
+let flush_queue t =
+  match Queue.drain t.queue with
+  | [] -> []
+  | batch ->
+      let arr = Array.of_list batch in
+      let replies =
+        Obs.Trace.with_span "serve.flush"
+          ~args:[ ("batch", Obs.Trace.Int (Array.length arr)) ]
+          (fun () ->
+            Mathx.Parallel.map_chunks ?domains:t.domains
+              ~chunks:(Array.length arr)
+              (fun ~chunk ~rng:_ -> dispatch arr.(chunk))
+              ~rng:(Mathx.Rng.create 0))
+      in
+      List.iter (record t) replies;
+      replies
+
+(* ------------------------------------------------------------- stats *)
+
+(* Nearest-rank percentile over the completed-request latencies. *)
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let stats_payload t =
+  let sorted = Array.of_list t.latencies_ms in
+  Array.sort compare sorted;
+  Json.Obj
+    [
+      ("completed", Json.Int t.completed);
+      ("errors", Json.Int t.errors);
+      ("rejected", Json.Int t.rejected);
+      ("p50_ms", Json.Float (percentile sorted 50.0));
+      ("p99_ms", Json.Float (percentile sorted 99.0));
+      ("queue_capacity", Json.Int (Queue.capacity t.queue));
+      ("queue_peak", Json.Int (Queue.peak t.queue));
+      ("uptime_ms", Json.Float (ms_since t.started_ns));
+    ]
+
+(* ---------------------------------------------------------- admission *)
+
+let control_reply (req : Protocol.request) payload t0 =
+  Protocol.Ok_reply
+    {
+      id = req.Protocol.id;
+      op = Protocol.op_name req.Protocol.op;
+      payload;
+      wall_ms = ms_since t0;
+    }
+
+let submit t (req : Protocol.request) : outcome =
+  match req.Protocol.op with
+  | Protocol.Run _ | Protocol.Sweep _ ->
+      if Queue.admit t.queue req then
+        if Queue.length t.queue >= t.batch then
+          { replies = flush_queue t; stop = false }
+        else { replies = []; stop = false }
+      else begin
+        t.rejected <- t.rejected + 1;
+        t.errors <- t.errors + 1;
+        {
+          replies =
+            [
+              Protocol.Error_reply
+                {
+                  id = Some req.Protocol.id;
+                  code = Protocol.Queue_full;
+                  message =
+                    Printf.sprintf
+                      "admission queue is full (capacity %d); retry after \
+                       draining replies"
+                      (Queue.capacity t.queue);
+                };
+            ];
+          stop = false;
+        }
+      end
+  | Protocol.Ping ->
+      (* Control requests are barriers: the pending batch flushes first,
+         so a ping also bounds the staleness of queued work. *)
+      let flushed = flush_queue t in
+      let t0 = Obs.Trace.now_ns () in
+      let reply = control_reply req (Json.Obj [ ("pong", Json.Bool true) ]) t0 in
+      { replies = flushed @ [ reply ]; stop = false }
+  | Protocol.Stats ->
+      let flushed = flush_queue t in
+      let t0 = Obs.Trace.now_ns () in
+      let reply = control_reply req (stats_payload t) t0 in
+      { replies = flushed @ [ reply ]; stop = false }
+  | Protocol.Shutdown ->
+      let flushed = flush_queue t in
+      let t0 = Obs.Trace.now_ns () in
+      let reply =
+        control_reply req (Json.Obj [ ("stopping", Json.Bool true) ]) t0
+      in
+      { replies = flushed @ [ reply ]; stop = true }
+
+let submit_line t line =
+  match Protocol.parse_line line with
+  | Ok req -> submit t req
+  | Error { Protocol.id; code; message } ->
+      t.errors <- t.errors + 1;
+      { replies = [ Protocol.Error_reply { id; code; message } ]; stop = false }
+
+let finish t = flush_queue t
+
+(* -------------------------------------------------------- transports *)
+
+let serve_channels t ic oc =
+  let write_reply reply =
+    output_string oc (Protocol.to_line (Protocol.reply_to_json reply));
+    output_char oc '\n'
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file ->
+        List.iter write_reply (finish t);
+        flush oc
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let { replies; stop } = submit_line t line in
+        List.iter write_reply replies;
+        flush oc;
+        if not stop then loop ()
+  in
+  loop ()
+
+let serve_socket t path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX path);
+      Unix.listen listener 8;
+      let serve_connection fd =
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let write_reply reply =
+          Protocol.write_frame oc (Protocol.to_line (Protocol.reply_to_json reply))
+        in
+        let rec loop () =
+          match Protocol.read_frame ic with
+          | Ok None ->
+              (* Client went away at a frame boundary: flush so queued
+                 work is not silently abandoned, then take the next
+                 connection.  The replies have no reader; drop them. *)
+              ignore (finish t);
+              false
+          | Error msg ->
+              t.errors <- t.errors + 1;
+              (try
+                 write_reply
+                   (Protocol.Error_reply
+                      { id = None; code = Protocol.Frame_error; message = msg })
+               with Sys_error _ -> ());
+              ignore (finish t);
+              false
+          | Ok (Some body) ->
+              let { replies; stop } = submit_line t body in
+              List.iter write_reply replies;
+              if stop then true else loop ()
+        in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          loop
+      in
+      let rec accept_loop () =
+        let fd, _ = Unix.accept listener in
+        let stop = serve_connection fd in
+        if not stop then accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,99 @@
+(** The long-lived request/reply engine behind [oqsc serve].
+
+    One {!t} owns a bounded admission queue ({!Queue}), latency
+    accounting, and the dispatch path onto the experiment registry.
+    The engine itself is transport-free — {!submit} takes a decoded
+    request and returns the replies it forces out — and the two wire
+    transports ({!serve_channels} for newline-delimited JSON on
+    stdin/stdout, {!serve_socket} for length-prefixed frames on a
+    Unix-domain socket) are thin loops over it, as are the in-process
+    replay of [bench-serve] and the test suite.
+
+    {2 Batching semantics (normative: docs/PROTOCOL.md)}
+
+    [run] and [sweep] requests are {e admitted}, not answered: they
+    enter the queue and their replies appear at the next {e flush},
+    which happens when the queue reaches the batch size, when a control
+    request ([ping]/[stats]/[shutdown] — barriers) arrives, or at end
+    of input.  A flush executes the whole batch across domains via
+    [Mathx.Parallel.map_chunks] — one request per chunk, exactly the
+    one-shot CLI's scheduling — and emits the replies in admission
+    order.  Admission to a full queue is answered immediately with a
+    [queue_full] error reply: backpressure is explicit and never blocks
+    the connection.
+
+    {2 Determinism}
+
+    A [run] reply's payload is [Experiments.Registry.document], a pure
+    function of (exp, quick, seed) — byte-identical to
+    [run-all --only exp] output; a [sweep] payload likewise matches
+    [space-audit --shard].  Batching, queue capacity, domain counts,
+    and request interleaving affect only latency envelopes ([wall_ms]),
+    never a payload byte.  The compiled-circuit cache ([Vm.Cache]) is
+    process-wide, so a resident server keeps it warm across requests.
+
+    Per-request [Obs.Trace] spans ([serve.request], with the request id
+    and op as arguments) feed the latency accounting that [stats]
+    replies serve as p50/p99. *)
+
+type t
+
+val default_capacity : int
+(** Admission-queue capacity when [create] is not told otherwise: 64. *)
+
+val default_batch : int
+(** Flush threshold when [create] is not told otherwise: 8. *)
+
+val create : ?capacity:int -> ?batch:int -> ?domains:int -> unit -> t
+(** A fresh engine.  [capacity] bounds the admission queue ([>= 1]);
+    [batch] ([>= 1]) is the queue length that triggers a flush;
+    [domains] caps the parallel runner (default:
+    [Mathx.Parallel.recommended_domains]).  A [batch] larger than
+    [capacity] disables threshold flushes — control barriers and end
+    of input become the only flush points, which is the configuration
+    under which [queue_full] backpressure is observable (and how the
+    test suite exercises it).
+    @raise Invalid_argument if [capacity < 1] or [batch < 1]. *)
+
+type outcome = {
+  replies : Protocol.reply list;
+      (** Every reply this submission forced out, in emission order:
+          flushed batch replies first (admission order), then the
+          control reply when the submission was a control request.
+          Empty when the request was only admitted. *)
+  stop : bool;  (** [true] exactly once: after a [shutdown] reply. *)
+}
+
+val submit : t -> Protocol.request -> outcome
+(** Feed one decoded request through admission/batching/dispatch. *)
+
+val submit_line : t -> string -> outcome
+(** {!submit} over [Protocol.parse_line]; a rejected line yields the
+    matching error reply (and never stops the server). *)
+
+val finish : t -> Protocol.reply list
+(** End of input: flush whatever is still queued and return those
+    replies, in admission order. *)
+
+val stats_payload : t -> Experiments.Json.t
+(** The [stats] reply payload, documented key by key in
+    docs/PROTOCOL.md: completed/errors/rejected counts, p50/p99
+    latency over completed [run]/[sweep] requests, queue capacity and
+    high-water mark, uptime. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** The NDJSON transport: read one request per line, write one reply
+    per line (compact JSON, LF-terminated, flushed per submission).
+    Blank lines are ignored.  Returns after a [shutdown] reply or at
+    EOF (which flushes the queue first). *)
+
+val serve_socket : t -> string -> unit
+(** The Unix-domain transport: bind [path] (unlinking a stale socket
+    file first), accept one connection at a time, and exchange
+    length-prefixed frames (4-byte big-endian length + body; see
+    {!Protocol.read_frame}).  Each frame body is one request envelope;
+    each reply is one frame.  A client disconnect flushes the queue
+    (replies are dropped with the connection) and the server accepts
+    the next client; a [shutdown] request stops the server and removes
+    the socket file.  An oversized declared frame length draws a
+    [frame_error] reply after which the connection is closed. *)

@@ -9,15 +9,15 @@
 # With no argument every stage runs in order — the full local gate.
 # Naming a stage runs just that section (what the GitHub Actions matrix
 # fans out across jobs): build, docs, tests, smoke, trace, compiled,
-# shard, audit, bench, baseline.
+# shard, serve, audit, bench, baseline.
 set -eu
 
 stage="${1:-all}"
 case "$stage" in
-  all|build|docs|tests|smoke|trace|compiled|shard|audit|bench|baseline) ;;
+  all|build|docs|tests|smoke|trace|compiled|shard|serve|audit|bench|baseline) ;;
   *)
     echo "unknown stage '$stage'" >&2
-    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|audit|bench|baseline]" >&2
+    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|serve|audit|bench|baseline]" >&2
     exit 2
     ;;
 esac
@@ -166,6 +166,77 @@ if want shard; then
     "$tmp/shard_0.json" "$tmp/shard_1.json" 2>/dev/null
   ! dune exec bin/oqsc_cli.exe -- merge "$tmp/bad.json" \
     "$tmp/shard_0.json" "$tmp/shard_0.json" "$tmp/shard_1.json" "$tmp/shard_2.json" 2>/dev/null
+fi
+
+if want serve; then
+  echo "== serve protocol smoke =="
+  # The served-payload contract (docs/PROTOCOL.md): a run/sweep payload
+  # answered by the long-lived server must be byte-identical to the
+  # one-shot CLI document at the same (quick, seed). bench-serve
+  # strictly re-decodes every reply envelope, so this replay also fails
+  # on any undocumented reply key or error code.
+  mix=examples/serve_mix.ndjson
+
+  # In-process replay: payloads out of the engine itself.
+  dune exec bin/oqsc_cli.exe -- bench-serve "$mix" \
+    --payload-dir "$tmp/payloads" >/dev/null
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e2 \
+    --json "$tmp/serve_b.json"
+  cmp "$tmp/payloads/b.json" "$tmp/serve_b.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e2 --seed 7 \
+    --json "$tmp/serve_f.json"
+  cmp "$tmp/payloads/f.json" "$tmp/serve_f.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --shard 0/5 \
+    --json "$tmp/serve_e.json"
+  cmp "$tmp/payloads/e.json" "$tmp/serve_e.json"
+
+  # Socket transport: a background server, the same mix over frames,
+  # clean shutdown via a shutdown request, identical payload bytes. The
+  # compiled engine must be invisible in the served bytes too. The
+  # server runs from the built binary directly so the backgrounded
+  # process never contends for dune's build lock.
+  dune build bin/oqsc_cli.exe
+  _build/default/bin/oqsc_cli.exe serve --socket "$tmp/serve.sock" --compiled &
+  serve_pid=$!
+  for _ in $(seq 50); do [ -S "$tmp/serve.sock" ] && break; sleep 0.1; done
+  [ -S "$tmp/serve.sock" ]
+  dune exec bin/oqsc_cli.exe -- bench-serve "$mix" --socket "$tmp/serve.sock" \
+    --repeat 2 --payload-dir "$tmp/payloads_sock" --shutdown
+  wait "$serve_pid"
+  [ ! -e "$tmp/serve.sock" ]
+  for id in b e f; do
+    cmp "$tmp/payloads_sock/$id.json" "$tmp/serve_$id.json"
+  done
+
+  # NDJSON transport smoke: requests on stdin, one reply line each, a
+  # shutdown request ends the process with exit 0.
+  { cat "$mix"; echo '{"v":1,"id":"z","op":"shutdown"}'; } \
+    | dune exec bin/oqsc_cli.exe -- serve > "$tmp/ndjson_replies"
+  [ "$(wc -l < "$tmp/ndjson_replies")" -eq 8 ]
+  ! grep -q '"ok":false' "$tmp/ndjson_replies"
+
+  # Error discipline: malformed / unknown-version / unknown-experiment
+  # lines draw error replies with the documented codes and never kill
+  # the server (the shutdown afterwards must still be answered).
+  printf '%s\n' \
+    '{nope' \
+    '{"v":9,"id":"v9","op":"ping"}' \
+    '{"v":1,"id":"x","op":"run","exp":"e99"}' \
+    '{"v":1,"id":"z","op":"shutdown"}' \
+    | dune exec bin/oqsc_cli.exe -- serve > "$tmp/err_replies"
+  grep -q '"code":"parse_error"' "$tmp/err_replies"
+  grep -q '"code":"unsupported_version"' "$tmp/err_replies"
+  grep -q '"code":"unknown_experiment"' "$tmp/err_replies"
+  grep -q '"op":"shutdown"' "$tmp/err_replies"
+
+  # Backpressure: with threshold flushes disabled (batch > queue) the
+  # second admission must be refused with queue_full.
+  printf '%s\n' \
+    '{"v":1,"id":"r1","op":"run","exp":"e2","quick":true}' \
+    '{"v":1,"id":"r2","op":"run","exp":"e13","quick":true}' \
+    '{"v":1,"id":"z","op":"shutdown"}' \
+    | dune exec bin/oqsc_cli.exe -- serve --queue 1 --batch 4 > "$tmp/bp_replies"
+  grep -q '"code":"queue_full"' "$tmp/bp_replies"
 fi
 
 if want audit; then

@@ -27,5 +27,6 @@ let () =
       ("merge", Test_merge.suite);
       ("integration", Test_integration.suite);
       ("vm", Test_vm.suite);
+      ("serve", Test_serve.suite);
       ("edges", Test_edges.suite);
     ]

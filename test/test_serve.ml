@@ -1,0 +1,474 @@
+(* Serve subsystem coverage: the strict protocol codec (qcheck round
+   trips plus every documented rejection), the length-prefixed frame
+   codec, the bounded admission queue, the batching/backpressure engine,
+   and the central contract — a served run/sweep payload survives the
+   full wire round trip byte-identical to the one-shot CLI document. *)
+
+module Json = Experiments.Json
+module Protocol = Serve.Protocol
+module Server = Serve.Server
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let encode_request req = Protocol.to_line (Protocol.request_to_json req)
+let encode_reply reply = Protocol.to_line (Protocol.reply_to_json reply)
+
+let decode_reply line =
+  match Json.parse line with
+  | Error msg -> Alcotest.failf "reply line is not JSON: %s" msg
+  | Ok json -> (
+      match Protocol.reply_of_json json with
+      | Error msg -> Alcotest.failf "reply rejected: %s" msg
+      | Ok reply -> reply)
+
+let expect_decode_error ~code line =
+  match Protocol.parse_line line with
+  | Ok _ -> Alcotest.failf "accepted %S (wanted %s)" line (Protocol.code_to_string code)
+  | Error err ->
+      check_str
+        (Printf.sprintf "%S rejected with" line)
+        (Protocol.code_to_string code)
+        (Protocol.code_to_string err.Protocol.code);
+      err
+
+(* ---------------------------------------------------- request codec *)
+
+let id_gen =
+  let chars =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+  in
+  QCheck.Gen.(
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (list_size (int_range 1 16)
+         (map (fun i -> chars.[i]) (int_bound (String.length chars - 1)))))
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map3
+            (fun exp quick seed -> Protocol.Run { exp; quick; seed })
+            (oneofl Experiments.Registry.ids)
+            bool (int_bound 100_000) );
+        ( 3,
+          map3
+            (fun (index, count) quick seed ->
+              Protocol.Sweep { index; count; quick; seed })
+            (map
+               (fun (count, i) -> (i mod count, count))
+               (pair (int_range 1 9) (int_bound 100)))
+            bool (int_bound 100_000) );
+        (1, return Protocol.Ping);
+        (1, return Protocol.Stats);
+        (1, return Protocol.Shutdown);
+      ])
+
+let request_gen =
+  QCheck.Gen.map2 (fun id op -> { Protocol.id; op }) id_gen op_gen
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request codec: decode (encode r) = r" ~count:300
+    (QCheck.make request_gen) (fun req ->
+      match Protocol.parse_line (encode_request req) with
+      | Ok req' ->
+          req' = req
+          ||
+          QCheck.Test.fail_reportf "round trip changed the request: %s"
+            (encode_request req')
+      | Error { Protocol.message; _ } ->
+          QCheck.Test.fail_reportf "own encoding rejected: %s" message)
+
+let code_gen =
+  QCheck.Gen.oneofl
+    [
+      Protocol.Parse_error;
+      Protocol.Bad_request;
+      Protocol.Unsupported_version;
+      Protocol.Unknown_op;
+      Protocol.Unknown_experiment;
+      Protocol.Bad_shard;
+      Protocol.Queue_full;
+      Protocol.Frame_error;
+      Protocol.Internal_error;
+    ]
+
+(* wall_ms from n/8 is exactly representable, so the float survives the
+   emitter round trip bit-for-bit. *)
+let reply_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map3
+            (fun id n op ->
+              Protocol.Ok_reply
+                {
+                  id;
+                  op;
+                  payload =
+                    Json.Obj [ ("n", Json.Int n); ("s", Json.Str "x\"\\y") ];
+                  wall_ms = float_of_int n /. 8.0;
+                } )
+            id_gen (int_bound 10_000)
+            (oneofl [ "run"; "sweep"; "ping"; "stats"; "shutdown" ]) );
+        ( 2,
+          map3
+            (fun id code msg -> Protocol.Error_reply { id; code; message = msg })
+            (opt id_gen) code_gen
+            (oneofl [ "boom"; "queue is full"; "k\ne\ty" ]) );
+      ])
+
+let prop_reply_roundtrip =
+  QCheck.Test.make ~name:"reply codec: wire bytes are a fixed point" ~count:300
+    (QCheck.make reply_gen) (fun reply ->
+      let line = encode_reply reply in
+      let reply' = decode_reply line in
+      reply' = reply
+      && String.equal (encode_reply reply') line
+      ||
+      QCheck.Test.fail_reportf "round trip drifted: %s vs %s" line
+        (encode_reply reply'))
+
+(* ------------------------------------------------- strict rejections *)
+
+let test_rejects_malformed () =
+  let err = expect_decode_error ~code:Protocol.Parse_error "{nope" in
+  check "no id recovered from garbage" true (err.Protocol.id = None)
+
+let test_rejects_unknown_version () =
+  let err =
+    expect_decode_error ~code:Protocol.Unsupported_version
+      {|{"v":2,"id":"q","op":"ping"}|}
+  in
+  check "id recovered for the reply" true (err.Protocol.id = Some "q")
+
+let test_rejects_unknown_op () =
+  ignore
+    (expect_decode_error ~code:Protocol.Unknown_op
+       {|{"v":1,"id":"q","op":"dance"}|})
+
+let test_rejects_unknown_experiment () =
+  ignore
+    (expect_decode_error ~code:Protocol.Unknown_experiment
+       {|{"v":1,"id":"q","op":"run","exp":"e99"}|})
+
+let test_rejects_bad_shard () =
+  ignore
+    (expect_decode_error ~code:Protocol.Bad_shard
+       {|{"v":1,"id":"q","op":"sweep","index":5,"of":5}|});
+  ignore
+    (expect_decode_error ~code:Protocol.Bad_shard
+       {|{"v":1,"id":"q","op":"sweep","index":0,"of":0}|})
+
+let test_rejects_undocumented_request_key () =
+  ignore
+    (expect_decode_error ~code:Protocol.Bad_request
+       {|{"v":1,"id":"q","op":"ping","extra":true}|})
+
+let test_rejects_bad_id () =
+  ignore
+    (expect_decode_error ~code:Protocol.Bad_request
+       {|{"v":1,"id":"spa ce","op":"ping"}|});
+  ignore
+    (expect_decode_error ~code:Protocol.Bad_request {|{"v":1,"id":"","op":"ping"}|})
+
+let expect_reply_rejected line =
+  match Json.parse line with
+  | Error msg -> Alcotest.failf "fixture is not JSON: %s" msg
+  | Ok json -> (
+      match Protocol.reply_of_json json with
+      | Ok _ -> Alcotest.failf "reply %S should be rejected" line
+      | Error _ -> ())
+
+let test_rejects_undocumented_reply_key () =
+  expect_reply_rejected
+    {|{"id":"a","ok":true,"op":"ping","payload":{},"v":1,"wall_ms":1.0,"zzz":1}|};
+  expect_reply_rejected
+    {|{"error":{"code":"queue_full","message":"m","hint":"h"},"id":"a","ok":false,"v":1}|};
+  expect_reply_rejected
+    {|{"error":{"code":"not_a_code","message":"m"},"id":"a","ok":false,"v":1}|};
+  expect_reply_rejected
+    {|{"id":"a","ok":true,"op":"ping","payload":{},"v":2,"wall_ms":1.0}|}
+
+(* ------------------------------------------------------------ frames *)
+
+let with_frame_file bodies read =
+  let path = Filename.temp_file "oqsc_serve" ".frames" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          List.iter (Protocol.write_frame oc) bodies);
+      In_channel.with_open_bin path read)
+
+let test_frame_roundtrip () =
+  let bodies = [ ""; "x"; String.make 4096 'q'; "{\"v\":1}" ] in
+  with_frame_file bodies (fun ic ->
+      List.iter
+        (fun body ->
+          match Protocol.read_frame ic with
+          | Ok (Some b) -> check_str "frame body" body b
+          | Ok None -> Alcotest.fail "premature EOF"
+          | Error msg -> Alcotest.failf "framing error: %s" msg)
+        bodies;
+      match Protocol.read_frame ic with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "clean EOF should be Ok None")
+
+let test_frame_violations () =
+  (* Oversized declared length. *)
+  let path = Filename.temp_file "oqsc_serve" ".frames" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          let header = Bytes.create 4 in
+          Bytes.set_int32_be header 0 0x7fff_ffffl;
+          output_bytes oc header);
+      In_channel.with_open_bin path (fun ic ->
+          match Protocol.read_frame ic with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "oversized frame should be an error"));
+  (* EOF in the middle of a declared body. *)
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          let header = Bytes.create 4 in
+          Bytes.set_int32_be header 0 10l;
+          output_bytes oc header;
+          output_string oc "abc");
+      In_channel.with_open_bin path (fun ic ->
+          match Protocol.read_frame ic with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "truncated frame should be an error"));
+  match
+    with_frame_file [] (fun _ ->
+        Protocol.write_frame stderr (String.make (Protocol.max_frame + 1) 'x'))
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overlong body should raise Invalid_argument"
+
+(* ------------------------------------------------------------- queue *)
+
+let test_queue_fifo () =
+  let q = Serve.Queue.create ~capacity:3 in
+  check_int "capacity" 3 (Serve.Queue.capacity q);
+  check "empty" true (Serve.Queue.is_empty q);
+  check "admit 1" true (Serve.Queue.admit q 1);
+  check "admit 2" true (Serve.Queue.admit q 2);
+  check "admit 3" true (Serve.Queue.admit q 3);
+  check "full" false (Serve.Queue.admit q 4);
+  check_int "peak at capacity" 3 (Serve.Queue.peak q);
+  Alcotest.(check (list int)) "FIFO drain" [ 1; 2; 3 ] (Serve.Queue.drain q);
+  check "empty after drain" true (Serve.Queue.is_empty q);
+  check "admit after drain" true (Serve.Queue.admit q 5);
+  Alcotest.(check (list int)) "second drain" [ 5 ] (Serve.Queue.drain q);
+  check_int "peak survives drains" 3 (Serve.Queue.peak q);
+  match Serve.Queue.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 should raise"
+
+(* ------------------------------------------------------------ engine *)
+
+let submit_line t line = Server.submit_line t line
+
+let reply_id = function
+  | Protocol.Ok_reply { id; _ } -> id
+  | Protocol.Error_reply { id; _ } -> Option.value ~default:"<null>" id
+
+let run_line ?(seed = 2006) id exp =
+  Printf.sprintf {|{"v":1,"id":"%s","op":"run","exp":"%s","quick":true,"seed":%d}|}
+    id exp seed
+
+let test_batch_flush_order () =
+  let t = Server.create ~capacity:8 ~batch:3 ~domains:2 () in
+  let o1 = submit_line t (run_line "r1" "e2") in
+  let o2 = submit_line t (run_line "r2" "e13") in
+  check "admission is silent" true (o1.Server.replies = [] && o2.Server.replies = []);
+  let o3 = submit_line t (run_line "r3" "e2") in
+  Alcotest.(check (list string))
+    "flush replies in admission order" [ "r1"; "r2"; "r3" ]
+    (List.map reply_id o3.Server.replies);
+  check "no stop" false o3.Server.stop
+
+let test_control_barrier () =
+  let t = Server.create ~capacity:8 ~batch:8 () in
+  ignore (submit_line t (run_line "r1" "e2"));
+  let o = submit_line t {|{"v":1,"id":"p","op":"ping"}|} in
+  Alcotest.(check (list string))
+    "barrier flushes then answers" [ "r1"; "p" ]
+    (List.map reply_id o.Server.replies)
+
+let test_queue_full_backpressure () =
+  (* batch > capacity: threshold flushes disabled, so the second
+     admission must draw an immediate queue_full error reply. *)
+  let t = Server.create ~capacity:1 ~batch:4 () in
+  ignore (submit_line t (run_line "r1" "e2"));
+  let o = submit_line t (run_line "r2" "e13") in
+  (match o.Server.replies with
+  | [ Protocol.Error_reply { id = Some "r2"; code = Protocol.Queue_full; _ } ] -> ()
+  | _ -> Alcotest.fail "wanted a queue_full error reply for r2");
+  let o' = submit_line t {|{"v":1,"id":"s","op":"stats"}|} in
+  Alcotest.(check (list string))
+    "r1 still flushes at the barrier" [ "r1"; "s" ]
+    (List.map reply_id o'.Server.replies);
+  match List.rev o'.Server.replies with
+  | Protocol.Ok_reply { payload = Json.Obj fields; _ } :: _ ->
+      check "stats counts the rejection" true
+        (List.assoc_opt "rejected" fields = Some (Json.Int 1))
+  | _ -> Alcotest.fail "stats reply missing"
+
+let test_error_reply_for_bad_line () =
+  let t = Server.create () in
+  let o = submit_line t {|{"v":1,"id":"q","op":"run","exp":"e99"}|} in
+  match o.Server.replies with
+  | [ Protocol.Error_reply { code = Protocol.Unknown_experiment; id = Some "q"; _ } ]
+    ->
+      check "bad line never stops the server" false o.Server.stop
+  | _ -> Alcotest.fail "wanted unknown_experiment"
+
+let test_stats_payload_keys () =
+  let t = Server.create () in
+  match Server.stats_payload t with
+  | Json.Obj fields ->
+      Alcotest.(check (list string))
+        "exactly the documented stats keys"
+        [
+          "completed";
+          "errors";
+          "p50_ms";
+          "p99_ms";
+          "queue_capacity";
+          "queue_peak";
+          "rejected";
+          "uptime_ms";
+        ]
+        (List.sort compare (List.map fst fields))
+  | _ -> Alcotest.fail "stats payload must be an object"
+
+let test_shutdown_stops () =
+  let t = Server.create () in
+  ignore (submit_line t (run_line "r1" "e2"));
+  let o = submit_line t {|{"v":1,"id":"z","op":"shutdown"}|} in
+  check "stop" true o.Server.stop;
+  Alcotest.(check (list string))
+    "drains before stopping" [ "r1"; "z" ]
+    (List.map reply_id o.Server.replies)
+
+(* ----------------------------------------------- golden byte-identity *)
+
+(* The contract CI re-checks against the real binaries: a served payload,
+   after the full wire round trip (compact encode, strict decode),
+   pretty-prints to the exact bytes of the one-shot CLI document. *)
+let served_payload t line =
+  let { Server.replies; _ } = submit_line t line in
+  let o = submit_line t {|{"v":1,"id":"flush","op":"ping"}|} in
+  match
+    List.find_map
+      (function
+        | Protocol.Ok_reply { op = ("run" | "sweep"); _ } as r -> Some r
+        | _ -> None)
+      (replies @ o.Server.replies)
+  with
+  | None -> Alcotest.fail "no run/sweep reply"
+  | Some reply -> (
+      match decode_reply (encode_reply reply) with
+      | Protocol.Ok_reply { payload; _ } -> Json.to_string payload
+      | Protocol.Error_reply _ -> Alcotest.fail "round trip demoted the reply")
+
+let test_run_payload_matches_oneshot () =
+  let t = Server.create () in
+  List.iter
+    (fun (exp, seed) ->
+      check_str
+        (Printf.sprintf "served %s seed %d = run-all --only %s" exp seed exp)
+        (Json.to_string (Experiments.Registry.document ~quick:true ~seed exp))
+        (served_payload t (run_line ~seed "g" exp)))
+    [ ("e2", 2006); ("e13", 7) ]
+
+let test_sweep_payload_matches_oneshot () =
+  let t = Server.create () in
+  let shard = (0, 5) and seed = 2006 in
+  let rows = Experiments.Space_audit.rows ~quick:true ~shard ~seed () in
+  check_str "served sweep = space-audit --shard 0/5"
+    (Json.to_string
+       (Experiments.Space_audit.shard_to_json ~shard ~seed ~quick:true rows))
+    (served_payload t {|{"v":1,"id":"g","op":"sweep","index":0,"of":5,"quick":true}|})
+
+(* ------------------------------------------------------- bench-serve *)
+
+let mix =
+  [
+    {|{"v":1,"id":"a","op":"ping"}|};
+    run_line "b" "e2";
+    {|{"v":1,"id":"c","op":"sweep","index":0,"of":5,"quick":true}|};
+    {|{"v":1,"id":"d","op":"run","exp":"e99"}|};
+  ]
+
+let test_bench_replay_counts () =
+  match Serve.Bench_serve.replay_in_process ~repeat:2 ~capacity:8 ~batch:2 mix with
+  | Error msg -> Alcotest.failf "replay failed: %s" msg
+  | Ok r ->
+      check_int "requests" 8 r.Serve.Bench_serve.requests;
+      check_int "replies" 8 r.Serve.Bench_serve.replies;
+      check_int "ok" 6 r.Serve.Bench_serve.ok;
+      check_int "errors" 2 r.Serve.Bench_serve.errors;
+      check "stats payload captured" true
+        (match r.Serve.Bench_serve.stats with
+        | Json.Obj fields -> List.mem_assoc "p99_ms" fields
+        | _ -> false)
+
+let test_bench_rejects_shutdown_in_mix () =
+  match
+    Serve.Bench_serve.replay_in_process [ {|{"v":1,"id":"z","op":"shutdown"}|} ]
+  with
+  | Error msg ->
+      check "message points at --shutdown" true
+        (String.length msg > 0
+        &&
+        let nh = String.length msg and sub = "shutdown" in
+        let nn = String.length sub in
+        let rec at i = i + nn <= nh && (String.sub msg i nn = sub || at (i + 1)) in
+        at 0)
+  | Ok _ -> Alcotest.fail "mixes containing shutdown must be rejected"
+
+let test_bench_rejects_reserved_ids () =
+  match
+    Serve.Bench_serve.replay_in_process [ {|{"v":1,"id":"bench.x","op":"ping"}|} ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bench.* ids are reserved"
+
+let suite =
+  [
+    ("malformed line -> parse_error, id null", `Quick, test_rejects_malformed);
+    ("unknown version -> unsupported_version", `Quick, test_rejects_unknown_version);
+    ("unknown op -> unknown_op", `Quick, test_rejects_unknown_op);
+    ("unknown experiment -> unknown_experiment", `Quick, test_rejects_unknown_experiment);
+    ("shard bounds -> bad_shard", `Quick, test_rejects_bad_shard);
+    ("undocumented request key -> bad_request", `Quick, test_rejects_undocumented_request_key);
+    ("ill-formed id -> bad_request", `Quick, test_rejects_bad_id);
+    ("undocumented reply key / code / version rejected", `Quick, test_rejects_undocumented_reply_key);
+    ("frame codec round trip + clean EOF", `Quick, test_frame_roundtrip);
+    ("frame violations: oversize, truncation, overlong body", `Quick, test_frame_violations);
+    ("bounded queue: FIFO, capacity, peak", `Quick, test_queue_fifo);
+    ("batch threshold flushes in admission order", `Quick, test_batch_flush_order);
+    ("control requests are flush barriers", `Quick, test_control_barrier);
+    ("queue_full backpressure, counted in stats", `Quick, test_queue_full_backpressure);
+    ("request errors answer without stopping", `Quick, test_error_reply_for_bad_line);
+    ("stats payload carries exactly the documented keys", `Quick, test_stats_payload_keys);
+    ("shutdown drains then stops", `Quick, test_shutdown_stops);
+    ("served run payload = one-shot document (via wire)", `Quick, test_run_payload_matches_oneshot);
+    ("served sweep payload = one-shot shard (via wire)", `Quick, test_sweep_payload_matches_oneshot);
+    ("bench replay: counts and stats capture", `Quick, test_bench_replay_counts);
+    ("bench replay rejects shutdown in a mix", `Quick, test_bench_rejects_shutdown_in_mix);
+    ("bench replay rejects reserved bench.* ids", `Quick, test_bench_rejects_reserved_ids);
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_request_roundtrip; prop_reply_roundtrip ]
