@@ -665,6 +665,14 @@ let serve_cmd =
       & opt (some int) None
       & info [ "domains" ] ~docv:"N" ~doc:"Cap the parallel runner at N domains.")
   in
+  let max_clients =
+    Arg.(
+      value
+      & opt int Serve.Server.default_max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Socket transport: serve up to N concurrent connections (one thread per client); further connections wait in the listen backlog until a slot frees.")
+  in
   let compiled =
     Arg.(
       value & flag
@@ -680,10 +688,12 @@ let serve_cmd =
           ~doc:
             "Record serve.request / serve.flush spans for the whole session and write Chrome trace-event JSON to FILE on exit. Tracing never affects reply payloads.")
   in
-  let action socket queue batch domains compiled trace_file =
+  let action socket queue batch domains max_clients compiled trace_file =
     if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
     if queue < 1 then `Error (false, "serve: --queue must be >= 1")
     else if batch < 1 then `Error (false, "serve: --batch must be >= 1")
+    else if max_clients < 1 then
+      `Error (false, "serve: --max-clients must be >= 1")
     else begin
       let t = Serve.Server.create ~capacity:queue ~batch ?domains () in
       if trace_file <> None then Obs.Trace.start ();
@@ -698,7 +708,7 @@ let serve_cmd =
       match
         match socket with
         | None -> Serve.Server.serve_channels t stdin stdout
-        | Some path -> Serve.Server.serve_socket t path
+        | Some path -> Serve.Server.serve_socket ~max_clients t path
       with
       | () ->
           finish_trace ();
@@ -718,7 +728,9 @@ let serve_cmd =
        ~doc:
          "Run a long-lived batched experiment service speaking the versioned request/reply protocol of docs/PROTOCOL.md (newline-delimited JSON on stdin/stdout, or length-prefixed frames with --socket). Served run/sweep payloads are byte-identical to run-all --only / space-audit --shard output.")
     Term.(
-      ret (const action $ socket $ queue $ batch $ domains $ compiled $ trace_file))
+      ret
+        (const action $ socket $ queue $ batch $ domains $ max_clients
+       $ compiled $ trace_file))
 
 (* ---------------------------------------------------------- bench-serve *)
 
@@ -743,6 +755,21 @@ let bench_serve_cmd =
       value & flag
       & info [ "shutdown" ]
           ~doc:"After the replay, send a shutdown request to the --socket server and wait for its reply.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Socket mode: partition the mix round-robin across N concurrent connections, each strictly validating its replies and the per-connection ordering guarantee.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the replay report (counters, client-side timings, the server's stats payload) as sorted-key JSON to FILE (- for stdout). Telemetry: wall clocks vary run to run.")
   in
   let repeat =
     Arg.(
@@ -781,8 +808,8 @@ let bench_serve_cmd =
       & info [ "compiled" ]
           ~doc:"In-process mode: dispatch through the bytecode-compiled engine.")
   in
-  let action mix socket shutdown repeat queue batch domains payload_dir compiled
-      =
+  let action mix socket shutdown clients json_file repeat queue batch domains
+      payload_dir compiled =
     if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
     match Serve.Bench_serve.load_mix mix with
     | Error msg -> `Error (false, "bench-serve: " ^ msg)
@@ -791,19 +818,37 @@ let bench_serve_cmd =
           match socket with
           | Some sock ->
               Serve.Bench_serve.replay_socket ?payload_dir ~repeat ~shutdown
-                ~socket:sock lines
+                ~clients ~socket:sock lines
           | None ->
               if shutdown then Error "--shutdown requires --socket"
+              else if clients <> 1 then Error "--clients requires --socket"
               else
                 Serve.Bench_serve.replay_in_process ?payload_dir ~repeat
                   ~capacity:queue ~batch ?domains lines
         in
         match result with
         | Error msg -> `Error (false, "bench-serve: " ^ msg)
-        | Ok report ->
-            Serve.Bench_serve.print Format.std_formatter report;
-            Format.pp_print_flush Format.std_formatter ();
-            `Ok ())
+        | Ok report -> (
+            (* --json - owns stdout: keep the human report off it *)
+            let report_fmt =
+              if json_file = Some "-" then Format.err_formatter
+              else Format.std_formatter
+            in
+            Serve.Bench_serve.print report_fmt report;
+            Format.pp_print_flush report_fmt ();
+            let text () =
+              Experiments.Json.to_string (Serve.Bench_serve.to_json report)
+            in
+            match
+              match json_file with
+              | Some "-" -> print_string (text ())
+              | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc (text ()))
+              | None -> ()
+            with
+            | exception Sys_error msg -> `Error (false, "--json: " ^ msg)
+            | () -> `Ok ()))
   in
   Cmd.v
     (Cmd.info "bench-serve"
@@ -811,8 +856,8 @@ let bench_serve_cmd =
          "Replay a recorded request mix against the serve engine (in-process, or over --socket against a live server), strictly validating every reply envelope, and report client-side throughput next to the server's p50/p99 latency.")
     Term.(
       ret
-        (const action $ mix $ socket $ shutdown $ repeat $ queue $ batch
-       $ domains $ payload_dir $ compiled))
+        (const action $ mix $ socket $ shutdown $ clients $ json_file $ repeat
+       $ queue $ batch $ domains $ payload_dir $ compiled))
 
 (* ------------------------------------------------------------------ ids *)
 

@@ -1,7 +1,10 @@
 (* Mix replay: the measuring half of the serve subsystem.  Both modes
    funnel every wire reply through the same strict validator, so the
    replay doubles as a protocol-conformance check of whatever produced
-   the replies (the in-process engine or a remote oqsc serve). *)
+   the replies (the in-process engine or a remote oqsc serve).  The
+   socket mode can fan the mix across several concurrent connections
+   (--clients), which additionally checks the server's per-connection
+   reply-ordering guarantee under real interleaving. *)
 
 module Json = Experiments.Json
 
@@ -17,6 +20,7 @@ type report = {
 
 let stats_id = "bench.stats"
 let shutdown_id = "bench.shutdown"
+let sync_id client = Printf.sprintf "bench.sync.%d" client
 let reserved id = String.length id >= 6 && String.sub id 0 6 = "bench."
 
 let load_mix path =
@@ -52,11 +56,14 @@ let write_payload dir id payload =
 
 (* One validated wire reply folded into the running tally.  [line] is
    the reply exactly as it crossed (or would cross) the wire; strict
-   decoding here is the "no undocumented reply key" gate. *)
+   decoding here is the "no undocumented reply key" gate.  Internal
+   bench.* replies (stats capture, shutdown ack, sync barriers) never
+   count as mix replies. *)
 type tally = {
   mutable seen : int;  (* mix replies *)
   mutable ok_count : int;
   mutable err_count : int;
+  mutable ok_ids : string list;  (* mix ok-reply ids, newest first *)
   mutable stats : Json.t option;
   mutable stopped : bool;
 }
@@ -68,12 +75,9 @@ let absorb ?payload_dir tally line =
       match Protocol.reply_of_json json with
       | Error msg -> Error (Printf.sprintf "protocol violation in reply: %s" msg)
       | Ok (Protocol.Ok_reply { id; op; payload; _ }) -> (
-          if String.equal id stats_id then begin
-            tally.stats <- Some payload;
-            Ok ()
-          end
-          else if String.equal id shutdown_id then begin
-            tally.stopped <- true;
+          if reserved id then begin
+            if String.equal id stats_id then tally.stats <- Some payload
+            else if String.equal id shutdown_id then tally.stopped <- true;
             Ok ()
           end
           else if String.equal op "shutdown" then
@@ -81,6 +85,7 @@ let absorb ?payload_dir tally line =
           else begin
             tally.seen <- tally.seen + 1;
             tally.ok_count <- tally.ok_count + 1;
+            tally.ok_ids <- id :: tally.ok_ids;
             match payload_dir with
             | Some dir when String.equal op "run" || String.equal op "sweep" ->
                 write_payload dir id payload
@@ -92,7 +97,21 @@ let absorb ?payload_dir tally line =
           Ok ())
 
 let fresh_tally () =
-  { seen = 0; ok_count = 0; err_count = 0; stats = None; stopped = false }
+  {
+    seen = 0;
+    ok_count = 0;
+    err_count = 0;
+    ok_ids = [];
+    stats = None;
+    stopped = false;
+  }
+
+let merge_tally into from =
+  into.seen <- into.seen + from.seen;
+  into.ok_count <- into.ok_count + from.ok_count;
+  into.err_count <- into.err_count + from.err_count;
+  (match from.stats with Some s -> into.stats <- Some s | None -> ());
+  if from.stopped then into.stopped <- true
 
 let check_mix lines =
   let bad =
@@ -108,6 +127,33 @@ let check_mix lines =
   | id :: _ ->
       Error (Printf.sprintf "mix uses reserved id %S (bench.* is reserved)" id)
 
+(* Per-connection ordering guarantee (docs/PROTOCOL.md): ok replies
+   arrive in the order their requests were sent on that connection —
+   only immediate error replies (queue_full, rejected envelopes) may
+   overtake.  So a connection's ok-reply id sequence must be a
+   subsequence of its sent id sequence. *)
+let sent_ids lines =
+  List.filter_map
+    (fun line ->
+      match Protocol.parse_line line with
+      | Ok { Protocol.id; _ } -> Some id
+      | Error _ -> None)
+    lines
+
+let rec is_subsequence sub full =
+  match (sub, full) with
+  | [], _ -> true
+  | _, [] -> false
+  | s :: sub', f :: full' ->
+      if String.equal s f then is_subsequence sub' full'
+      else is_subsequence sub full'
+
+let check_order ~sent tally =
+  if is_subsequence (List.rev tally.ok_ids) sent then Ok ()
+  else
+    Error
+      "per-connection ordering violation: ok replies arrived out of send order"
+
 let build_report ~requests ~wall_ms tally =
   {
     requests;
@@ -120,6 +166,20 @@ let build_report ~requests ~wall_ms tally =
        else 0.0);
     stats = (match tally.stats with Some s -> s | None -> Json.Obj []);
   }
+
+let to_json r =
+  Json.Obj
+    [
+      ("kind", Json.Str "oqsc-bench-serve");
+      ("version", Json.Int 1);
+      ("requests", Json.Int r.requests);
+      ("replies", Json.Int r.replies);
+      ("ok", Json.Int r.ok);
+      ("errors", Json.Int r.errors);
+      ("wall_ms", Json.Float r.wall_ms);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("stats", r.stats);
+    ]
 
 (* ------------------------------------------------------- in-process *)
 
@@ -177,60 +237,148 @@ let shutdown_line =
     (Protocol.request_to_json
        { Protocol.id = shutdown_id; op = Protocol.Shutdown })
 
-let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ~socket lines =
-  let ( let* ) = Result.bind in
-  let* () = if repeat >= 1 then Ok () else Error "repeat must be >= 1" in
-  let* () = check_mix lines in
-  let* () = match payload_dir with None -> Ok () | Some d -> ensure_dir d in
+let connect socket =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket) with
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
-  | () ->
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      let tally = fresh_tally () in
-      let t0 = Obs.Trace.now_ns () in
-      (* Sender thread: the reader drains concurrently, so a replay
-         larger than the socket buffers cannot deadlock. *)
-      let sender =
-        Thread.create
-          (fun () ->
-            try
-              for _ = 1 to repeat do
-                List.iter (fun line -> Protocol.write_frame oc line) lines
-              done;
-              Protocol.write_frame oc stats_line;
-              if shutdown then Protocol.write_frame oc shutdown_line
-            with Sys_error _ -> ())
-          ()
-      in
-      let expected =
-        (repeat * List.length lines) + 1 + (if shutdown then 1 else 0)
-      in
-      let rec read_loop received =
-        if received >= expected then Ok ()
-        else
-          match Protocol.read_frame ic with
-          | Ok None ->
-              Error
-                (Printf.sprintf
-                   "server closed the connection after %d of %d replies"
-                   received expected)
-          | Error msg -> Error (Printf.sprintf "framing violation: %s" msg)
-          | Ok (Some body) ->
-              let* () = absorb ?payload_dir tally body in
-              read_loop (received + 1)
-      in
-      let result = read_loop 0 in
-      Thread.join sender;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      let* () = result in
-      let wall_ms =
-        Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
-      in
-      Ok (build_report ~requests:(repeat * List.length lines) ~wall_ms tally)
+  | () -> Ok fd
+
+(* One connection's replay: write [to_send] from a sender thread while
+   the main thread drains exactly [expected] reply frames (so a replay
+   larger than the socket buffers cannot deadlock), strictly validating
+   each, then check the per-connection ordering guarantee. *)
+let run_connection ?payload_dir ~tally ~to_send fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sender =
+    Thread.create
+      (fun () ->
+        try List.iter (fun line -> Protocol.write_frame oc line) to_send
+        with Sys_error _ -> ())
+      ()
+  in
+  let ( let* ) = Result.bind in
+  let expected = List.length to_send in
+  let rec read_loop received =
+    if received >= expected then Ok ()
+    else
+      match Protocol.read_frame ic with
+      | Ok None ->
+          Error
+            (Printf.sprintf
+               "server closed the connection after %d of %d replies" received
+               expected)
+      | Error msg -> Error (Printf.sprintf "framing violation: %s" msg)
+      | Ok (Some body) ->
+          let* () = absorb ?payload_dir tally body in
+          read_loop (received + 1)
+  in
+  let result = read_loop 0 in
+  Thread.join sender;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let* () = result in
+  check_order ~sent:(sent_ids to_send) tally
+
+(* Round-robin partition of the mix across [clients] connections; each
+   slice is replayed [repeat] times and closed with a reserved sync
+   ping so the last barrier always flushes the shared queue — no
+   client can be left waiting on a below-threshold batch. *)
+let partition ~clients lines =
+  let slices = Array.make clients [] in
+  List.iteri
+    (fun i line -> slices.(i mod clients) <- line :: slices.(i mod clients))
+    lines;
+  Array.map List.rev slices
+
+let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ?(clients = 1)
+    ~socket lines =
+  let ( let* ) = Result.bind in
+  let* () = if repeat >= 1 then Ok () else Error "repeat must be >= 1" in
+  let* () = if clients >= 1 then Ok () else Error "clients must be >= 1" in
+  let* () = check_mix lines in
+  let* () = match payload_dir with None -> Ok () | Some d -> ensure_dir d in
+  let t0 = Obs.Trace.now_ns () in
+  let requests = repeat * List.length lines in
+  let finish_ms () =
+    Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
+  in
+  if clients = 1 then begin
+    (* Single connection: mix, stats, optional shutdown, all in-line. *)
+    let* fd = connect socket in
+    let to_send =
+      List.concat (List.init repeat (fun _ -> lines))
+      @ [ stats_line ]
+      @ (if shutdown then [ shutdown_line ] else [])
+    in
+    let tally = fresh_tally () in
+    let* () = run_connection ?payload_dir ~tally ~to_send fd in
+    Ok (build_report ~requests ~wall_ms:(finish_ms ()) tally)
+  end
+  else begin
+    (* Fan the mix across [clients] concurrent connections, then fetch
+       stats (and optionally shut the server down) over one final
+       control connection once every client has fully drained. *)
+    let slices = partition ~clients lines in
+    let fds = Array.make clients None in
+    let rec connect_all i =
+      if i >= clients then Ok ()
+      else
+        let* fd = connect socket in
+        fds.(i) <- Some fd;
+        connect_all (i + 1)
+    in
+    match connect_all 0 with
+    | Error msg ->
+        Array.iter
+          (function
+            | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | None -> ())
+          fds;
+        Error msg
+    | Ok () ->
+        let tallies = Array.init clients (fun _ -> fresh_tally ()) in
+        let results = Array.make clients (Ok ()) in
+        let worker i fd =
+          let to_send =
+            List.concat (List.init repeat (fun _ -> slices.(i)))
+            @ [
+                Protocol.to_line
+                  (Protocol.request_to_json
+                     { Protocol.id = sync_id i; op = Protocol.Ping });
+              ]
+          in
+          results.(i) <-
+            run_connection ?payload_dir ~tally:tallies.(i) ~to_send fd
+        in
+        let threads =
+          Array.mapi
+            (fun i fd ->
+              match fd with
+              | Some fd -> Some (Thread.create (fun () -> worker i fd) ())
+              | None -> None)
+            fds
+        in
+        Array.iter (function Some th -> Thread.join th | None -> ()) threads;
+        let* () =
+          Array.fold_left
+            (fun acc r ->
+              let* () = acc in
+              r)
+            (Ok ()) results
+        in
+        let tally = fresh_tally () in
+        Array.iter (fun client -> merge_tally tally client) tallies;
+        let* fd = connect socket in
+        let* () =
+          run_connection ~tally
+            ~to_send:
+              ([ stats_line ] @ if shutdown then [ shutdown_line ] else [])
+            fd
+        in
+        Ok (build_report ~requests ~wall_ms:(finish_ms ()) tally)
+  end
 
 (* ------------------------------------------------------------ print *)
 

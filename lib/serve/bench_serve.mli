@@ -5,24 +5,30 @@
     NDJSON transport's input, committed under [examples/serve_mix.ndjson]
     — replayed either against an in-process {!Server.t} (default; no
     sockets, fully deterministic payloads) or over the length-prefixed
-    Unix-domain transport of a running [oqsc serve --socket] process.
+    Unix-domain transport of a running [oqsc serve --socket] process,
+    optionally fanned across several concurrent connections
+    ([~clients]).
 
     Every reply is strictly re-decoded through {!Protocol.reply_of_json}
     before it counts, so a reply carrying an undocumented envelope key,
     error code, or type fails the replay — this is the mechanical check
     behind docs/PROTOCOL.md's "no undocumented reply key" guarantee,
-    and CI runs it on every push.
+    and CI runs it on every push.  Socket replays additionally verify
+    the per-connection ordering guarantee: each connection's ok replies
+    must arrive in the order their requests were sent (immediate error
+    replies may overtake; see PROTOCOL.md).
 
     After the mix (all repeats), the replayer issues its own [stats]
     request and reports the server-side p50/p99 latency over completed
     [run]/[sweep] requests next to the client-side throughput.  Ids
-    beginning with ["bench."] are reserved for these internal requests;
-    a mix must not use them, and must not contain [shutdown] (pass
+    beginning with ["bench."] are reserved for these internal requests
+    (stats capture, shutdown, per-connection sync barriers); a mix must
+    not use them, and must not contain [shutdown] (pass
     [~shutdown:true] to stop the server after the replay instead). *)
 
 type report = {
   requests : int;  (** mix envelopes sent, across all repeats *)
-  replies : int;  (** mix replies received (internal stats/shutdown excluded) *)
+  replies : int;  (** mix replies received (internal bench.* excluded) *)
   ok : int;
   errors : int;
   wall_ms : float;  (** client-side wall clock for the whole replay *)
@@ -56,15 +62,30 @@ val replay_socket :
   ?payload_dir:string ->
   ?repeat:int ->
   ?shutdown:bool ->
+  ?clients:int ->
   socket:string ->
   string list ->
   (report, string) result
-(** Replay over a live [oqsc serve --socket] server: one frame per
-    envelope, written from a sender thread while the main thread drains
-    reply frames (so a large [repeat] cannot deadlock on socket
-    buffers).  [shutdown] (default false) sends a final [shutdown]
-    request and waits for its reply — the clean way for CI to stop the
-    background server it started. *)
+(** Replay over a live [oqsc serve --socket] server.  With [clients]
+    = 1 (default): one connection, one frame per envelope, written from
+    a sender thread while the main thread drains reply frames (so a
+    large [repeat] cannot deadlock on socket buffers).  With [clients]
+    > 1: the mix is partitioned round-robin across that many concurrent
+    connections, each replaying its slice [repeat] times and closing
+    with a reserved sync barrier so the shared queue always drains;
+    every connection's replies are strictly validated and checked for
+    per-connection ordering, and the aggregate report sums all
+    connections.  [shutdown] (default false) sends a final [shutdown]
+    request (on the control connection when [clients] > 1) and waits
+    for its reply — the clean way for CI to stop the background server
+    it started. *)
+
+val to_json : report -> Experiments.Json.t
+(** The report as a JSON object ([kind] "oqsc-bench-serve", version 1):
+    the counters and client-side timings above plus the server's
+    [stats] payload verbatim.  Telemetry, not a gated document — wall
+    clocks vary run to run; CI gates only [stats.p99_ms] against a
+    committed baseline with a deliberately loose factor. *)
 
 val print : Format.formatter -> report -> unit
 (** Render a report: sent/reply counts, client-side wall clock and

@@ -2,35 +2,58 @@
    accounting, and the two wire transports.  Protocol semantics live in
    docs/PROTOCOL.md; payload determinism is inherited wholesale from
    Registry.document / Space_audit.shard_to_json, so this module never
-   constructs a gated byte itself. *)
+   constructs a gated byte itself.
+
+   Concurrency model: one engine is shared by every transport
+   connection.  All engine state — the admission queue, the latency
+   ring, the counters — is guarded by a single mutex, and every queued
+   request carries the reply sink of the connection that admitted it,
+   so a flush triggered by one connection delivers each reply to the
+   connection that owns it.  Dispatch itself (the parallel batch) runs
+   under the engine lock: flushes are serialized, which is exactly what
+   keeps admission order, the batching barriers, and the byte-identity
+   contract intact under arbitrary client interleaving. *)
 
 module Json = Experiments.Json
 
 let default_capacity = 64
 let default_batch = 8
+let default_stats_window = 1024
+
+type sink = Protocol.reply -> unit
 
 type t = {
-  queue : Protocol.request Queue.t;
+  queue : (Protocol.request * sink) Queue.t;
   batch : int;
   domains : int option;
   started_ns : int64;
-  mutable latencies_ms : float list;  (* completed run/sweep, newest first *)
+  lock : Mutex.t;
+  window : int;
+  lat : float array;  (* ring of the last [window] completed latencies *)
+  mutable lat_count : int;  (* completed run/sweep total, monotone *)
   mutable completed : int;
-  mutable errors : int;
-  mutable rejected : int;
+  mutable errors : int;  (* non-backpressure error replies *)
+  mutable rejected : int;  (* queue_full error replies *)
+  mutable seq_out : Protocol.reply list;  (* sequential-transport sink *)
 }
 
-let create ?(capacity = default_capacity) ?(batch = default_batch) ?domains () =
+let create ?(capacity = default_capacity) ?(batch = default_batch)
+    ?(stats_window = default_stats_window) ?domains () =
   if batch < 1 then invalid_arg "Serve.Server.create: batch < 1";
+  if stats_window < 1 then invalid_arg "Serve.Server.create: stats_window < 1";
   {
     queue = Queue.create ~capacity;
     batch;
     domains;
     started_ns = Obs.Trace.now_ns ();
-    latencies_ms = [];
+    lock = Mutex.create ();
+    window = stats_window;
+    lat = Array.make stats_window 0.0;
+    lat_count = 0;
     completed = 0;
     errors = 0;
     rejected = 0;
+    seq_out = [];
   }
 
 type outcome = { replies : Protocol.reply list; stop : bool }
@@ -81,19 +104,28 @@ let dispatch (req : Protocol.request) : Protocol.reply =
           message = Printexc.to_string e;
         }
 
+(* The engine lock is held at every [record]/[deliver] site below, so
+   the counters, the ring, and per-connection reply order are all
+   updated atomically with respect to other connections. *)
+
 let record t = function
   | Protocol.Ok_reply { wall_ms; _ } ->
       t.completed <- t.completed + 1;
-      t.latencies_ms <- wall_ms :: t.latencies_ms
+      t.lat.(t.lat_count mod t.window) <- wall_ms;
+      t.lat_count <- t.lat_count + 1
   | Protocol.Error_reply _ -> t.errors <- t.errors + 1
 
+(* A sink that raises (a connection torn down mid-write) must not abort
+   the flush: the remaining requests in the batch still own replies. *)
+let deliver (sink : sink) reply = try sink reply with _ -> ()
+
 (* Flush the queue as one batch across domains — one request per chunk,
-   replies in admission order.  The chunk PRNGs are unused: every
-   payload derives its randomness from the request's own seed, exactly
-   like the one-shot CLI. *)
-let flush_queue t =
+   replies routed to each request's own connection in admission order.
+   The chunk PRNGs are unused: every payload derives its randomness
+   from the request's own seed, exactly like the one-shot CLI. *)
+let flush_locked t =
   match Queue.drain t.queue with
-  | [] -> []
+  | [] -> ()
   | batch ->
       let arr = Array.of_list batch in
       let replies =
@@ -102,11 +134,14 @@ let flush_queue t =
           (fun () ->
             Mathx.Parallel.map_chunks ?domains:t.domains
               ~chunks:(Array.length arr)
-              (fun ~chunk ~rng:_ -> dispatch arr.(chunk))
+              (fun ~chunk ~rng:_ -> dispatch (fst arr.(chunk)))
               ~rng:(Mathx.Rng.create 0))
       in
-      List.iter (record t) replies;
-      replies
+      List.iteri
+        (fun i reply ->
+          record t reply;
+          deliver (snd arr.(i)) reply)
+        replies
 
 (* ------------------------------------------------------------- stats *)
 
@@ -118,9 +153,12 @@ let percentile sorted q =
       let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
       sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let stats_payload t =
-  let sorted = Array.of_list t.latencies_ms in
-  Array.sort compare sorted;
+let stats_window t = t.window
+let recorded_latencies t = min t.lat_count t.window
+
+let stats_locked t =
+  let sorted = Array.sub t.lat 0 (recorded_latencies t) in
+  Array.sort Float.compare sorted;
   Json.Obj
     [
       ("completed", Json.Int t.completed);
@@ -133,6 +171,8 @@ let stats_payload t =
       ("uptime_ms", Json.Float (ms_since t.started_ns));
     ]
 
+let stats_payload t = Mutex.protect t.lock (fun () -> stats_locked t)
+
 (* ---------------------------------------------------------- admission *)
 
 let control_reply (req : Protocol.request) payload t0 =
@@ -144,61 +184,91 @@ let control_reply (req : Protocol.request) payload t0 =
       wall_ms = ms_since t0;
     }
 
-let submit t (req : Protocol.request) : outcome =
+let submit_locked t ~(reply : sink) (req : Protocol.request) : bool =
   match req.Protocol.op with
   | Protocol.Run _ | Protocol.Sweep _ ->
-      if Queue.admit t.queue req then
-        if Queue.length t.queue >= t.batch then
-          { replies = flush_queue t; stop = false }
-        else { replies = []; stop = false }
+      if Queue.admit t.queue (req, reply) then begin
+        if Queue.length t.queue >= t.batch then flush_locked t;
+        false
+      end
       else begin
         t.rejected <- t.rejected + 1;
-        t.errors <- t.errors + 1;
-        {
-          replies =
-            [
-              Protocol.Error_reply
-                {
-                  id = Some req.Protocol.id;
-                  code = Protocol.Queue_full;
-                  message =
-                    Printf.sprintf
-                      "admission queue is full (capacity %d); retry after \
-                       draining replies"
-                      (Queue.capacity t.queue);
-                };
-            ];
-          stop = false;
-        }
+        deliver reply
+          (Protocol.Error_reply
+             {
+               id = Some req.Protocol.id;
+               code = Protocol.Queue_full;
+               message =
+                 Printf.sprintf
+                   "admission queue is full (capacity %d); retry after \
+                    draining replies"
+                   (Queue.capacity t.queue);
+             });
+        false
       end
   | Protocol.Ping ->
       (* Control requests are barriers: the pending batch flushes first,
          so a ping also bounds the staleness of queued work. *)
-      let flushed = flush_queue t in
+      flush_locked t;
       let t0 = Obs.Trace.now_ns () in
-      let reply = control_reply req (Json.Obj [ ("pong", Json.Bool true) ]) t0 in
-      { replies = flushed @ [ reply ]; stop = false }
+      deliver reply (control_reply req (Json.Obj [ ("pong", Json.Bool true) ]) t0);
+      false
   | Protocol.Stats ->
-      let flushed = flush_queue t in
+      flush_locked t;
       let t0 = Obs.Trace.now_ns () in
-      let reply = control_reply req (stats_payload t) t0 in
-      { replies = flushed @ [ reply ]; stop = false }
+      deliver reply (control_reply req (stats_locked t) t0);
+      false
   | Protocol.Shutdown ->
-      let flushed = flush_queue t in
+      flush_locked t;
       let t0 = Obs.Trace.now_ns () in
-      let reply =
-        control_reply req (Json.Obj [ ("stopping", Json.Bool true) ]) t0
-      in
-      { replies = flushed @ [ reply ]; stop = true }
+      deliver reply
+        (control_reply req (Json.Obj [ ("stopping", Json.Bool true) ]) t0);
+      true
+
+let submit_routed t ~reply req =
+  Mutex.protect t.lock (fun () -> submit_locked t ~reply req)
+
+let submit_line_routed t ~(reply : sink) line =
+  match Protocol.parse_line line with
+  | Ok req -> submit_routed t ~reply req
+  | Error { Protocol.id; code; message } ->
+      Mutex.protect t.lock (fun () ->
+          t.errors <- t.errors + 1;
+          deliver reply (Protocol.Error_reply { id; code; message }));
+      false
+
+let flush_routed t = Mutex.protect t.lock (fun () -> flush_locked t)
+
+let note_transport_error t =
+  Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+
+(* The sequential transports (stdin/stdout, in-process replay) want the
+   replies a submission forces out as a return value.  They run the
+   routed path with a sink that accumulates into [t.seq_out]: entries
+   queued by earlier submissions carry the same accumulator, so a later
+   barrier's outcome picks their replies up in admission order, exactly
+   the pre-concurrency behaviour. *)
+
+let seq_sink t reply = t.seq_out <- reply :: t.seq_out
+
+let submit t (req : Protocol.request) : outcome =
+  Mutex.protect t.lock (fun () ->
+      t.seq_out <- [];
+      let stop = submit_locked t ~reply:(seq_sink t) req in
+      { replies = List.rev t.seq_out; stop })
 
 let submit_line t line =
   match Protocol.parse_line line with
   | Ok req -> submit t req
   | Error { Protocol.id; code; message } ->
-      t.errors <- t.errors + 1;
+      Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1);
       { replies = [ Protocol.Error_reply { id; code; message } ]; stop = false }
 
-let finish t = flush_queue t
+let finish t =
+  Mutex.protect t.lock (fun () ->
+      t.seq_out <- [];
+      flush_locked t;
+      List.rev t.seq_out)
 
 (* -------------------------------------------------------- transports *)
 
@@ -221,54 +291,148 @@ let serve_channels t ic oc =
   in
   loop ()
 
-let serve_socket t path =
+(* Socket transport: one thread per accepted connection, all feeding
+   the shared engine.  Reply frames for a connection are written under
+   that connection's write lock, because a flush on any thread may
+   deliver to any connection. *)
+
+let default_max_clients = 16
+
+type conn_state = {
+  reg : Mutex.t;  (* guards everything below *)
+  wake : Condition.t;  (* slot freed, or shutdown began *)
+  mutable stopping : bool;
+  mutable conn_fds : Unix.file_descr list;  (* live connections *)
+  mutable conn_threads : Thread.t list;
+  mutable live : int;
+}
+
+let serve_socket ?(max_clients = default_max_clients) t path =
+  if max_clients < 1 then
+    invalid_arg "Serve.Server.serve_socket: max_clients < 1";
   (match Unix.lstat path with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
   | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec listener;
+  let st =
+    {
+      reg = Mutex.create ();
+      wake = Condition.create ();
+      stopping = false;
+      conn_fds = [];
+      conn_threads = [];
+      live = 0;
+    }
+  in
+  (* A shutdown request stops the accept loop and drains the other live
+     connections: shutting down their read side lands each connection
+     loop on its normal end-of-input path (flush, close), so every
+     client observes the end of service as EOF after its own replies. *)
+  let begin_shutdown () =
+    Mutex.protect st.reg (fun () ->
+        if not st.stopping then begin
+          st.stopping <- true;
+          List.iter
+            (fun fd ->
+              try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+              with Unix.Unix_error _ -> ())
+            st.conn_fds;
+          Condition.broadcast st.wake
+        end)
+  in
+  let deregister fd =
+    Mutex.protect st.reg (fun () ->
+        st.conn_fds <- List.filter (fun fd' -> fd' != fd) st.conn_fds;
+        st.live <- st.live - 1;
+        Condition.broadcast st.wake)
+  in
+  let serve_connection fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let wlock = Mutex.create () in
+    let alive = ref true in
+    let sink reply =
+      Mutex.protect wlock (fun () ->
+          if !alive then
+            try
+              Protocol.write_frame oc
+                (Protocol.to_line (Protocol.reply_to_json reply))
+            with Sys_error _ -> alive := false)
+    in
+    let rec loop () =
+      match Protocol.read_frame ic with
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          (* A hard I/O error mid-read is a disconnect, not a server
+             fault: drain like EOF. *)
+          flush_routed t
+      | Ok None ->
+          (* Client went away (or shutdown drained us) at a frame
+             boundary: flush so queued work is not silently abandoned.
+             Replies for other connections route to their owners; our
+             own have no reader and are dropped by the dead sink. *)
+          flush_routed t
+      | Error msg ->
+          note_transport_error t;
+          sink
+            (Protocol.Error_reply
+               { id = None; code = Protocol.Frame_error; message = msg });
+          flush_routed t
+      | Ok (Some body) ->
+          if submit_line_routed t ~reply:sink body then begin_shutdown ()
+          else loop ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect wlock (fun () -> alive := false);
+        (try close_out oc with Sys_error _ -> ());
+        deregister fd)
+      loop
+  in
+  (* Block until a client slot is free; [false] once shutdown began. *)
+  let slot_free () =
+    Mutex.protect st.reg (fun () ->
+        while st.live >= max_clients && not st.stopping do
+          Condition.wait st.wake st.reg
+        done;
+        not st.stopping)
+  in
+  let rec accept_loop () =
+    if slot_free () then begin
+      (* Poll the listener so a shutdown raised on another thread is
+         noticed within the timeout even with no connection pending. *)
+      (match Unix.select [ listener ] [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listener with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* A stray signal must not kill the server: retry. *)
+              ()
+          | fd, _ ->
+              Unix.set_close_on_exec fd;
+              Mutex.protect st.reg (fun () ->
+                  if st.stopping then (
+                    try Unix.close fd with Unix.Unix_error _ -> ())
+                  else begin
+                    st.conn_fds <- fd :: st.conn_fds;
+                    st.live <- st.live + 1;
+                    st.conn_threads <-
+                      Thread.create serve_connection fd :: st.conn_threads
+                  end)));
+      accept_loop ()
+    end
+  in
   let cleanup () =
     (try Unix.close listener with Unix.Unix_error _ -> ());
     try Unix.unlink path with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally:cleanup (fun () ->
       Unix.bind listener (Unix.ADDR_UNIX path);
-      Unix.listen listener 8;
-      let serve_connection fd =
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        let write_reply reply =
-          Protocol.write_frame oc (Protocol.to_line (Protocol.reply_to_json reply))
-        in
-        let rec loop () =
-          match Protocol.read_frame ic with
-          | Ok None ->
-              (* Client went away at a frame boundary: flush so queued
-                 work is not silently abandoned, then take the next
-                 connection.  The replies have no reader; drop them. *)
-              ignore (finish t);
-              false
-          | Error msg ->
-              t.errors <- t.errors + 1;
-              (try
-                 write_reply
-                   (Protocol.Error_reply
-                      { id = None; code = Protocol.Frame_error; message = msg })
-               with Sys_error _ -> ());
-              ignore (finish t);
-              false
-          | Ok (Some body) ->
-              let { replies; stop } = submit_line t body in
-              List.iter write_reply replies;
-              if stop then true else loop ()
-        in
-        Fun.protect
-          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-          loop
-      in
-      let rec accept_loop () =
-        let fd, _ = Unix.accept listener in
-        let stop = serve_connection fd in
-        if not stop then accept_loop ()
-      in
-      accept_loop ())
+      Unix.listen listener 64;
+      accept_loop ();
+      (* Drain: every live connection loop ends (its read side was shut
+         down by [begin_shutdown]) before the socket file disappears. *)
+      let threads = Mutex.protect st.reg (fun () -> st.conn_threads) in
+      List.iter Thread.join threads)

@@ -2,25 +2,31 @@
 
     One {!t} owns a bounded admission queue ({!Queue}), latency
     accounting, and the dispatch path onto the experiment registry.
-    The engine itself is transport-free — {!submit} takes a decoded
-    request and returns the replies it forces out — and the two wire
+    The engine itself is transport-free and thread-safe: a single
+    mutex guards the queue, the counters, and the latency ring, and
+    every admitted request carries the {e reply sink} of whoever
+    submitted it, so a flush forced by one connection routes each
+    reply back to the connection that owns it.  The two wire
     transports ({!serve_channels} for newline-delimited JSON on
     stdin/stdout, {!serve_socket} for length-prefixed frames on a
-    Unix-domain socket) are thin loops over it, as are the in-process
-    replay of [bench-serve] and the test suite.
+    Unix-domain socket with one thread per client) are thin loops over
+    it, as are the in-process replay of [bench-serve] and the test
+    suite.
 
     {2 Batching semantics (normative: docs/PROTOCOL.md)}
 
     [run] and [sweep] requests are {e admitted}, not answered: they
     enter the queue and their replies appear at the next {e flush},
     which happens when the queue reaches the batch size, when a control
-    request ([ping]/[stats]/[shutdown] — barriers) arrives, or at end
-    of input.  A flush executes the whole batch across domains via
-    [Mathx.Parallel.map_chunks] — one request per chunk, exactly the
-    one-shot CLI's scheduling — and emits the replies in admission
-    order.  Admission to a full queue is answered immediately with a
-    [queue_full] error reply: backpressure is explicit and never blocks
-    the connection.
+    request ([ping]/[stats]/[shutdown] — barriers) arrives on {e any}
+    connection, or at end of input.  A flush executes the whole batch
+    across domains via [Mathx.Parallel.map_chunks] — one request per
+    chunk, exactly the one-shot CLI's scheduling — and emits the
+    replies in admission order, each to its own connection.  Flushes
+    are serialized by the engine lock, so replies on one connection
+    are totally ordered even under concurrent clients.  Admission to a
+    full queue is answered immediately with a [queue_full] error
+    reply: backpressure is explicit and never blocks the connection.
 
     {2 Determinism}
 
@@ -28,13 +34,15 @@
     function of (exp, quick, seed) — byte-identical to
     [run-all --only exp] output; a [sweep] payload likewise matches
     [space-audit --shard].  Batching, queue capacity, domain counts,
-    and request interleaving affect only latency envelopes ([wall_ms]),
-    never a payload byte.  The compiled-circuit cache ([Vm.Cache]) is
-    process-wide, so a resident server keeps it warm across requests.
+    client counts, and request interleaving affect only latency
+    envelopes ([wall_ms]), never a payload byte.  The compiled-circuit
+    cache ([Vm.Cache]) is process-wide, so a resident server keeps it
+    warm across requests.
 
     Per-request [Obs.Trace] spans ([serve.request], with the request id
     and op as arguments) feed the latency accounting that [stats]
-    replies serve as p50/p99. *)
+    replies serve as p50/p99 over a bounded window of the most recent
+    {!stats_window} completed requests. *)
 
 type t
 
@@ -44,16 +52,34 @@ val default_capacity : int
 val default_batch : int
 (** Flush threshold when [create] is not told otherwise: 8. *)
 
-val create : ?capacity:int -> ?batch:int -> ?domains:int -> unit -> t
+val default_stats_window : int
+(** Latency-ring size when [create] is not told otherwise: 1024.  The
+    ring bounds the engine's per-request memory: a server that has
+    completed millions of requests still holds exactly this many
+    latencies. *)
+
+val default_max_clients : int
+(** Concurrent-connection cap when {!serve_socket} is not told
+    otherwise: 16. *)
+
+val create :
+  ?capacity:int ->
+  ?batch:int ->
+  ?stats_window:int ->
+  ?domains:int ->
+  unit ->
+  t
 (** A fresh engine.  [capacity] bounds the admission queue ([>= 1]);
     [batch] ([>= 1]) is the queue length that triggers a flush;
+    [stats_window] ([>= 1]) bounds the latency ring behind p50/p99;
     [domains] caps the parallel runner (default:
     [Mathx.Parallel.recommended_domains]).  A [batch] larger than
     [capacity] disables threshold flushes — control barriers and end
     of input become the only flush points, which is the configuration
     under which [queue_full] backpressure is observable (and how the
     test suite exercises it).
-    @raise Invalid_argument if [capacity < 1] or [batch < 1]. *)
+    @raise Invalid_argument if [capacity < 1], [batch < 1], or
+    [stats_window < 1]. *)
 
 type outcome = {
   replies : Protocol.reply list;
@@ -64,8 +90,38 @@ type outcome = {
   stop : bool;  (** [true] exactly once: after a [shutdown] reply. *)
 }
 
+(** {2 Routed interface (concurrent transports)}
+
+    Each submission names the reply sink of its connection; replies
+    appear on whichever sink owns the request that produced them, under
+    the engine lock, so per-connection reply order is exactly admission
+    order.  A sink that raises is treated as a dead connection: its
+    reply is dropped and the rest of the flush proceeds. *)
+
+val submit_routed : t -> reply:(Protocol.reply -> unit) -> Protocol.request -> bool
+(** Feed one decoded request through admission/batching/dispatch,
+    routing every forced-out reply to its owner.  Returns [true]
+    exactly when the request was a [shutdown] (after its reply was
+    delivered). *)
+
+val submit_line_routed : t -> reply:(Protocol.reply -> unit) -> string -> bool
+(** {!submit_routed} over [Protocol.parse_line]; a rejected line draws
+    the matching error reply on [reply] and never stops the server. *)
+
+val flush_routed : t -> unit
+(** End of one connection's input: flush whatever is queued, routing
+    each reply to the connection that owns it (a dead connection's own
+    replies are dropped by its sink). *)
+
+val note_transport_error : t -> unit
+(** Count one transport-level error reply (socket framing violation)
+    in the [errors] stat. *)
+
+(** {2 Sequential interface (stdin/stdout, in-process replay)} *)
+
 val submit : t -> Protocol.request -> outcome
-(** Feed one decoded request through admission/batching/dispatch. *)
+(** Feed one decoded request through admission/batching/dispatch and
+    collect every forced-out reply as the outcome. *)
 
 val submit_line : t -> string -> outcome
 (** {!submit} over [Protocol.parse_line]; a rejected line yields the
@@ -75,11 +131,24 @@ val finish : t -> Protocol.reply list
 (** End of input: flush whatever is still queued and return those
     replies, in admission order. *)
 
+(** {2 Stats} *)
+
 val stats_payload : t -> Experiments.Json.t
 (** The [stats] reply payload, documented key by key in
     docs/PROTOCOL.md: completed/errors/rejected counts, p50/p99
-    latency over completed [run]/[sweep] requests, queue capacity and
-    high-water mark, uptime. *)
+    latency over the stats window, queue capacity and high-water mark,
+    uptime. *)
+
+val stats_window : t -> int
+(** The engine's latency-ring size. *)
+
+val recorded_latencies : t -> int
+(** How many latencies the ring currently holds:
+    [min completed (stats_window t)].  Regression hook for the bounded-
+    memory contract — this value never exceeds {!stats_window}
+    however many requests the server has completed. *)
+
+(** {2 Transports} *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** The NDJSON transport: read one request per line, write one reply
@@ -87,13 +156,23 @@ val serve_channels : t -> in_channel -> out_channel -> unit
     Blank lines are ignored.  Returns after a [shutdown] reply or at
     EOF (which flushes the queue first). *)
 
-val serve_socket : t -> string -> unit
+val serve_socket : ?max_clients:int -> t -> string -> unit
 (** The Unix-domain transport: bind [path] (unlinking a stale socket
-    file first), accept one connection at a time, and exchange
-    length-prefixed frames (4-byte big-endian length + body; see
-    {!Protocol.read_frame}).  Each frame body is one request envelope;
-    each reply is one frame.  A client disconnect flushes the queue
-    (replies are dropped with the connection) and the server accepts
-    the next client; a [shutdown] request stops the server and removes
-    the socket file.  An oversized declared frame length draws a
-    [frame_error] reply after which the connection is closed. *)
+    file first) and serve up to [max_clients] concurrent connections
+    (default {!default_max_clients}), one thread per client, all
+    feeding the shared engine; when every slot is taken, further
+    connections wait in the listen backlog until a slot frees.  Each
+    frame body (4-byte big-endian length + body; see
+    {!Protocol.read_frame}) is one request envelope; each reply is one
+    frame, written to the connection that owns the request.  Accepted
+    descriptors are close-on-exec and the accept loop retries on
+    [EINTR], so a stray signal never kills the server.
+
+    A client disconnect flushes the queue (that client's own replies
+    are dropped; other clients' replies are delivered normally) and
+    frees its slot.  A [shutdown] request answers the requesting
+    client, stops the accept loop, drains every live connection (each
+    observes EOF after its remaining replies), and removes the socket
+    file.  An oversized declared frame length draws a [frame_error]
+    reply after which the connection is closed.
+    @raise Invalid_argument if [max_clients < 1]. *)

@@ -9,15 +9,15 @@
 # With no argument every stage runs in order — the full local gate.
 # Naming a stage runs just that section (what the GitHub Actions matrix
 # fans out across jobs): build, docs, tests, smoke, trace, compiled,
-# shard, serve, audit, bench, baseline.
+# shard, serve, serve-soak, audit, bench, baseline.
 set -eu
 
 stage="${1:-all}"
 case "$stage" in
-  all|build|docs|tests|smoke|trace|compiled|shard|serve|audit|bench|baseline) ;;
+  all|build|docs|tests|smoke|trace|compiled|shard|serve|serve-soak|audit|bench|baseline) ;;
   *)
     echo "unknown stage '$stage'" >&2
-    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|serve|audit|bench|baseline]" >&2
+    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|serve|serve-soak|audit|bench|baseline]" >&2
     exit 2
     ;;
 esac
@@ -237,6 +237,48 @@ if want serve; then
     '{"v":1,"id":"z","op":"shutdown"}' \
     | dune exec bin/oqsc_cli.exe -- serve --queue 1 --batch 4 > "$tmp/bp_replies"
   grep -q '"code":"queue_full"' "$tmp/bp_replies"
+fi
+
+if want serve-soak; then
+  echo "== serve sustained-load soak =="
+  # Concurrent-serving gate (docs/PROTOCOL.md § Concurrency): a
+  # background server under 4 concurrent bench-serve connections must
+  # complete the committed mix with strict reply decoding and
+  # per-connection ordering, produce byte-identical payloads, and keep
+  # the server-side p99 within a (deliberately loose) factor of the
+  # committed baseline — machine variance is fine, a complexity
+  # regression in the serving path is not.
+  mix=examples/serve_mix.ndjson
+  dune build bin/oqsc_cli.exe
+  _build/default/bin/oqsc_cli.exe serve --socket "$tmp/soak.sock" --max-clients 8 &
+  soak_pid=$!
+  for _ in $(seq 50); do [ -S "$tmp/soak.sock" ] && break; sleep 0.1; done
+  [ -S "$tmp/soak.sock" ]
+  dune exec bin/oqsc_cli.exe -- bench-serve "$mix" --socket "$tmp/soak.sock" \
+    --clients 4 --repeat 50 --payload-dir "$tmp/soak_payloads" \
+    --json "$tmp/soak.json" --shutdown
+  wait "$soak_pid"
+  [ ! -e "$tmp/soak.sock" ]
+
+  # Payload bytes out of a loaded concurrent server = one-shot CLI bytes.
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e2 \
+    --json "$tmp/soak_b.json"
+  cmp "$tmp/soak_payloads/b.json" "$tmp/soak_b.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e2 --seed 7 \
+    --json "$tmp/soak_f.json"
+  cmp "$tmp/soak_payloads/f.json" "$tmp/soak_f.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet --shard 0/5 \
+    --json "$tmp/soak_e.json"
+  cmp "$tmp/soak_payloads/e.json" "$tmp/soak_e.json"
+
+  # Server-side p99 gate against the committed dated baseline.
+  # Re-record with scripts/ci.sh serve-soak's bench-serve line and
+  # commit a new dated file after intentional serving-path changes.
+  p99() { awk -F: '/"p99_ms"/ { gsub(/[ ",]/, "", $2); print $2; exit }' "$1"; }
+  fresh="$(p99 "$tmp/soak.json")"
+  base="$(p99 BENCH_SERVE_2026-08-08.json)"
+  echo "soak p99_ms: fresh=$fresh baseline=$base (gate: fresh <= 25x baseline)"
+  awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(f + 0 <= 25 * b) }'
 fi
 
 if want audit; then

@@ -444,6 +444,366 @@ let test_bench_rejects_reserved_ids () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bench.* ids are reserved"
 
+(* ----------------------------------------------- stats regressions *)
+
+let stats_field t key =
+  match Server.stats_payload t with
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> Alcotest.fail "stats payload must be an object"
+
+let test_percentile_degenerate () =
+  (* Regression for the polymorphic-compare sort: percentiles over the
+     empty and single-element latency sets must be exact, not whatever
+     Stdlib.compare makes of a float array. *)
+  let t = Server.create () in
+  check "empty p50 = 0" true (stats_field t "p50_ms" = Some (Json.Float 0.0));
+  check "empty p99 = 0" true (stats_field t "p99_ms" = Some (Json.Float 0.0));
+  ignore (submit_line t (run_line "one" "e2"));
+  ignore (submit_line t {|{"v":1,"id":"p","op":"ping"}|});
+  check_int "one latency recorded" 1 (Server.recorded_latencies t);
+  let f key =
+    match stats_field t key with Some (Json.Float v) -> v | _ -> Float.nan
+  in
+  let p50 = f "p50_ms" and p99 = f "p99_ms" in
+  check "single-element p50 = p99" true (Float.equal p50 p99);
+  check "single-element percentile is the sample" true
+    (Float.is_finite p50 && p50 >= 0.0)
+
+let test_stats_window_bounded () =
+  (* Drive the engine 10x past its latency window: the ring must stay
+     at exactly [stats_window] entries while [completed] keeps
+     counting.  This is the bounded-memory contract behind long-lived
+     servers. *)
+  let t = Server.create ~capacity:64 ~batch:4 ~stats_window:4 ~domains:2 () in
+  check_int "window as configured" 4 (Server.stats_window t);
+  for i = 1 to 40 do
+    ignore (submit_line t (run_line (Printf.sprintf "m%d" i) "e2"))
+  done;
+  ignore (submit_line t {|{"v":1,"id":"p","op":"ping"}|});
+  check_int "ring never grows past the window" 4 (Server.recorded_latencies t);
+  check "completed counts all 40" true
+    (stats_field t "completed" = Some (Json.Int 40));
+  (match Server.create ~stats_window:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stats_window 0 should raise")
+
+let test_rejected_errors_disjoint () =
+  (* queue_full is backpressure, not an error: it must bump [rejected]
+     only, while [errors] counts only non-backpressure error replies. *)
+  let t = Server.create ~capacity:1 ~batch:4 () in
+  ignore (submit_line t (run_line "r1" "e2"));
+  ignore (submit_line t (run_line "r2" "e2"));
+  ignore (submit_line t "{nope");
+  ignore (submit_line t {|{"v":1,"id":"p","op":"ping"}|});
+  check "rejected counts only backpressure" true
+    (stats_field t "rejected" = Some (Json.Int 1));
+  check "errors counts only the parse failure" true
+    (stats_field t "errors" = Some (Json.Int 1))
+
+(* ------------------------------------------------- routed interface *)
+
+let test_routed_reply_ownership () =
+  (* Two virtual connections share one engine; a barrier on B flushes
+     A's queued run, and the run reply must land on A's sink. *)
+  let t = Server.create ~capacity:8 ~batch:8 ~domains:2 () in
+  let a = ref [] and b = ref [] in
+  let sink cell reply = cell := reply :: !cell in
+  check "run admitted silently" false
+    (Server.submit_line_routed t ~reply:(sink a) (run_line "a1" "e2"));
+  check "barrier does not stop" false
+    (Server.submit_line_routed t ~reply:(sink b) {|{"v":1,"id":"b1","op":"ping"}|});
+  Alcotest.(check (list string))
+    "A got exactly its own run reply" [ "a1" ]
+    (List.rev_map reply_id !a);
+  Alcotest.(check (list string))
+    "B got exactly its own barrier reply" [ "b1" ]
+    (List.rev_map reply_id !b);
+  check "shutdown stops" true
+    (Server.submit_line_routed t ~reply:(sink b) {|{"v":1,"id":"z","op":"shutdown"}|})
+
+let test_routed_dead_sink_dropped () =
+  (* A sink that raises is a dead connection: its replies are dropped
+     and the flush still delivers everyone else's. *)
+  let t = Server.create ~capacity:8 ~batch:8 ~domains:2 () in
+  let live = ref [] in
+  ignore (Server.submit_line_routed t ~reply:(fun _ -> failwith "gone") (run_line "d1" "e2"));
+  ignore (Server.submit_line_routed t ~reply:(fun r -> live := r :: !live) (run_line "l1" "e13"));
+  Server.flush_routed t;
+  Alcotest.(check (list string))
+    "live sink still served" [ "l1" ]
+    (List.rev_map reply_id !live);
+  check "both runs completed" true (stats_field t "completed" = Some (Json.Int 2))
+
+let cheap_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun seed -> Protocol.Run { exp = "e2"; quick = true; seed }) (int_bound 4));
+        (2, map (fun seed -> Protocol.Run { exp = "e13"; quick = true; seed }) (int_bound 2));
+        (1, return (Protocol.Sweep { index = 0; count = 5; quick = true; seed = 2006 }));
+      ])
+
+let interleaving_gen =
+  QCheck.Gen.(list_size (int_range 1 6) (pair (int_bound 2) cheap_op_gen))
+
+let prop_interleaving_multiset =
+  (* Any interleaving of admitted requests across connections yields
+     the same multiset of (id, payload bytes) as a sequential replay,
+     and each connection's sink receives exactly its own ids. *)
+  QCheck.Test.make ~count:12
+    ~name:"routed interleavings: sequential payload multiset, own-sink routing"
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat "; "
+           (List.map
+              (fun (c, op) ->
+                Printf.sprintf "c%d:%s" c
+                  (match op with
+                  | Protocol.Run { exp; seed; _ } -> Printf.sprintf "run %s/%d" exp seed
+                  | Protocol.Sweep { index; count; _ } ->
+                      Printf.sprintf "sweep %d/%d" index count
+                  | _ -> "ctl"))
+              ops))
+       interleaving_gen)
+    (fun ops ->
+      let reqs =
+        List.mapi
+          (fun i (client, op) -> (client, { Protocol.id = Printf.sprintf "q%d" i; op }))
+          ops
+      in
+      let seq_engine = Server.create ~capacity:16 ~batch:3 ~domains:2 () in
+      (* bind before appending: [@] evaluates right-to-left, which would
+         run [finish] before the submissions *)
+      let flushed =
+        List.concat_map (fun (_, req) -> (Server.submit seq_engine req).Server.replies) reqs
+      in
+      let seq_replies = flushed @ Server.finish seq_engine in
+      let routed = Server.create ~capacity:16 ~batch:3 ~domains:2 () in
+      let sinks = Array.make 3 [] in
+      List.iter
+        (fun (client, req) ->
+          ignore
+            (Server.submit_routed routed
+               ~reply:(fun r -> sinks.(client) <- r :: sinks.(client))
+               req))
+        reqs;
+      Server.flush_routed routed;
+      let key = function
+        | Protocol.Ok_reply { id; payload; _ } -> id ^ "|" ^ Json.to_string payload
+        | Protocol.Error_reply { id; code; _ } ->
+            Option.value ~default:"<null>" id ^ "|err:" ^ Protocol.code_to_string code
+      in
+      let multiset rs = List.sort compare (List.map key rs) in
+      let routed_replies = Array.to_list sinks |> List.concat_map List.rev in
+      let ids_of client =
+        List.filter_map
+          (fun (c, (req : Protocol.request)) ->
+            if c = client then Some req.Protocol.id else None)
+          reqs
+        |> List.sort compare
+      in
+      let routing_ok =
+        List.for_all
+          (fun client ->
+            List.sort compare (List.map reply_id sinks.(client)) = ids_of client)
+          [ 0; 1; 2 ]
+      in
+      multiset seq_replies = multiset routed_replies && routing_ok)
+
+(* ------------------------------------------- concurrent socket serving *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+let send c line = Protocol.write_frame c.oc line
+
+let recv c =
+  match Protocol.read_frame c.ic with
+  | Ok (Some body) -> decode_reply body
+  | Ok None -> Alcotest.fail "unexpected EOF from server"
+  | Error msg -> Alcotest.failf "framing violation: %s" msg
+
+let expect_eof c =
+  match Protocol.read_frame c.ic with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "wanted EOF, got a frame"
+  | Error msg -> Alcotest.failf "wanted EOF, got framing error: %s" msg
+
+let drain_to_eof c =
+  let rec go () =
+    match Protocol.read_frame c.ic with
+    | Ok (Some _) -> go ()
+    | Ok None | Error _ -> ()
+    | exception _ -> ()
+  in
+  go ()
+
+(* Run [f] against a live socket server on a fresh path.  [f] receives
+   a client factory; every client it makes is closed on the way out,
+   and a server the test failed to stop is shut down here, so a failing
+   assertion cannot hang the suite on [Thread.join]. *)
+let with_server ?(capacity = 32) ?(batch = 64) ?max_clients f =
+  let t = Server.create ~capacity ~batch ~domains:2 () in
+  let path = Filename.temp_file "oqsc_serve_test" ".sock" in
+  Sys.remove path;
+  let th = Thread.create (fun () -> Server.serve_socket ?max_clients t path) () in
+  let rec wait n =
+    if n <= 0 then Alcotest.fail "server socket never appeared"
+    else if Sys.file_exists path then ()
+    else (
+      Thread.delay 0.02;
+      wait (n - 1))
+  in
+  wait 250;
+  let clients = ref [] in
+  let mk_client () =
+    let c = connect path in
+    clients := c :: !clients;
+    c
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_client !clients;
+      (if Sys.file_exists path then
+         try
+           let c = connect path in
+           send c {|{"v":1,"id":"bench.cleanup","op":"shutdown"}|};
+           drain_to_eof c;
+           close_client c
+         with Unix.Unix_error _ | Sys_error _ -> ());
+      Thread.join th)
+    (fun () -> f t mk_client path)
+
+let test_socket_concurrent_ordering () =
+  (* Three clients interleave runs and barriers on one engine; each
+     connection's replies must arrive in exactly its own send order,
+     and a shutdown from one client ends service for all of them. *)
+  let path =
+    with_server (fun _t mk_client path ->
+        let clients = Array.init 3 (fun _ -> mk_client ()) in
+        Array.iteri
+          (fun i c ->
+            send c (run_line (Printf.sprintf "c%d.r1" i) "e2");
+            send c (run_line (Printf.sprintf "c%d.r2" i) "e13");
+            send c (Printf.sprintf {|{"v":1,"id":"c%d.p","op":"ping"}|} i))
+          clients;
+        Array.iteri
+          (fun i c ->
+            let got = List.init 3 (fun _ -> reply_id (recv c)) in
+            Alcotest.(check (list string))
+              (Printf.sprintf "client %d 's replies in its send order" i)
+              [
+                Printf.sprintf "c%d.r1" i;
+                Printf.sprintf "c%d.r2" i;
+                Printf.sprintf "c%d.p" i;
+              ]
+              got)
+          clients;
+        send clients.(0) {|{"v":1,"id":"z","op":"shutdown"}|};
+        check_str "shutdown answered" "z" (reply_id (recv clients.(0)));
+        Array.iter expect_eof clients;
+        Array.iter close_client clients;
+        path)
+  in
+  check "socket file removed after shutdown" false (Sys.file_exists path)
+
+let test_socket_overload_queue_full () =
+  (* capacity 1, batch > capacity: only barriers drain the queue, so
+     two clients racing three runs each must see explicit queue_full
+     backpressure — and the stats must file it under [rejected], never
+     [errors]. *)
+  with_server ~capacity:1 ~batch:99 (fun _t mk_client _path ->
+      let clients = Array.init 2 (fun _ -> mk_client ()) in
+      Array.iteri
+        (fun i c ->
+          for j = 1 to 3 do
+            send c (run_line (Printf.sprintf "c%d.r%d" i j) "e2")
+          done;
+          send c (Printf.sprintf {|{"v":1,"id":"c%d.p","op":"ping"}|} i))
+        clients;
+      let ok = ref 0 and rejected = ref 0 in
+      Array.iter
+        (fun c ->
+          for _ = 1 to 4 do
+            match recv c with
+            | Protocol.Ok_reply { op = "ping"; _ } -> ()
+            | Protocol.Ok_reply { op = "run"; _ } -> incr ok
+            | Protocol.Ok_reply { op; _ } -> Alcotest.failf "unexpected ok op %s" op
+            | Protocol.Error_reply { code = Protocol.Queue_full; _ } -> incr rejected
+            | Protocol.Error_reply { message; _ } ->
+                Alcotest.failf "unexpected error reply: %s" message
+          done)
+        clients;
+      check_int "every run answered exactly once" 6 (!ok + !rejected);
+      check "overload rejected most runs" true (!rejected >= 3);
+      check "at least one run admitted" true (!ok >= 1);
+      let c = clients.(0) in
+      send c {|{"v":1,"id":"s","op":"stats"}|};
+      (match recv c with
+      | Protocol.Ok_reply { op = "stats"; payload = Json.Obj fields; _ } ->
+          check "wire stats: rejected = observed backpressure" true
+            (List.assoc_opt "rejected" fields = Some (Json.Int !rejected));
+          check "wire stats: queue_full never counts as an error" true
+            (List.assoc_opt "errors" fields = Some (Json.Int 0))
+      | _ -> Alcotest.fail "wanted a stats reply");
+      send c {|{"v":1,"id":"z","op":"shutdown"}|};
+      check_str "shutdown answered" "z" (reply_id (recv c));
+      Array.iter expect_eof clients;
+      Array.iter close_client clients)
+
+let test_socket_max_clients_slot_wait () =
+  (* With one slot, a second connection sits in the listen backlog:
+     its frames draw no reply until the first client disconnects. *)
+  with_server ~max_clients:1 (fun _t mk_client _path ->
+      let c1 = mk_client () in
+      send c1 {|{"v":1,"id":"p1","op":"ping"}|};
+      check_str "slot holder served" "p1" (reply_id (recv c1));
+      let c2 = mk_client () in
+      send c2 {|{"v":1,"id":"p2","op":"ping"}|};
+      let readable, _, _ = Unix.select [ c2.fd ] [] [] 0.3 in
+      check "no reply while the slot is taken" true (readable = []);
+      close_client c1;
+      check_str "served once the slot frees" "p2" (reply_id (recv c2));
+      send c2 {|{"v":1,"id":"z","op":"shutdown"}|};
+      check_str "shutdown answered" "z" (reply_id (recv c2));
+      expect_eof c2;
+      close_client c2)
+
+let test_bench_socket_concurrent_clients () =
+  (* End-to-end: a live socket server under the bench replayer's
+     concurrent mode, strict decoding and per-connection ordering
+     included. *)
+  with_server ~capacity:64 ~batch:8 (fun _t _mk_client path ->
+      let mix =
+        [
+          run_line "x1" "e2";
+          run_line "x2" "e13";
+          {|{"v":1,"id":"x3","op":"ping"}|};
+          run_line "x4" "e2" ~seed:7;
+          {|{"v":1,"id":"x5","op":"sweep","index":0,"of":5,"quick":true,"seed":2006}|};
+          run_line "x6" "e13" ~seed:1;
+        ]
+      in
+      match
+        Serve.Bench_serve.replay_socket ~clients:3 ~repeat:2 ~shutdown:true
+          ~socket:path mix
+      with
+      | Error msg -> Alcotest.failf "concurrent replay failed: %s" msg
+      | Ok r ->
+          check_int "requests" 12 r.Serve.Bench_serve.requests;
+          check_int "replies" 12 r.Serve.Bench_serve.replies;
+          check_int "all ok" 12 r.Serve.Bench_serve.ok;
+          check_int "no errors" 0 r.Serve.Bench_serve.errors;
+          check "server-side stats captured" true
+            (match r.Serve.Bench_serve.stats with
+            | Json.Obj fields -> List.mem_assoc "p99_ms" fields
+            | _ -> false))
+
 let suite =
   [
     ("malformed line -> parse_error, id null", `Quick, test_rejects_malformed);
@@ -468,7 +828,16 @@ let suite =
     ("bench replay: counts and stats capture", `Quick, test_bench_replay_counts);
     ("bench replay rejects shutdown in a mix", `Quick, test_bench_rejects_shutdown_in_mix);
     ("bench replay rejects reserved bench.* ids", `Quick, test_bench_rejects_reserved_ids);
+    ("percentiles over empty / single latency sets", `Quick, test_percentile_degenerate);
+    ("latency ring bounded at stats_window under 10x load", `Quick, test_stats_window_bounded);
+    ("rejected and errors stats are disjoint", `Quick, test_rejected_errors_disjoint);
+    ("routed replies land on the owning sink", `Quick, test_routed_reply_ownership);
+    ("a dead sink drops its replies, others delivered", `Quick, test_routed_dead_sink_dropped);
+    ("socket: per-connection ordering, shared shutdown", `Quick, test_socket_concurrent_ordering);
+    ("socket: overload draws queue_full, counted as rejected", `Quick, test_socket_overload_queue_full);
+    ("socket: max-clients gates the accept loop", `Quick, test_socket_max_clients_slot_wait);
+    ("bench-serve --clients 3 against a live socket", `Quick, test_bench_socket_concurrent_clients);
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)
-      [ prop_request_roundtrip; prop_reply_roundtrip ]
+      [ prop_request_roundtrip; prop_reply_roundtrip; prop_interleaving_multiset ]
