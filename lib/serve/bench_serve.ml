@@ -238,6 +238,11 @@ let shutdown_line =
        { Protocol.id = shutdown_id; op = Protocol.Shutdown })
 
 let connect socket =
+  (* A server that dies mid-replay turns our next write into EPIPE;
+     keep that a Sys_error on the sender thread (reported as a replay
+     failure) rather than a fatal SIGPIPE killing the CLI. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket) with
   | exception Unix.Unix_error (e, _, _) ->

@@ -291,12 +291,28 @@ let serve_channels t ic oc =
   in
   loop ()
 
-(* Socket transport: one thread per accepted connection, all feeding
-   the shared engine.  Reply frames for a connection are written under
-   that connection's write lock, because a flush on any thread may
-   deliver to any connection. *)
+(* Socket transport: one reader thread per accepted connection plus a
+   per-connection writer thread, all feeding the shared engine.  A
+   flush on any thread may deliver to any connection, and delivery
+   happens under the engine lock — so a connection's sink must never
+   perform socket I/O.  It only enqueues the encoded frame into that
+   connection's bounded outbox (constant-time, non-blocking); the
+   writer thread drains the outbox and writes outside every lock.  A
+   client that stops reading lets its outbox overflow, which marks the
+   connection dead: its remaining replies are dropped and the socket
+   is shut down.  One slow or vanished client therefore never stalls
+   the engine, another connection, or shutdown. *)
 
 let default_max_clients = 16
+
+(* Undelivered replies a connection may hold before it is declared
+   dead.  Normative: docs/PROTOCOL.md § Concurrency, slow readers. *)
+let outbox_capacity = 256
+
+(* Upper bound on one blocked write to a peer that accepts no bytes
+   (SO_SNDTIMEO), so a dead client cannot pin its writer thread — and
+   with it the shutdown drain — forever. *)
+let send_timeout_s = 10.0
 
 type conn_state = {
   reg : Mutex.t;  (* guards everything below *)
@@ -310,6 +326,14 @@ type conn_state = {
 let serve_socket ?(max_clients = default_max_clients) t path =
   if max_clients < 1 then
     invalid_arg "Serve.Server.serve_socket: max_clients < 1";
+  (* A peer that disconnects with replies in flight turns the writer's
+     next write into EPIPE.  Under the default disposition that is a
+     fatal SIGPIPE killing the whole process — every connection, not
+     just the broken one — before any exception handler runs.  Ignore
+     it so broken pipes surface as Sys_error on the writing thread,
+     where they are handled as a dead connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   (match Unix.lstat path with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
   | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" path)
@@ -349,18 +373,59 @@ let serve_socket ?(max_clients = default_max_clients) t path =
         Condition.broadcast st.wake)
   in
   let serve_connection fd =
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
+     with Unix.Unix_error _ -> ());
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    let wlock = Mutex.create () in
-    let alive = ref true in
-    let sink reply =
-      Mutex.protect wlock (fun () ->
-          if !alive then
-            try
-              Protocol.write_frame oc
-                (Protocol.to_line (Protocol.reply_to_json reply))
-            with Sys_error _ -> alive := false)
+    let olock = Mutex.create () in
+    let osig = Condition.create () in
+    let obuf = Queue.create ~capacity:outbox_capacity in
+    let oclosed = ref false in
+    (* reader finished: writer drains, then exits *)
+    let odead = ref false in
+    (* unwritable or overflowed: drop replies, stop reading *)
+    let mark_dead_locked () =
+      if not !odead then begin
+        odead := true;
+        (* SHUTDOWN_ALL: the read side so the reader loop lands on its
+           EOF path, the write side so a writer blocked in write(2) on
+           this socket is woken with an error instead of waiting out
+           the send timeout. *)
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        Condition.signal osig
+      end
     in
+    (* The engine calls this under its lock: enqueue only, never block.
+       An outbox at capacity means the client is not draining replies;
+       that is a disconnect, not a reason to wait. *)
+    let sink reply =
+      let frame = Protocol.to_line (Protocol.reply_to_json reply) in
+      Mutex.protect olock (fun () ->
+          if not (!odead || !oclosed) then
+            if Queue.admit obuf frame then Condition.signal osig
+            else mark_dead_locked ())
+    in
+    let writer () =
+      let rec go () =
+        let frames, stop =
+          Mutex.protect olock (fun () ->
+              while Queue.is_empty obuf && not !oclosed && not !odead do
+                Condition.wait osig olock
+              done;
+              let frames = Queue.drain obuf in
+              ((if !odead then [] else frames), !oclosed || !odead))
+        in
+        (match frames with
+        | [] -> ()
+        | frames -> (
+            try List.iter (Protocol.write_frame oc) frames
+            with Sys_error _ | Unix.Unix_error _ ->
+              Mutex.protect olock (fun () -> mark_dead_locked ())));
+        if not stop then go ()
+      in
+      go ()
+    in
+    let wth = Thread.create writer () in
     let rec loop () =
       match Protocol.read_frame ic with
       | exception (Sys_error _ | Unix.Unix_error _) ->
@@ -385,9 +450,18 @@ let serve_socket ?(max_clients = default_max_clients) t path =
     in
     Fun.protect
       ~finally:(fun () ->
-        Mutex.protect wlock (fun () -> alive := false);
-        (try close_out oc with Sys_error _ -> ());
-        deregister fd)
+        Mutex.protect olock (fun () ->
+            oclosed := true;
+            Condition.signal osig);
+        (* The writer drains what the final flush enqueued before the
+           channel closes, so a well-behaved client sees every reply it
+           is owed, then EOF. *)
+        Thread.join wth;
+        (* Deregister before closing: the kernel may hand the accept
+           loop this fd number again immediately, and the registry must
+           never drop a successor connection's entry. *)
+        deregister fd;
+        try close_out oc with Sys_error _ -> ())
       loop
   in
   (* Block until a client slot is free; [false] once shutdown began. *)

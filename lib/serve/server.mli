@@ -95,8 +95,12 @@ type outcome = {
     Each submission names the reply sink of its connection; replies
     appear on whichever sink owns the request that produced them, under
     the engine lock, so per-connection reply order is exactly admission
-    order.  A sink that raises is treated as a dead connection: its
-    reply is dropped and the rest of the flush proceeds. *)
+    order.  Because delivery holds the engine lock, sinks must never
+    block — the socket transport's sinks only enqueue the encoded
+    frame into a bounded per-connection outbox that a dedicated writer
+    thread drains outside the lock.  A sink that raises is treated as
+    a dead connection: its reply is dropped and the rest of the flush
+    proceeds. *)
 
 val submit_routed : t -> reply:(Protocol.reply -> unit) -> Protocol.request -> bool
 (** Feed one decoded request through admission/batching/dispatch,
@@ -166,7 +170,18 @@ val serve_socket : ?max_clients:int -> t -> string -> unit
     {!Protocol.read_frame}) is one request envelope; each reply is one
     frame, written to the connection that owns the request.  Accepted
     descriptors are close-on-exec and the accept loop retries on
-    [EINTR], so a stray signal never kills the server.
+    [EINTR], so a stray signal never kills the server; [SIGPIPE] is
+    ignored for the process, so a peer that vanishes with replies in
+    flight surfaces as an I/O error on its own writer thread, never as
+    a process-killing signal.
+
+    Reply frames are written by a per-connection writer thread fed
+    from a bounded outbox (256 frames), so socket writes never happen
+    under the engine lock and a client that stops reading cannot stall
+    the engine, another connection, or shutdown.  A connection whose
+    outbox overflows, whose socket write fails, or whose peer accepts
+    no bytes for 10 seconds is treated as disconnected: its remaining
+    replies are dropped and its socket is shut down.
 
     A client disconnect flushes the queue (that client's own replies
     are dropped; other clients' replies are delivered normally) and

@@ -278,7 +278,15 @@ if want serve-soak; then
   fresh="$(p99 "$tmp/soak.json")"
   base="$(p99 BENCH_SERVE_2026-08-08.json)"
   echo "soak p99_ms: fresh=$fresh baseline=$base (gate: fresh <= 25x baseline)"
-  awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(f + 0 <= 25 * b) }'
+  # A missing or non-positive sample means the stats payload or the
+  # baseline lost its p99_ms key — that is a gate failure, not a pass
+  # (empty strings would otherwise compare 0 <= 0 and wave it through).
+  if [ -z "$fresh" ] || [ -z "$base" ]; then
+    echo "serve-soak: p99_ms missing (fresh='$fresh' baseline='$base')" >&2
+    exit 1
+  fi
+  awk -v f="$fresh" -v b="$base" \
+    'BEGIN { exit !(f + 0 > 0 && b + 0 > 0 && f + 0 <= 25 * b) }'
 fi
 
 if want audit; then

@@ -774,6 +774,29 @@ let test_socket_max_clients_slot_wait () =
       expect_eof c2;
       close_client c2)
 
+let test_socket_ghost_disconnect_survives () =
+  (* A client that queues work and vanishes without reading a single
+     reply makes the server's writer hit a broken pipe when the EOF
+     flush tries to deliver.  The process must survive — SIGPIPE is
+     ignored and EPIPE is handled as a dead connection — and every
+     other client must keep being served.  (Under the default signal
+     disposition this test kills the whole test runner.) *)
+  with_server (fun _t mk_client _path ->
+      let ghost = mk_client () in
+      send ghost (run_line "g1" "e2");
+      send ghost (run_line "g2" "e13");
+      close_client ghost;
+      (* Give the ghost's reader its EOF flush so the writer's doomed
+         delivery actually happens before we probe the server. *)
+      Thread.delay 0.2;
+      let c = mk_client () in
+      send c {|{"v":1,"id":"p","op":"ping"}|};
+      check_str "server alive after ghost disconnect" "p" (reply_id (recv c));
+      send c {|{"v":1,"id":"z","op":"shutdown"}|};
+      check_str "shutdown answered" "z" (reply_id (recv c));
+      expect_eof c;
+      close_client c)
+
 let test_bench_socket_concurrent_clients () =
   (* End-to-end: a live socket server under the bench replayer's
      concurrent mode, strict decoding and per-connection ordering
@@ -836,6 +859,7 @@ let suite =
     ("socket: per-connection ordering, shared shutdown", `Quick, test_socket_concurrent_ordering);
     ("socket: overload draws queue_full, counted as rejected", `Quick, test_socket_overload_queue_full);
     ("socket: max-clients gates the accept loop", `Quick, test_socket_max_clients_slot_wait);
+    ("socket: disconnect with replies in flight never kills the server", `Quick, test_socket_ghost_disconnect_survives);
     ("bench-serve --clients 3 against a live socket", `Quick, test_bench_socket_concurrent_clients);
   ]
   @ List.map
