@@ -531,7 +531,52 @@ let trace_lint_cmd =
   Cmd.v
     (Cmd.info "trace-lint"
        ~doc:
-         "Validate an oqsc-trace document: envelope, per-track B/E span balance, nondecreasing timestamps, and zero dropped events.")
+         "Validate an oqsc-trace document: envelope, per-track B/E span balance, nondecreasing timestamps, flow-arrow pairing, and zero dropped events.")
+    Term.(ret (const action $ file))
+
+(* ------------------------------------------------------------- log-lint *)
+
+let log_lint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"An NDJSON request log written by serve --log.")
+  in
+  let action file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error msg -> `Error (false, "log-lint: " ^ msg)
+    | raw -> (
+        let lines =
+          String.split_on_char '\n' raw
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        match Serve.Reqlog.lint lines with
+        | Ok
+            {
+              Serve.Reqlog.lines;
+              admitted;
+              rejected;
+              flushed;
+              replied;
+              dropped;
+            } ->
+            Printf.printf
+              "log OK: %d event(s) — %d admitted, %d rejected, %d flushed, %d \
+               replied, %d dropped\n"
+              lines admitted rejected flushed replied dropped;
+            `Ok ()
+        | Error problems ->
+            List.iter (fun p -> Printf.eprintf "LOG %s\n" p) problems;
+            Printf.eprintf "log-lint FAILED: %d problem(s) in %s\n"
+              (List.length problems) file;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "log-lint"
+       ~doc:
+         "Validate an NDJSON request log written by serve --log: every event carries the documented key set for its kind, seq counts from 0 with no gaps, and timestamps are nondecreasing (docs/SCHEMA.md, \"Request-log events\").")
     Term.(ret (const action $ file))
 
 (* ------------------------------------------------------------------ exp *)
@@ -686,51 +731,125 @@ let serve_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
-            "Record serve.request / serve.flush spans for the whole session and write Chrome trace-event JSON to FILE on exit. Tracing never affects reply payloads.")
+            "Record serve.admit / serve.request / serve.flush spans (with per-request flow arrows tying admission to dispatch) for the whole session and write Chrome trace-event JSON to FILE on exit. Tracing never affects reply payloads.")
   in
-  let action socket queue batch domains max_clients compiled trace_file =
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write one NDJSON event per request lifecycle transition (admitted, rejected, flushed, replied, dropped) to FILE; validate with 'oqsc log-lint'. Logging never affects reply payloads.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Periodically (and at exit) write the metrics registry in Prometheus text exposition format to FILE, atomically via rename. The same snapshot a v2 metrics request serves as JSON.")
+  in
+  let action socket queue batch domains max_clients compiled trace_file
+      log_file metrics_file =
     if compiled then Vm.Engine.enable () else Vm.Engine.init_from_env ();
     if queue < 1 then `Error (false, "serve: --queue must be >= 1")
     else if batch < 1 then `Error (false, "serve: --batch must be >= 1")
     else if max_clients < 1 then
       `Error (false, "serve: --max-clients must be >= 1")
     else begin
-      let t = Serve.Server.create ~capacity:queue ~batch ?domains () in
-      if trace_file <> None then Obs.Trace.start ();
-      let finish_trace () =
-        match trace_file with
-        | None -> ()
-        | Some path ->
-            let dump = Obs.Trace.stop () in
-            (try Experiments.Chrome_trace.write path dump
-             with Sys_error msg -> Printf.eprintf "--trace: %s\n" msg)
-      in
       match
-        match socket with
-        | None -> Serve.Server.serve_channels t stdin stdout
-        | Some path -> Serve.Server.serve_socket ~max_clients t path
+        match log_file with
+        | None -> Ok None
+        | Some p -> (
+            try Ok (Some (Serve.Reqlog.open_log p))
+            with Sys_error msg -> Error msg)
       with
-      | () ->
-          finish_trace ();
-          `Ok ()
-      | exception Failure msg ->
-          if trace_file <> None then ignore (Obs.Trace.stop ());
-          `Error (false, msg)
-      | exception Unix.Unix_error (e, fn, arg) ->
-          if trace_file <> None then ignore (Obs.Trace.stop ());
-          `Error
-            ( false,
-              Printf.sprintf "serve: %s %s: %s" fn arg (Unix.error_message e) )
+      | Error msg -> `Error (false, "--log: " ^ msg)
+      | Ok log ->
+          let t = Serve.Server.create ~capacity:queue ~batch ?domains ?log () in
+          if trace_file <> None then Obs.Trace.start ();
+          let dump_metrics () =
+            match metrics_file with
+            | None -> ()
+            | Some path -> (
+                (* Write-then-rename so a scraper never reads a torn
+                   file. *)
+                let tmp = path ^ ".tmp" in
+                try
+                  Out_channel.with_open_text tmp (fun oc ->
+                      Out_channel.output_string oc (Serve.Server.metrics_text t));
+                  Sys.rename tmp path
+                with Sys_error msg ->
+                  Printf.eprintf "--metrics-file: %s\n" msg)
+          in
+          let dumper_stop = Atomic.make false in
+          let dumper =
+            match metrics_file with
+            | None -> None
+            | Some _ ->
+                Some
+                  (Thread.create
+                     (fun () ->
+                       while not (Atomic.get dumper_stop) do
+                         Thread.delay 0.5;
+                         dump_metrics ()
+                       done)
+                     ())
+          in
+          let stop_dumper () =
+            match dumper with
+            | None -> ()
+            | Some th ->
+                Atomic.set dumper_stop true;
+                Thread.join th
+          in
+          let close_log () =
+            match log with
+            | None -> ()
+            | Some l -> ( try Serve.Reqlog.close l with Sys_error _ -> ())
+          in
+          let finish_trace () =
+            match trace_file with
+            | None -> ()
+            | Some path ->
+                let dump = Obs.Trace.stop () in
+                (try Experiments.Chrome_trace.write path dump
+                 with Sys_error msg -> Printf.eprintf "--trace: %s\n" msg)
+          in
+          (match
+             match socket with
+             | None -> Serve.Server.serve_channels t stdin stdout
+             | Some path -> Serve.Server.serve_socket ~max_clients t path
+           with
+          | () ->
+              stop_dumper ();
+              dump_metrics ();
+              close_log ();
+              finish_trace ();
+              `Ok ()
+          | exception Failure msg ->
+              stop_dumper ();
+              close_log ();
+              if trace_file <> None then ignore (Obs.Trace.stop ());
+              `Error (false, msg)
+          | exception Unix.Unix_error (e, fn, arg) ->
+              stop_dumper ();
+              close_log ();
+              if trace_file <> None then ignore (Obs.Trace.stop ());
+              `Error
+                ( false,
+                  Printf.sprintf "serve: %s %s: %s" fn arg
+                    (Unix.error_message e) ))
     end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run a long-lived batched experiment service speaking the versioned request/reply protocol of docs/PROTOCOL.md (newline-delimited JSON on stdin/stdout, or length-prefixed frames with --socket). Served run/sweep payloads are byte-identical to run-all --only / space-audit --shard output.")
+         "Run a long-lived batched experiment service speaking the versioned request/reply protocol of docs/PROTOCOL.md (newline-delimited JSON on stdin/stdout, or length-prefixed frames with --socket). Served run/sweep payloads are byte-identical to run-all --only / space-audit --shard output; the telemetry switches (--trace, --log, --metrics-file) never change a payload byte.")
     Term.(
       ret
         (const action $ socket $ queue $ batch $ domains $ max_clients
-       $ compiled $ trace_file))
+       $ compiled $ trace_file $ log_file $ metrics_file))
 
 (* ---------------------------------------------------------- bench-serve *)
 
@@ -769,7 +888,7 @@ let bench_serve_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:
-            "Write the replay report (counters, client-side timings, the server's stats payload) as sorted-key JSON to FILE (- for stdout). Telemetry: wall clocks vary run to run.")
+            "Write the replay report (counters, client-side timings, the server's stats payload, and its end-of-run metrics snapshot) as sorted-key JSON to FILE (- for stdout). Telemetry: wall clocks vary run to run.")
   in
   let repeat =
     Arg.(
@@ -892,6 +1011,6 @@ let ids_cmd =
 let main =
   let doc = "quantum vs classical online space complexity (Le Gall, SPAA 2006) — reproduction" in
   Cmd.group (Cmd.info "oqsc" ~version:"1.0.0" ~doc)
-    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; exp_cmd; ne_cmd; vm_cmd; serve_cmd; bench_serve_cmd; ids_cmd ]
+    [ gen_cmd; run_cmd; run_all_cmd; space_audit_cmd; merge_cmd; trace_lint_cmd; log_lint_cmd; exp_cmd; ne_cmd; vm_cmd; serve_cmd; bench_serve_cmd; ids_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -29,12 +29,19 @@ let event_obj ~t0_ns (e : T.event) =
       ("ts", Json.Float (us_of ~t0_ns e.T.ts_ns));
     ]
   in
+  (* Flow events carry the correlating id (stringified, as Chrome
+     expects) and a fixed category — both required for Perfetto to draw
+     the arrow; "bp":"e" binds the finishing end to its enclosing
+     slice rather than the next one. *)
+  let flow_fields = [ ("cat", Json.Str "flow"); ("id", Json.Str (string_of_int e.T.flow)) ] in
   let ph, extra =
     match e.T.kind with
     | T.Begin -> ("B", [])
     | T.End -> ("E", [])
     | T.Instant -> ("i", [ ("s", Json.Str "t") ]) (* thread-scoped tick *)
     | T.Counter -> ("C", [])
+    | T.Flow_start -> ("s", flow_fields)
+    | T.Flow_end -> ("f", ("bp", Json.Str "e") :: flow_fields)
   in
   Json.Obj ((("ph", Json.Str ph) :: base) @ extra @ args_field e.T.args)
 
@@ -107,6 +114,18 @@ let lint doc =
   let tracks : (int, string list ref * float ref) Hashtbl.t =
     Hashtbl.create 8
   in
+  (* Flow pairing: per flow id, how many "s" and "f" ends appeared.
+     Checked set-wise after the walk (not positionally) because the
+     two ends of one flow live on different tracks. *)
+  let flows : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let flow_slot id =
+    match Hashtbl.find_opt flows id with
+    | Some s -> s
+    | None ->
+        let s = (ref 0, ref 0) in
+        Hashtbl.add flows id s;
+        s
+  in
   let max_depth = ref 0 and counted = ref 0 in
   List.iteri
     (fun i ev ->
@@ -155,12 +174,25 @@ let lint doc =
                           name top tid;
                       stack := rest)
               | "i" | "C" -> ()
+              | "s" | "f" -> (
+                  match str "id" with
+                  | None -> err "event %d: flow %s without a string id" i ph
+                  | Some id ->
+                      let starts, ends = flow_slot id in
+                      if ph = "s" then Stdlib.incr starts
+                      else Stdlib.incr ends)
               | ph -> err "event %d: unknown ph %S" i ph)))
     events;
   Hashtbl.iter
     (fun tid (stack, _) ->
       List.iter (fun name -> err "track %d: span %S never closed" tid name) !stack)
     tracks;
+  Hashtbl.iter
+    (fun id (starts, ends) ->
+      if !starts <> 1 || !ends <> 1 then
+        err "flow %s: %d start(s) and %d finish(es) (want exactly one each)" id
+          !starts !ends)
+    flows;
   if !errors = [] then
     Ok { events = !counted; tracks = Hashtbl.length tracks; max_depth = !max_depth }
   else Error (List.rev !errors)

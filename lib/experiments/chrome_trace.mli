@@ -5,7 +5,9 @@
     trace-event file — load it at [ui.perfetto.dev] or
     [chrome://tracing] — wrapped with the repository's usual
     [kind]/[version] envelope.  One track per domain, [ph:"B"]/[ph:"E"]
-    slice pairs per span, [ph:"i"] instants, [ph:"C"] counters, and
+    slice pairs per span, [ph:"i"] instants, [ph:"C"] counters,
+    [ph:"s"]/[ph:"f"] flow arrows tying two tracks together (the serve
+    engine emits one per request, admission to dispatch), and
     [ph:"M"] thread-name metadata.  Timestamps are microseconds from
     the session start ([Obs.Trace.start]'s clock reading), emitted
     through the shared sorted-key emitter.
@@ -31,6 +33,7 @@ val lint : Json.t -> (stats, string list) result
 (** Structural validation of a parsed [oqsc-trace] document: the
     envelope is well-formed, no events were dropped, every event
     carries the keys its phase requires, timestamps are nondecreasing
-    per track, and every track's [B]/[E] events balance (LIFO, matching
-    names, depth returning to zero).  Returns every violation found,
-    not just the first. *)
+    per track, every track's [B]/[E] events balance (LIFO, matching
+    names, depth returning to zero), and every flow id has exactly one
+    [s] and one [f] end.  Returns every violation found, not just the
+    first. *)

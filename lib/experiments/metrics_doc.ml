@@ -1,0 +1,51 @@
+(* JSON rendering of Obs.Metrics snapshots: the [oqsc-metrics] document
+   carried by the serve protocol's v2 [metrics] reply and specified in
+   docs/SCHEMA.md.  The analogue of Chrome_trace for Obs.Trace: the
+   typed registry lives below the JSON layer, the document lives here,
+   so the snapshot shares the canonical emitter's float/escape
+   conventions by construction. *)
+
+module M = Obs.Metrics
+
+(* Buckets are emitted sparsely (zero-count buckets are omitted): the
+   boundaries are fixed and documented, so the omitted entries carry no
+   information, and a typical latency histogram touches a handful of
+   its 32 buckets. *)
+let bucket_objs counts =
+  let entries = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let le =
+          if Float.is_finite (M.bucket_upper i) then
+            Json.Float (M.bucket_upper i)
+          else Json.Null
+        in
+        entries := Json.Obj [ ("count", Json.Int c); ("le", le) ] :: !entries)
+    counts;
+  List.rev !entries
+
+let metric_obj (name, data) =
+  let base = [ ("name", Json.Str name) ] in
+  match data with
+  | M.Counter n ->
+      Json.Obj (base @ [ ("type", Json.Str "counter"); ("value", Json.Int n) ])
+  | M.Gauge n ->
+      Json.Obj (base @ [ ("type", Json.Str "gauge"); ("value", Json.Int n) ])
+  | M.Histogram { counts; total; sum } ->
+      Json.Obj
+        (base
+        @ [
+            ("type", Json.Str "histogram");
+            ("count", Json.Int total);
+            ("sum", Json.Float sum);
+            ("buckets", Json.List (bucket_objs counts));
+          ])
+
+let document snap =
+  Json.Obj
+    [
+      ("kind", Json.Str "oqsc-metrics");
+      ("version", Json.Int 1);
+      ("metrics", Json.List (List.map metric_obj snap));
+    ]

@@ -1,0 +1,18 @@
+(** JSON rendering of [Obs.Metrics] snapshots.
+
+    {!document} wraps a snapshot as the [oqsc-metrics] v1 document
+    (normatively specified in [docs/SCHEMA.md]): one object per metric
+    in the snapshot's (sorted) order, counters and gauges with a single
+    [value], histograms with [count], [sum], and a sparse [buckets]
+    list of [{count, le}] objects — [le] is the bucket's inclusive
+    upper bound, [null] for the +Inf overflow bucket, and zero-count
+    buckets are omitted.  Rendered through the canonical emitter, so a
+    given snapshot always produces identical bytes.
+
+    Like [oqsc-trace], metric documents are telemetry: they are exempt
+    from the determinism contract (latency histograms read clocks) but
+    their {e rendering} is deterministic — the byte-stability the test
+    suite pins is that equal snapshots give equal documents. *)
+
+val document : Obs.Metrics.snapshot -> Json.t
+(** Render a snapshot as the [oqsc-metrics] v1 document. *)

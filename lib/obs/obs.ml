@@ -108,7 +108,7 @@ module Trace = struct
      buffers that only [stop] ever reads. *)
 
   type value = Int of int | Float of float | Str of string
-  type kind = Begin | End | Instant | Counter
+  type kind = Begin | End | Instant | Counter | Flow_start | Flow_end
 
   type event = {
     kind : kind;
@@ -116,10 +116,11 @@ module Trace = struct
     ts_ns : int64;
     domain : int;
     args : (string * value) list;
+    flow : int;
   }
 
   let dummy =
-    { kind = Instant; name = ""; ts_ns = 0L; domain = 0; args = [] }
+    { kind = Instant; name = ""; ts_ns = 0L; domain = 0; args = []; flow = 0 }
 
   (* Bounded per-domain buffer.  Full buffers drop new events (counted
      in [dropped]) rather than old ones, so the surviving prefix keeps
@@ -187,10 +188,10 @@ module Trace = struct
       r.len <- r.len + 1
     end
 
-  let emit kind name args =
+  let emit ?(flow = 0) kind name args =
     let r = my_ring () in
     push r
-      { kind; name; ts_ns = now_ns (); domain = r.ring_domain; args }
+      { kind; name; ts_ns = now_ns (); domain = r.ring_domain; args; flow }
 
   let start ?capacity:(cap = default_capacity) () =
     if cap < 1 then invalid_arg "Obs.Trace.start: capacity must be positive";
@@ -226,8 +227,24 @@ module Trace = struct
         List.fold_left (fun acc (r : ring) -> acc + r.dropped) 0 collected;
     }
 
+  (* Live view of the ring drop counters: what [stop] would report as
+     [dropped] if it ran now.  Reading never perturbs recording, so a
+     long-lived server can surface saturation (the serve stats reply
+     does) without ending the session. *)
+  let dropped () =
+    Mutex.lock registry_lock;
+    let n = List.fold_left (fun acc (r : ring) -> acc + r.dropped) 0 !rings in
+    Mutex.unlock registry_lock;
+    n
+
   let instant ?(args = []) name =
     if Atomic.get enabled_flag then emit Instant name args
+
+  let flow_start ?(args = []) ~id name =
+    if Atomic.get enabled_flag then emit ~flow:id Flow_start name args
+
+  let flow_end ?(args = []) ~id name =
+    if Atomic.get enabled_flag then emit ~flow:id Flow_end name args
 
   let counter name samples =
     if Atomic.get enabled_flag then
@@ -239,6 +256,189 @@ module Trace = struct
       emit Begin name args;
       Fun.protect ~finally:(fun () -> emit End name []) f
     end
+end
+
+(* ------------------------------------------------------------- metrics *)
+
+module Metrics = struct
+  (* Process-wide operational metrics for long-lived servers: monotonic
+     counters, gauges, and log2-bucketed histograms behind one mutex per
+     registry.  Like [Trace], this layer is strictly write-only with
+     respect to the gated determinism contract: nothing a sink or a
+     payload serializes ever reads a metric.  Rendering is deterministic
+     — names sort, buckets have fixed boundaries — so two registries fed
+     the same samples render byte-identically. *)
+
+  let bucket_count = 32
+
+  (* Bucket i < 31 holds samples in (2^(i-1), 2^i] (bucket 0: v <= 1,
+     including every non-finite or negative sample); the last bucket is
+     the +Inf overflow.  Upper bounds are inclusive, matching the
+     Prometheus [le] convention, so cumulative bucket counts are exact
+     at the boundaries. *)
+  let bucket_index v =
+    if not (v > 1.0) then 0
+    else
+      let rec go i bound =
+        if i >= bucket_count - 1 then bucket_count - 1
+        else if v <= bound then i
+        else go (i + 1) (bound *. 2.0)
+      in
+      go 1 2.0
+
+  let bucket_upper i =
+    if i < 0 || i >= bucket_count then
+      invalid_arg "Obs.Metrics.bucket_upper: index out of range";
+    if i = bucket_count - 1 then infinity else Float.of_int (1 lsl i)
+
+  type hist = { counts : int array; mutable total : int; mutable sum : float }
+  type cell = C_counter of int ref | C_gauge of int ref | C_hist of hist
+  type registry = { rlock : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+  let create_registry () =
+    { rlock = Mutex.create (); cells = Hashtbl.create 32 }
+
+  let default = create_registry ()
+
+  (* Names double as Prometheus metric names and JSON keys; restricting
+     the alphabet here keeps both renderers escape-free. *)
+  let name_ok name =
+    name <> ""
+    && (match name.[0] with 'A' .. 'Z' | 'a' .. 'z' | '_' -> true | _ -> false)
+    && String.for_all
+         (function
+           | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         name
+
+  let cell r name make =
+    match Hashtbl.find_opt r.cells name with
+    | Some c -> c
+    | None ->
+        if not (name_ok name) then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: invalid metric name %S (want [A-Za-z_][A-Za-z0-9_:]*)"
+               name);
+        let c = make () in
+        Hashtbl.add r.cells name c;
+        c
+
+  let kind_clash name =
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %S already registered with another type"
+         name)
+
+  let counter_add ?(registry = default) name by =
+    if by < 0 then invalid_arg "Obs.Metrics.counter_add: counters are monotonic";
+    Mutex.protect registry.rlock (fun () ->
+        match cell registry name (fun () -> C_counter (ref 0)) with
+        | C_counter c -> c := !c + by
+        | _ -> kind_clash name)
+
+  let counter_incr ?registry name = counter_add ?registry name 1
+
+  let gauge_set ?(registry = default) name v =
+    Mutex.protect registry.rlock (fun () ->
+        match cell registry name (fun () -> C_gauge (ref 0)) with
+        | C_gauge g -> g := v
+        | _ -> kind_clash name)
+
+  let gauge_add ?(registry = default) name d =
+    Mutex.protect registry.rlock (fun () ->
+        match cell registry name (fun () -> C_gauge (ref 0)) with
+        | C_gauge g -> g := !g + d
+        | _ -> kind_clash name)
+
+  let fresh_hist () =
+    C_hist { counts = Array.make bucket_count 0; total = 0; sum = 0.0 }
+
+  let observe ?(registry = default) name v =
+    Mutex.protect registry.rlock (fun () ->
+        match cell registry name fresh_hist with
+        | C_hist h ->
+            let i = bucket_index v in
+            h.counts.(i) <- h.counts.(i) + 1;
+            h.total <- h.total + 1;
+            if Float.is_finite v then h.sum <- h.sum +. v
+        | _ -> kind_clash name)
+
+  type data =
+    | Counter of int
+    | Gauge of int
+    | Histogram of { counts : int array; total : int; sum : float }
+
+  type snapshot = (string * data) list
+
+  let snapshot ?(registry = default) () =
+    Mutex.protect registry.rlock (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            let d =
+              match c with
+              | C_counter r -> Counter !r
+              | C_gauge r -> Gauge !r
+              | C_hist h ->
+                  Histogram
+                    { counts = Array.copy h.counts; total = h.total; sum = h.sum }
+            in
+            (name, d) :: acc)
+          registry.cells [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Snapshot the source outside the destination's lock — the two
+     registries are never locked at once, so merge directions cannot
+     deadlock each other. *)
+  let merge ~into src =
+    let snap = snapshot ~registry:src () in
+    List.iter
+      (fun (name, d) ->
+        match d with
+        | Counter n -> counter_add ~registry:into name n
+        | Gauge n -> gauge_add ~registry:into name n
+        | Histogram { counts; total; sum } ->
+            Mutex.protect into.rlock (fun () ->
+                match cell into name fresh_hist with
+                | C_hist h ->
+                    Array.iteri
+                      (fun i c -> h.counts.(i) <- h.counts.(i) + c)
+                      counts;
+                    h.total <- h.total + total;
+                    h.sum <- h.sum +. sum
+                | _ -> kind_clash name))
+      snap
+
+  (* Same float text as Experiments.Json.float_repr (the obs library
+     sits below experiments, so the convention is restated rather than
+     imported; test/test_metrics.ml pins the two together). *)
+  let float_repr v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.12g" v
+
+  let to_prometheus snap =
+    let b = Buffer.create 1024 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    List.iter
+      (fun (name, d) ->
+        match d with
+        | Counter n -> pr "# TYPE %s counter\n%s %d\n" name name n
+        | Gauge n -> pr "# TYPE %s gauge\n%s %d\n" name name n
+        | Histogram { counts; total; sum } ->
+            pr "# TYPE %s histogram\n" name;
+            let cum = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cum := !cum + c;
+                let le =
+                  if i = bucket_count - 1 then "+Inf"
+                  else string_of_int (1 lsl i)
+                in
+                pr "%s_bucket{le=%S} %d\n" name le !cum)
+              counts;
+            pr "%s_sum %s\n" name (float_repr sum);
+            pr "%s_count %d\n" name total)
+      snap;
+    Buffer.contents b
 end
 
 (* --------------------------------------------------------------- scope *)

@@ -118,10 +118,12 @@ module Trace : sig
   (** Argument payloads attached to events (rendered into the Chrome
       [args] object). *)
 
-  type kind = Begin | End | Instant | Counter
+  type kind = Begin | End | Instant | Counter | Flow_start | Flow_end
   (** Chrome trace-event phases: [Begin]/[End] bracket a named span on
       one domain, [Instant] is a point event, [Counter] carries sampled
-      numeric series. *)
+      numeric series, and [Flow_start]/[Flow_end] are the two ends of a
+      cross-thread flow arrow (Chrome [ph:"s"]/[ph:"f"]) correlated by
+      {!event.flow}. *)
 
   type event = {
     kind : kind;
@@ -129,6 +131,9 @@ module Trace : sig
     ts_ns : int64;  (** monotonic clock, nanoseconds *)
     domain : int;  (** id of the domain that recorded the event *)
     args : (string * value) list;
+    flow : int;
+        (** flow-correlation id for [Flow_start]/[Flow_end] events;
+            [0] (unused) for every other kind *)
   }
 
   type dump = {
@@ -175,6 +180,119 @@ module Trace : sig
   val counter : string -> (string * float) list -> unit
   (** [counter name series] records sampled values for one or more
       named series under a counter track (no-op when tracing is off). *)
+
+  val flow_start : ?args:(string * value) list -> id:int -> string -> unit
+  (** Record the starting end of a flow arrow (no-op when tracing is
+      off).  A flow ties two points on different threads/domains into
+      one arrow in the Perfetto view — the serve engine uses one per
+      request to connect the admission span on the connection thread to
+      the dispatch span on the worker domain.  [id] correlates the two
+      ends and must be unique per flow within a session. *)
+
+  val flow_end : ?args:(string * value) list -> id:int -> string -> unit
+  (** Record the finishing end of the flow [id] (no-op when tracing is
+      off).  Use the same [name] as the matching {!flow_start}. *)
+
+  val dropped : unit -> int
+  (** Events dropped by full ring buffers {e so far} in the current
+      session — the live counterpart of {!dump}'s [dropped] field,
+      readable without stopping the session (a long-lived server
+      surfaces it in its [stats] reply).  [0] when tracing never
+      started. *)
+end
+
+(** {1 Operational metrics}
+
+    The third observability layer, built for long-lived processes
+    ([oqsc serve]): typed, process-wide, thread-safe metric registries
+    holding monotonic counters, gauges, and fixed-boundary
+    log₂-bucketed histograms.  Like {!Trace} — and unlike the
+    deterministic sink — metrics sit entirely outside the gated
+    determinism contract: feeding them never changes a payload byte,
+    and nothing gated ever reads them.
+
+    Rendering is deterministic by construction: snapshots sort by
+    metric name, bucket boundaries are fixed powers of two, and the
+    text renderers use one fixed float format — two registries fed the
+    same samples in the same order render byte-identically (the test
+    suite pins this).  {!to_prometheus} emits Prometheus text
+    exposition; the JSON snapshot document (kind [oqsc-metrics]) is
+    rendered by [Experiments.Metrics_doc], which shares the canonical
+    emitter's float/escape conventions. *)
+
+module Metrics : sig
+  type registry
+  (** A set of named metrics behind one mutex.  All recording functions
+      take an optional [?registry] defaulting to {!default}, the
+      process-wide registry that a server feeds and its scrape
+      endpoints render. *)
+
+  val create_registry : unit -> registry
+  (** A fresh, empty registry (tests and merges use private ones). *)
+
+  val default : registry
+  (** The process-wide registry. *)
+
+  val counter_add : ?registry:registry -> string -> int -> unit
+  (** [counter_add name by] increments monotonic counter [name].
+      Metric names must match [[A-Za-z_][A-Za-z0-9_:]*] — they double
+      as Prometheus names and JSON keys.
+      @raise Invalid_argument if [by < 0], the name is invalid, or
+      [name] is already registered as a different metric type. *)
+
+  val counter_incr : ?registry:registry -> string -> unit
+  (** [counter_add name 1]. *)
+
+  val gauge_set : ?registry:registry -> string -> int -> unit
+  (** Set gauge [name] to an absolute level. *)
+
+  val gauge_add : ?registry:registry -> string -> int -> unit
+  (** Move gauge [name] by a (possibly negative) delta. *)
+
+  val observe : ?registry:registry -> string -> float -> unit
+  (** Record one sample into histogram [name]: the sample lands in
+      exactly one of the {!bucket_count} fixed log₂ buckets (chosen by
+      {!bucket_index}) and, when finite, accumulates into the
+      histogram's sum. *)
+
+  val bucket_count : int
+  (** Number of histogram buckets: 32.  Bucket [i < 31] has inclusive
+      upper bound [2^i] (so bucket 0 holds samples [<= 1], including
+      non-finite and negative ones); bucket 31 is the +Inf overflow. *)
+
+  val bucket_index : float -> int
+  (** The single bucket a sample lands in: total over all floats,
+      always in [[0, bucket_count)]. *)
+
+  val bucket_upper : int -> float
+  (** Inclusive upper bound of bucket [i] ([infinity] for the last).
+      @raise Invalid_argument outside [[0, bucket_count)]. *)
+
+  type data =
+    | Counter of int
+    | Gauge of int
+    | Histogram of { counts : int array; total : int; sum : float }
+        (** [counts] has {!bucket_count} per-bucket (non-cumulative)
+            entries summing to [total]; [sum] totals the finite
+            samples. *)
+
+  type snapshot = (string * data) list
+  (** A registry's contents, sorted by metric name. *)
+
+  val snapshot : ?registry:registry -> unit -> snapshot
+  (** Atomic copy of the registry, deterministically ordered. *)
+
+  val merge : into:registry -> registry -> unit
+  (** Fold [src] into [into]: counters and gauge levels add, histograms
+      add bucket-wise (counts, totals, sums).  Merging the registries
+      of two sample streams equals the registry of the concatenated
+      streams — the law the qcheck suite checks. *)
+
+  val to_prometheus : snapshot -> string
+  (** Prometheus text exposition: a [# TYPE] line per metric, counters
+      and gauges as single samples, histograms as cumulative
+      [_bucket{le="..."}] series (integral powers of two, then [+Inf])
+      with [_sum] and [_count].  Deterministic for a given snapshot. *)
 end
 
 (** {1 Ambient scope}

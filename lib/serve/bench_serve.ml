@@ -16,9 +16,11 @@ type report = {
   wall_ms : float;
   throughput_rps : float;
   stats : Json.t;
+  metrics : Json.t;
 }
 
 let stats_id = "bench.stats"
+let metrics_id = "bench.metrics"
 let shutdown_id = "bench.shutdown"
 let sync_id client = Printf.sprintf "bench.sync.%d" client
 let reserved id = String.length id >= 6 && String.sub id 0 6 = "bench."
@@ -65,8 +67,23 @@ type tally = {
   mutable err_count : int;
   mutable ok_ids : string list;  (* mix ok-reply ids, newest first *)
   mutable stats : Json.t option;
+  mutable metrics : Json.t option;
   mutable stopped : bool;
 }
+
+(* The scraped metrics payload is validated beyond the envelope: it
+   must be the oqsc-metrics v1 document, or the replay fails — the same
+   strictness the stats/mix replies get from the protocol decoder. *)
+let check_metrics_doc payload =
+  match payload with
+  | Json.Obj fields
+    when List.assoc_opt "kind" fields = Some (Json.Str "oqsc-metrics")
+         && List.assoc_opt "version" fields = Some (Json.Int 1)
+         && (match List.assoc_opt "metrics" fields with
+            | Some (Json.List _) -> true
+            | _ -> false) ->
+      Ok ()
+  | _ -> Error "metrics reply payload is not an oqsc-metrics v1 document"
 
 let absorb ?payload_dir tally line =
   match Json.parse line with
@@ -76,9 +93,20 @@ let absorb ?payload_dir tally line =
       | Error msg -> Error (Printf.sprintf "protocol violation in reply: %s" msg)
       | Ok (Protocol.Ok_reply { id; op; payload; _ }) -> (
           if reserved id then begin
-            if String.equal id stats_id then tally.stats <- Some payload
-            else if String.equal id shutdown_id then tally.stopped <- true;
-            Ok ()
+            if String.equal id stats_id then begin
+              tally.stats <- Some payload;
+              Ok ()
+            end
+            else if String.equal id metrics_id then (
+              match check_metrics_doc payload with
+              | Ok () ->
+                  tally.metrics <- Some payload;
+                  Ok ()
+              | Error msg -> Error msg)
+            else begin
+              if String.equal id shutdown_id then tally.stopped <- true;
+              Ok ()
+            end
           end
           else if String.equal op "shutdown" then
             Error "request mix must not contain shutdown; use --shutdown instead"
@@ -103,6 +131,7 @@ let fresh_tally () =
     err_count = 0;
     ok_ids = [];
     stats = None;
+    metrics = None;
     stopped = false;
   }
 
@@ -111,6 +140,7 @@ let merge_tally into from =
   into.ok_count <- into.ok_count + from.ok_count;
   into.err_count <- into.err_count + from.err_count;
   (match from.stats with Some s -> into.stats <- Some s | None -> ());
+  (match from.metrics with Some m -> into.metrics <- Some m | None -> ());
   if from.stopped then into.stopped <- true
 
 let check_mix lines =
@@ -165,13 +195,14 @@ let build_report ~requests ~wall_ms tally =
       (if wall_ms > 0.0 then float_of_int requests /. (wall_ms /. 1000.0)
        else 0.0);
     stats = (match tally.stats with Some s -> s | None -> Json.Obj []);
+    metrics = (match tally.metrics with Some m -> m | None -> Json.Obj []);
   }
 
 let to_json r =
   Json.Obj
     [
       ("kind", Json.Str "oqsc-bench-serve");
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
       ("requests", Json.Int r.requests);
       ("replies", Json.Int r.replies);
       ("ok", Json.Int r.ok);
@@ -179,13 +210,26 @@ let to_json r =
       ("wall_ms", Json.Float r.wall_ms);
       ("throughput_rps", Json.Float r.throughput_rps);
       ("stats", r.stats);
+      ("metrics", r.metrics);
     ]
 
 (* ------------------------------------------------------- in-process *)
 
 let stats_line =
   Protocol.to_line
-    (Protocol.request_to_json { Protocol.id = stats_id; op = Protocol.Stats })
+    (Protocol.request_to_json
+       { Protocol.v = Protocol.version; id = stats_id; op = Protocol.Stats })
+
+(* The metrics scrape is the one v2 request the bench sends: the
+   version-negotiation path gets exercised on every replay. *)
+let metrics_line =
+  Protocol.to_line
+    (Protocol.request_to_json
+       {
+         Protocol.v = Protocol.metrics_version;
+         id = metrics_id;
+         op = Protocol.Metrics;
+       })
 
 let replay_in_process ?payload_dir ?(repeat = 1) ?capacity ?batch ?domains lines
     =
@@ -225,6 +269,10 @@ let replay_in_process ?payload_dir ?(repeat = 1) ?capacity ?batch ?domains lines
     let { Server.replies; _ } = Server.submit_line server stats_line in
     absorb_replies replies
   in
+  let* () =
+    let { Server.replies; _ } = Server.submit_line server metrics_line in
+    absorb_replies replies
+  in
   let wall_ms =
     Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
   in
@@ -235,7 +283,11 @@ let replay_in_process ?payload_dir ?(repeat = 1) ?capacity ?batch ?domains lines
 let shutdown_line =
   Protocol.to_line
     (Protocol.request_to_json
-       { Protocol.id = shutdown_id; op = Protocol.Shutdown })
+       {
+         Protocol.v = Protocol.version;
+         id = shutdown_id;
+         op = Protocol.Shutdown;
+       })
 
 let connect socket =
   (* A server that dies mid-replay turns our next write into EPIPE;
@@ -314,7 +366,7 @@ let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ?(clients = 1)
     let* fd = connect socket in
     let to_send =
       List.concat (List.init repeat (fun _ -> lines))
-      @ [ stats_line ]
+      @ [ stats_line; metrics_line ]
       @ (if shutdown then [ shutdown_line ] else [])
     in
     let tally = fresh_tally () in
@@ -351,7 +403,11 @@ let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ?(clients = 1)
             @ [
                 Protocol.to_line
                   (Protocol.request_to_json
-                     { Protocol.id = sync_id i; op = Protocol.Ping });
+                     {
+                       Protocol.v = Protocol.version;
+                       id = sync_id i;
+                       op = Protocol.Ping;
+                     });
               ]
           in
           results.(i) <-
@@ -379,7 +435,8 @@ let replay_socket ?payload_dir ?(repeat = 1) ?(shutdown = false) ?(clients = 1)
         let* () =
           run_connection ~tally
             ~to_send:
-              ([ stats_line ] @ if shutdown then [ shutdown_line ] else [])
+              ([ stats_line; metrics_line ]
+              @ if shutdown then [ shutdown_line ] else [])
             fd
         in
         Ok (build_report ~requests ~wall_ms:(finish_ms ()) tally)

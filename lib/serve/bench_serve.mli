@@ -19,12 +19,15 @@
     replies may overtake; see PROTOCOL.md).
 
     After the mix (all repeats), the replayer issues its own [stats]
-    request and reports the server-side p50/p99 latency over completed
-    [run]/[sweep] requests next to the client-side throughput.  Ids
-    beginning with ["bench."] are reserved for these internal requests
-    (stats capture, shutdown, per-connection sync barriers); a mix must
-    not use them, and must not contain [shutdown] (pass
-    [~shutdown:true] to stop the server after the replay instead). *)
+    request and a v2 [metrics] request — so every replay also exercises
+    version negotiation — and reports the server-side p50/p99 latency
+    over completed [run]/[sweep] requests next to the client-side
+    throughput.  The scraped metrics payload must be a well-formed
+    [oqsc-metrics] v1 document or the replay fails.  Ids beginning with
+    ["bench."] are reserved for these internal requests (stats/metrics
+    capture, shutdown, per-connection sync barriers); a mix must not
+    use them, and must not contain [shutdown] (pass [~shutdown:true] to
+    stop the server after the replay instead). *)
 
 type report = {
   requests : int;  (** mix envelopes sent, across all repeats *)
@@ -36,6 +39,10 @@ type report = {
   stats : Experiments.Json.t;
       (** the server's [stats] payload after the replay — p50/p99 live
           here (docs/PROTOCOL.md, "stats") *)
+  metrics : Experiments.Json.t;
+      (** the server's [oqsc-metrics] snapshot scraped right after
+          [stats] — the end-of-run counter/gauge/histogram state CI's
+          accounting gates read *)
 }
 
 val load_mix : string -> (string list, string) result
@@ -81,11 +88,13 @@ val replay_socket :
     it started. *)
 
 val to_json : report -> Experiments.Json.t
-(** The report as a JSON object ([kind] "oqsc-bench-serve", version 1):
+(** The report as a JSON object ([kind] "oqsc-bench-serve", version 2):
     the counters and client-side timings above plus the server's
-    [stats] payload verbatim.  Telemetry, not a gated document — wall
-    clocks vary run to run; CI gates only [stats.p99_ms] against a
-    committed baseline with a deliberately loose factor. *)
+    [stats] and [metrics] payloads verbatim.  Telemetry, not a gated
+    document — wall clocks vary run to run; CI gates [stats.p99_ms]
+    against a committed baseline with a deliberately loose factor, and
+    the [metrics] counters for monotonicity and the accounting
+    identity. *)
 
 val print : Format.formatter -> report -> unit
 (** Render a report: sent/reply counts, client-side wall clock and

@@ -1,10 +1,18 @@
-(* Wire protocol v1 codec.  docs/PROTOCOL.md is the normative spec;
-   keep the two in lockstep — a key added here without a spec row is a
-   bug the CI replay (bench-serve's strict reply validation) catches. *)
+(* Wire protocol codec, versions 1 and 2.  docs/PROTOCOL.md is the
+   normative spec; keep the two in lockstep — a key added here without
+   a spec row is a bug the CI replay (bench-serve's strict reply
+   validation) catches.
+
+   Version negotiation is per-request: an envelope's [v] selects the
+   op table it decodes against (v2 = v1 + the [metrics] op), and the
+   reply echoes the request's [v].  There is no handshake and no state:
+   one connection may interleave v1 and v2 requests freely. *)
 
 module Json = Experiments.Json
 
 let version = 1
+let metrics_version = 2
+let versions = [ 1; 2 ]
 let max_frame = 16 * 1024 * 1024
 
 type op =
@@ -12,9 +20,10 @@ type op =
   | Sweep of { index : int; count : int; quick : bool; seed : int }
   | Ping
   | Stats
+  | Metrics
   | Shutdown
 
-type request = { id : string; op : op }
+type request = { v : int; id : string; op : op }
 
 type error_code =
   | Parse_error
@@ -28,8 +37,10 @@ type error_code =
   | Internal_error
 
 type reply =
-  | Ok_reply of { id : string; op : string; payload : Json.t; wall_ms : float }
-  | Error_reply of { id : string option; code : error_code; message : string }
+  | Ok_reply of
+      { v : int; id : string; op : string; payload : Json.t; wall_ms : float }
+  | Error_reply of
+      { v : int; id : string option; code : error_code; message : string }
 
 let codes =
   [
@@ -63,12 +74,18 @@ let op_name = function
   | Sweep _ -> "sweep"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
+
+(* The op names one version's decoder accepts, for diagnostics. *)
+let ops_of_version v =
+  [ "run"; "sweep"; "ping"; "stats"; "shutdown" ]
+  @ if v >= metrics_version then [ "metrics" ] else []
 
 (* --------------------------------------------------------- encoding *)
 
-let request_to_json { id; op } =
-  let base = [ ("v", Json.Int version); ("id", Json.Str id); ("op", Json.Str (op_name op)) ] in
+let request_to_json { v; id; op } =
+  let base = [ ("v", Json.Int v); ("id", Json.Str id); ("op", Json.Str (op_name op)) ] in
   let args =
     match op with
     | Run { exp; quick; seed } ->
@@ -80,25 +97,25 @@ let request_to_json { id; op } =
           ("quick", Json.Bool quick);
           ("seed", Json.Int seed);
         ]
-    | Ping | Stats | Shutdown -> []
+    | Ping | Stats | Metrics | Shutdown -> []
   in
   Json.Obj (base @ args)
 
 let reply_to_json = function
-  | Ok_reply { id; op; payload; wall_ms } ->
+  | Ok_reply { v; id; op; payload; wall_ms } ->
       Json.Obj
         [
-          ("v", Json.Int version);
+          ("v", Json.Int v);
           ("id", Json.Str id);
           ("ok", Json.Bool true);
           ("op", Json.Str op);
           ("payload", payload);
           ("wall_ms", Json.Float wall_ms);
         ]
-  | Error_reply { id; code; message } ->
+  | Error_reply { v; id; code; message } ->
       Json.Obj
         [
-          ("v", Json.Int version);
+          ("v", Json.Int v);
           ("id", (match id with Some i -> Json.Str i | None -> Json.Null));
           ("ok", Json.Bool false);
           ( "error",
@@ -129,7 +146,12 @@ let take fs key =
 
 let bad fmt = Printf.ksprintf (fun m -> Error (Bad_request, m)) fmt
 
-type decode_error = { id : string option; code : error_code; message : string }
+type decode_error = {
+  v : int;
+  id : string option;
+  code : error_code;
+  message : string;
+}
 
 let decode json =
   match json with
@@ -137,12 +159,13 @@ let decode json =
       let fs = { remaining = members } in
       match take fs "v" with
       | None -> bad "missing field \"v\" (protocol version)"
-      | Some (Json.Int v) when v <> version ->
+      | Some (Json.Int v) when not (List.mem v versions) ->
           Error
             ( Unsupported_version,
-              Printf.sprintf "protocol version %d is not supported; supported: %d" v
-                version )
-      | Some (Json.Int _) -> (
+              Printf.sprintf
+                "protocol version %d is not supported; supported: %s" v
+                (String.concat ", " (List.map string_of_int versions)) )
+      | Some (Json.Int v) -> (
           match take fs "id" with
           | None -> bad "missing field \"id\""
           | Some (Json.Str id) when id_ok id -> (
@@ -169,7 +192,7 @@ let decode json =
                   in
                   let finish op =
                     match fs.remaining with
-                    | [] -> Ok { id; op }
+                    | [] -> Ok { v; id; op }
                     | (k, _) :: _ -> bad "unknown field %S" k
                   in
                   let ( let* ) = Result.bind in
@@ -204,13 +227,20 @@ let decode json =
                               count )
                   | "ping" -> finish Ping
                   | "stats" -> finish Stats
+                  | "metrics" when v >= metrics_version -> finish Metrics
+                  | "metrics" ->
+                      Error
+                        ( Unknown_op,
+                          Printf.sprintf
+                            "op \"metrics\" requires protocol version %d \
+                             (request carried \"v\": %d)"
+                            metrics_version v )
                   | "shutdown" -> finish Shutdown
                   | other ->
                       Error
                         ( Unknown_op,
-                          Printf.sprintf
-                            "unknown op %S; valid: run, sweep, ping, stats, shutdown"
-                            other ))
+                          Printf.sprintf "unknown op %S; valid: %s" other
+                            (String.concat ", " (ops_of_version v)) ))
               | Some _ -> bad "field \"op\" must be a string")
           | Some (Json.Str id) ->
               bad "invalid id %S (want [A-Za-z0-9._-]{1,64})" id
@@ -227,10 +257,22 @@ let recover_id = function
       | _ -> None)
   | _ -> None
 
+(* Error replies echo the rejected request's version when it is a
+   well-formed supported one (so a v2 client's rejections come back as
+   v2 envelopes), falling back to 1 — in particular a request rejected
+   {e because} its version is unsupported is answered in version 1. *)
+let recover_v = function
+  | Json.Obj members -> (
+      match List.assoc_opt "v" members with
+      | Some (Json.Int v) when List.mem v versions -> v
+      | _ -> version)
+  | _ -> version
+
 let request_of_json json =
   match decode json with
   | Ok r -> Ok r
-  | Error (code, message) -> Error { id = recover_id json; code; message }
+  | Error (code, message) ->
+      Error { v = recover_v json; id = recover_id json; code; message }
 
 let reply_of_json json =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -242,18 +284,18 @@ let reply_of_json json =
         | [] -> Ok reply
         | (k, _) :: _ -> fail "undocumented reply key %S" k
       in
-      let ok_reply id_field =
+      let ok_reply v id_field =
         match (id_field, take fs "op", take fs "payload", take fs "wall_ms") with
         | Json.Str id, Some (Json.Str op), Some payload, Some (Json.Float wall_ms)
           ->
-            finish (Ok_reply { id; op; payload; wall_ms })
+            finish (Ok_reply { v; id; op; payload; wall_ms })
         | Json.Str id, Some (Json.Str op), Some payload, Some (Json.Int w) ->
-            finish (Ok_reply { id; op; payload; wall_ms = float_of_int w })
+            finish (Ok_reply { v; id; op; payload; wall_ms = float_of_int w })
         | Json.Str _, _, _, _ ->
             fail "ok reply must carry string op, payload, numeric wall_ms"
         | _ -> fail "ok reply id must be a string"
       in
-      let error_reply id_field =
+      let error_reply v id_field =
         let id =
           match id_field with
           | Json.Str id -> Ok (Some id)
@@ -269,19 +311,20 @@ let reply_of_json json =
             match (code_field, message_field, efs.remaining) with
             | Some (Json.Str code), Some (Json.Str message), [] -> (
                 match code_of_string code with
-                | Some code -> finish (Error_reply { id; code; message })
+                | Some code -> finish (Error_reply { v; id; code; message })
                 | None -> fail "undocumented error code %S" code)
             | _, _, (k, _) :: _ -> fail "undocumented error key %S" k
             | _ -> fail "error object must carry code and message strings")
         | Ok _, _ -> fail "error reply must carry an \"error\" object"
       in
       match (take fs "v", take fs "id", take fs "ok") with
-      | Some (Json.Int v), _, _ when v <> version ->
-          fail "reply version %d is not %d" v version
-      | Some (Json.Int _), Some id_field, Some (Json.Bool true) ->
-          ok_reply id_field
-      | Some (Json.Int _), Some id_field, Some (Json.Bool false) ->
-          error_reply id_field
+      | Some (Json.Int v), _, _ when not (List.mem v versions) ->
+          fail "reply version %d is not one of %s" v
+            (String.concat ", " (List.map string_of_int versions))
+      | Some (Json.Int v), Some id_field, Some (Json.Bool true) ->
+          ok_reply v id_field
+      | Some (Json.Int v), Some id_field, Some (Json.Bool false) ->
+          error_reply v id_field
       | _ -> fail "reply envelope must carry integer v, id, boolean ok")
   | _ -> Error "reply envelope must be a JSON object"
 
@@ -332,7 +375,8 @@ let to_line v =
 
 let parse_line line =
   match Json.parse line with
-  | Error msg -> Error { id = None; code = Parse_error; message = msg }
+  | Error msg ->
+      Error { v = version; id = None; code = Parse_error; message = msg }
   | Ok json -> request_of_json json
 
 let write_frame oc body =

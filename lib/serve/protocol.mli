@@ -1,4 +1,4 @@
-(** The serve wire protocol, version 1 — codec layer.
+(** The serve wire protocol, versions 1 and 2 — codec layer.
 
     This module is the executable half of [docs/PROTOCOL.md], the
     normative specification of every byte [oqsc serve] reads or writes:
@@ -10,13 +10,27 @@
     formatting) and a served payload re-serializes to the same bytes
     the one-shot CLI writes.
 
+    Negotiation is per-request: a request's [v] selects the op table it
+    decodes against — version 2 is version 1 plus the [metrics] op,
+    with byte-identical envelopes otherwise — and every reply echoes
+    the [v] of the request it answers, so v1 clients keep receiving
+    exactly the version-1 bytes they always did.
+
     Decoding is {e strict} in both directions: an envelope carrying a
     key this version does not define is rejected, which is how CI
     enforces that no undocumented reply key ever reaches the wire. *)
 
 val version : int
-(** The protocol version this codec speaks: [1].  Requests must carry
-    it in their [v] field; every reply echoes it. *)
+(** The baseline protocol version: [1].  Every op except [metrics] is
+    defined at this version, and it is the [v] error replies fall back
+    to when the rejected envelope's own version is unusable. *)
+
+val metrics_version : int
+(** The version that introduces the [metrics] op: [2]. *)
+
+val versions : int list
+(** Every version this codec accepts, ascending: [[1; 2]].  A request
+    [v] outside this list draws [`Unsupported_version]. *)
 
 val max_frame : int
 (** Upper bound, in bytes, on the body of one length-prefixed frame
@@ -37,20 +51,26 @@ type op =
           [space-audit --shard index/count] would emit. *)
   | Ping  (** Liveness probe; replies [{"pong": true}]. *)
   | Stats  (** Latency/throughput accounting since server start. *)
+  | Metrics
+      (** v2 barrier: drain the queue, then reply with the process-wide
+          [oqsc-metrics] snapshot document.  Only decodable when the
+          request carries [v >= metrics_version]. *)
   | Shutdown  (** Drain the queue, reply, then stop the server. *)
 
-type request = { id : string; op : op }
-(** One admitted request.  [id] is the client-chosen correlation token
-    (matching [[A-Za-z0-9._-]{1,64}]); every reply echoes the id of the
-    request it answers. *)
+type request = { v : int; id : string; op : op }
+(** One admitted request.  [v] is the protocol version the envelope was
+    decoded against (an element of {!versions}); [id] is the
+    client-chosen correlation token (matching [[A-Za-z0-9._-]{1,64}]).
+    Every reply echoes both the version and the id of the request it
+    answers. *)
 
 (** {1 Replies} *)
 
 type error_code =
   | Parse_error  (** the line/frame body is not valid JSON *)
   | Bad_request  (** envelope shape: missing/ill-typed/unknown fields, bad id *)
-  | Unsupported_version  (** [v] is an int but not {!version} *)
-  | Unknown_op  (** [op] is a string this version does not define *)
+  | Unsupported_version  (** [v] is an int but not in {!versions} *)
+  | Unknown_op  (** [op] is a string the request's version does not define *)
   | Unknown_experiment  (** [run] named an id outside the registry *)
   | Bad_shard  (** [sweep] indices violate [0 <= index < count] *)
   | Queue_full  (** backpressure: admission queue at capacity *)
@@ -58,14 +78,23 @@ type error_code =
   | Internal_error  (** the dispatched work raised; message carries the exception *)
 
 type reply =
-  | Ok_reply of { id : string; op : string; payload : Experiments.Json.t; wall_ms : float }
-      (** Success envelope: [op] names the request's operation, [payload]
-          carries the operation's document, [wall_ms] is the server-side
-          wall clock spent answering (telemetry — never part of the
-          payload byte-identity contract). *)
-  | Error_reply of { id : string option; code : error_code; message : string }
-      (** Failure envelope.  [id] is [None] exactly when the request was
-          too malformed to recover one (it serializes as JSON [null]). *)
+  | Ok_reply of {
+      v : int;
+      id : string;
+      op : string;
+      payload : Experiments.Json.t;
+      wall_ms : float;
+    }
+      (** Success envelope: [v] echoes the request's version, [op] names
+          the request's operation, [payload] carries the operation's
+          document, [wall_ms] is the server-side wall clock spent
+          answering (telemetry — never part of the payload byte-identity
+          contract). *)
+  | Error_reply of { v : int; id : string option; code : error_code; message : string }
+      (** Failure envelope.  [v] echoes the rejected request's version
+          when one could be recovered ({!version} otherwise); [id] is
+          [None] exactly when the request was too malformed to recover
+          one (it serializes as JSON [null]). *)
 
 val code_to_string : error_code -> string
 (** The wire name of a code, e.g. [Queue_full] -> ["queue_full"]. *)
@@ -74,12 +103,19 @@ val code_of_string : string -> error_code option
 
 val op_name : op -> string
 (** The wire name of an operation: ["run"], ["sweep"], ["ping"],
-    ["stats"], or ["shutdown"] — what an {!Ok_reply}'s [op] field
-    echoes. *)
+    ["stats"], ["metrics"], or ["shutdown"] — what an {!Ok_reply}'s
+    [op] field echoes. *)
 
-type decode_error = { id : string option; code : error_code; message : string }
-(** A rejected request, ready to answer: [code]/[message] say why, and
-    [id] is the correlation token when one could still be recovered
+type decode_error = {
+  v : int;
+  id : string option;
+  code : error_code;
+  message : string;
+}
+(** A rejected request, ready to answer: [code]/[message] say why, [v]
+    is the version the error reply should carry (the envelope's own [v]
+    when it was a well-formed supported version, {!version} otherwise),
+    and [id] is the correlation token when one could still be recovered
     from the malformed envelope ([None] otherwise — the reply's [id]
     is then JSON [null]). *)
 

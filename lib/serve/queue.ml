@@ -3,15 +3,16 @@
 
 type 'a t = {
   cap : int;
+  observe : int -> unit;  (* told the new length on every admit/drain *)
   mutable front : 'a list;  (* next to drain, in order *)
   mutable back : 'a list;  (* newest first *)
   mutable len : int;
   mutable high : int;
 }
 
-let create ~capacity =
+let create ~capacity ?(observe = fun _ -> ()) () =
   if capacity < 1 then invalid_arg "Serve.Queue.create: capacity < 1";
-  { cap = capacity; front = []; back = []; len = 0; high = 0 }
+  { cap = capacity; observe; front = []; back = []; len = 0; high = 0 }
 
 let capacity t = t.cap
 let length t = t.len
@@ -24,6 +25,7 @@ let admit t x =
     t.back <- x :: t.back;
     t.len <- t.len + 1;
     if t.len > t.high then t.high <- t.len;
+    t.observe t.len;
     true
   end
 
@@ -32,4 +34,5 @@ let drain t =
   t.front <- [];
   t.back <- [];
   t.len <- 0;
+  if batch <> [] then t.observe 0;
   batch

@@ -13,8 +13,14 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
+val create : capacity:int -> ?observe:(int -> unit) -> unit -> 'a t
 (** A fresh empty queue admitting at most [capacity] elements at once.
+    [observe], when given, is called with the new length after every
+    successful {!admit} and after every nonempty {!drain} — the hook
+    the server uses to keep its [serve_queue_depth] gauge current
+    without polling.  It runs under whatever lock the caller holds
+    (the server's engine lock), so it must be cheap and must not
+    re-enter the queue.
     @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : 'a t -> int

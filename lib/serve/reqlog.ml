@@ -1,0 +1,173 @@
+(* Structured request logging: one NDJSON event per request lifecycle
+   transition, written by the serve engine when [--log FILE] is given.
+   The schema is normative in docs/SCHEMA.md ("Request-log events");
+   [lint] below is its executable half, run by [oqsc log-lint] and CI.
+
+   The log is telemetry in the same sense as oqsc-trace: it reads
+   clocks, so two runs never produce identical bytes, and it is
+   write-only with respect to every gated JSON output.  What IS
+   guaranteed is structure: [seq] counts from 0 with no gaps in file
+   order, and [ts_ms] is nondecreasing in file order, because both are
+   assigned under the writer mutex that also orders the writes. *)
+
+module Json = Experiments.Json
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+  start_ns : int64;
+  mutable seq : int;
+}
+
+let open_log path =
+  {
+    oc = Out_channel.open_text path;
+    lock = Mutex.create ();
+    start_ns = Obs.Trace.now_ns ();
+    seq = 0;
+  }
+
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+
+let event t ~event:name ?code ~conn ~id ~op ~queue_depth ~latency_ms () =
+  Mutex.protect t.lock (fun () ->
+      (* Clock read under the lock: file order = ts order, by fiat. *)
+      let ts_ms =
+        Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t.start_ns) /. 1e6
+      in
+      let fields =
+        [
+          ("conn", Json.Int conn);
+          ("event", Json.Str name);
+          ("id", opt_str id);
+          ("latency_ms", Json.Float latency_ms);
+          ("op", opt_str op);
+          ("queue_depth", Json.Int queue_depth);
+          ("seq", Json.Int t.seq);
+          ("ts_ms", Json.Float ts_ms);
+        ]
+      in
+      let fields =
+        match code with
+        | None -> fields
+        | Some c -> ("code", Json.Str c) :: fields
+      in
+      t.seq <- t.seq + 1;
+      output_string t.oc (Protocol.to_line (Json.Obj fields));
+      output_char t.oc '\n';
+      (* Flushed per event so a crash loses at most the event being
+         written, and log-lint can run against a live server's file. *)
+      flush t.oc)
+
+(* --------------------------------------------------------------- lint *)
+
+type counts = {
+  lines : int;
+  admitted : int;
+  rejected : int;
+  flushed : int;
+  replied : int;
+  dropped : int;
+}
+
+let known_events = [ "admitted"; "rejected"; "flushed"; "replied"; "dropped" ]
+
+let base_keys =
+  [ "conn"; "event"; "id"; "latency_ms"; "op"; "queue_depth"; "seq"; "ts_ms" ]
+
+let lint lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let counts =
+    ref { lines = 0; admitted = 0; rejected = 0; flushed = 0; replied = 0; dropped = 0 }
+  in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match Json.parse line with
+      | Error msg -> err "line %d: not valid JSON: %s" lineno msg
+      | Ok (Json.Obj fields) -> (
+          counts := { !counts with lines = !counts.lines + 1 };
+          let get k = List.assoc_opt k fields in
+          let kind =
+            match get "event" with
+            | Some (Json.Str s) -> Some s
+            | Some _ ->
+                err "line %d: \"event\" is not a string" lineno;
+                None
+            | None ->
+                err "line %d: missing \"event\"" lineno;
+                None
+          in
+          (match kind with
+          | Some k when not (List.mem k known_events) ->
+              err "line %d: unknown event %S" lineno k
+          | _ -> ());
+          let want_keys =
+            if kind = Some "rejected" then "code" :: base_keys else base_keys
+          in
+          let keys = List.sort String.compare (List.map fst fields) in
+          let want = List.sort String.compare want_keys in
+          if keys <> want then
+            err "line %d: keys are {%s}, want {%s}" lineno
+              (String.concat ", " keys)
+              (String.concat ", " want);
+          (match get "seq" with
+          | Some (Json.Int s) when s <> i ->
+              err "line %d: seq is %d, want %d (no gaps, file order)" lineno s i
+          | Some (Json.Int _) -> ()
+          | Some _ -> err "line %d: \"seq\" is not an int" lineno
+          | None -> ());
+          (match get "ts_ms" with
+          | Some (Json.Float ts) ->
+              if ts < !last_ts then
+                err "line %d: ts_ms %g decreases (previous %g)" lineno ts
+                  !last_ts;
+              last_ts := ts
+          | Some (Json.Int ts) ->
+              let ts = float_of_int ts in
+              if ts < !last_ts then
+                err "line %d: ts_ms %g decreases (previous %g)" lineno ts
+                  !last_ts;
+              last_ts := ts
+          | Some _ -> err "line %d: \"ts_ms\" is not a number" lineno
+          | None -> ());
+          (match get "conn" with
+          | Some (Json.Int c) when c < 0 ->
+              err "line %d: conn %d is negative" lineno c
+          | Some (Json.Int _) | None -> ()
+          | Some _ -> err "line %d: \"conn\" is not an int" lineno);
+          (match get "queue_depth" with
+          | Some (Json.Int d) when d < 0 ->
+              err "line %d: queue_depth %d is negative" lineno d
+          | Some (Json.Int _) | None -> ()
+          | Some _ -> err "line %d: \"queue_depth\" is not an int" lineno);
+          (match get "latency_ms" with
+          | Some (Json.Float l) when l < 0.0 ->
+              err "line %d: latency_ms %g is negative" lineno l
+          | Some (Json.Float _) | Some (Json.Int _) | None -> ()
+          | Some _ -> err "line %d: \"latency_ms\" is not a number" lineno);
+          (match get "id" with
+          | Some (Json.Str _) | Some Json.Null | None -> ()
+          | Some _ -> err "line %d: \"id\" is not string|null" lineno);
+          (match get "op" with
+          | Some (Json.Str _) | Some Json.Null | None -> ()
+          | Some _ -> err "line %d: \"op\" is not string|null" lineno);
+          match kind with
+          | Some "admitted" ->
+              counts := { !counts with admitted = !counts.admitted + 1 }
+          | Some "rejected" ->
+              counts := { !counts with rejected = !counts.rejected + 1 }
+          | Some "flushed" ->
+              counts := { !counts with flushed = !counts.flushed + 1 }
+          | Some "replied" ->
+              counts := { !counts with replied = !counts.replied + 1 }
+          | Some "dropped" ->
+              counts := { !counts with dropped = !counts.dropped + 1 }
+          | _ -> ())
+      | Ok _ -> err "line %d: not a JSON object" lineno)
+    lines;
+  match List.rev !errors with [] -> Ok !counts | es -> Error es

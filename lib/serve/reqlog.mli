@@ -1,0 +1,71 @@
+(** Structured request logging for [oqsc serve] ([--log FILE]).
+
+    One NDJSON event per request lifecycle transition, written by the
+    engine as requests move through it: [admitted] (entered the queue),
+    [rejected] (refused — the event carries the error [code], e.g.
+    [queue_full]), [flushed] (dispatch finished, reply about to
+    deliver), [replied] (reply delivered to its connection), [dropped]
+    (reply owed to a dead connection and discarded).  Every event
+    carries the same field set — [event], [seq], [ts_ms], [conn], [id],
+    [op], [queue_depth], [latency_ms] — rendered compactly through the
+    canonical emitter; [code] appears exactly on [rejected] events.
+    The schema is normative in docs/SCHEMA.md ("Request-log events").
+
+    Like [oqsc-trace], the log is telemetry: exempt from the
+    determinism contract (it records wall-clock time) and write-only
+    with respect to every gated JSON output.  Its structural
+    guarantees — [seq] counts from 0 with no gaps in file order,
+    [ts_ms] nondecreasing in file order — hold because both are
+    assigned under the writer mutex that also orders the writes; they
+    are what {!lint} (and [oqsc log-lint]) checks.
+
+    Writers are thread-safe; one {!t} is shared by every connection
+    thread and the engine. *)
+
+type t
+
+val open_log : string -> t
+(** Open [path] for writing (truncating) and start the event clock:
+    [ts_ms] in subsequent events is milliseconds since this call.
+    @raise Sys_error as [open_out] does. *)
+
+val close : t -> unit
+(** Flush and close the underlying channel. *)
+
+val event :
+  t ->
+  event:string ->
+  ?code:string ->
+  conn:int ->
+  id:string option ->
+  op:string option ->
+  queue_depth:int ->
+  latency_ms:float ->
+  unit ->
+  unit
+(** Append one event line.  [conn] is the connection id (0 on the
+    sequential transports), [id]/[op] are the request's correlation
+    token and op name when known ([None] renders as JSON [null]),
+    [queue_depth] is the admission-queue length at the event, and
+    [latency_ms] is the time since the request was admitted (0 for
+    events with no admission to measure from).  [code] is the error
+    code on [rejected] events. *)
+
+(** {2 Lint} *)
+
+type counts = {
+  lines : int;  (** events seen *)
+  admitted : int;
+  rejected : int;
+  flushed : int;
+  replied : int;
+  dropped : int;
+}
+
+val lint : string list -> (counts, string list) result
+(** Structural validation of a log's lines: every line is a JSON object
+    with exactly the documented key set for its event kind, [event] is
+    one of the five known kinds, [seq] equals the 0-based line index,
+    [ts_ms] is nondecreasing, and [conn]/[queue_depth]/[latency_ms]
+    are nonnegative.  Returns every violation found, not just the
+    first. *)

@@ -12,7 +12,15 @@
    connection that owns it.  Dispatch itself (the parallel batch) runs
    under the engine lock: flushes are serialized, which is exactly what
    keeps admission order, the batching barriers, and the byte-identity
-   contract intact under arbitrary client interleaving. *)
+   contract intact under arbitrary client interleaving.
+
+   Telemetry discipline: the metrics registry, the request log, and the
+   trace spans below are all write-only with respect to the gated JSON
+   outputs — with them on or off, payload bytes are identical.  The
+   metrics accounting identity (requests_total = replies_ok +
+   replies_error + rejected + dropped) holds at every instant because a
+   request's requests_total increment and its outcome increment happen
+   together under the engine lock, in [count_outcome]. *)
 
 module Json = Experiments.Json
 
@@ -22,50 +30,136 @@ let default_stats_window = 1024
 
 type sink = Protocol.reply -> unit
 
+(* One admitted request, with everything its telemetry needs: the
+   connection that owns the reply, the admission timestamp the latency
+   histogram measures from, and the flow id tying the admission span to
+   the dispatch span in the trace. *)
+type pending = {
+  preq : Protocol.request;
+  psink : sink;
+  pconn : int;
+  admitted_ns : int64;
+  flow : int;
+}
+
 type t = {
-  queue : (Protocol.request * sink) Queue.t;
+  queue : pending Queue.t;
   batch : int;
   domains : int option;
   started_ns : int64;
   lock : Mutex.t;
   window : int;
   lat : float array;  (* ring of the last [window] completed latencies *)
+  registry : Obs.Metrics.registry;
+  log : Reqlog.t option;
   mutable lat_count : int;  (* completed run/sweep total, monotone *)
   mutable completed : int;
   mutable errors : int;  (* non-backpressure error replies *)
   mutable rejected : int;  (* queue_full error replies *)
+  mutable flow_seq : int;  (* trace flow-id source, engine-lock guarded *)
   mutable seq_out : Protocol.reply list;  (* sequential-transport sink *)
 }
 
+let counter_names =
+  [
+    "serve_requests_total";
+    "serve_replies_ok_total";
+    "serve_replies_error_total";
+    "serve_rejected_total";
+    "serve_dropped_total";
+    "serve_flushes_total";
+  ]
+
+let gauge_names =
+  [
+    "serve_queue_depth";
+    "serve_queue_peak";
+    "serve_connections_active";
+    "trace_dropped_events";
+  ]
+
 let create ?(capacity = default_capacity) ?(batch = default_batch)
-    ?(stats_window = default_stats_window) ?domains () =
+    ?(stats_window = default_stats_window) ?domains
+    ?(registry = Obs.Metrics.default) ?log () =
   if batch < 1 then invalid_arg "Serve.Server.create: batch < 1";
   if stats_window < 1 then invalid_arg "Serve.Server.create: stats_window < 1";
+  (* Pre-register every counter and gauge so a scrape sees the full
+     name set from the first reply, zeros included — CI greps for
+     specific names and must not depend on traffic having happened. *)
+  List.iter (fun n -> Obs.Metrics.counter_add ~registry n 0) counter_names;
+  List.iter (fun n -> Obs.Metrics.gauge_add ~registry n 0) gauge_names;
+  (* The observe hook runs at every admit/drain, under the engine lock,
+     so the depth gauge tracks the queue exactly, not at sample points. *)
+  let peak = ref 0 in
+  let observe len =
+    Obs.Metrics.gauge_set ~registry "serve_queue_depth" len;
+    if len > !peak then begin
+      peak := len;
+      Obs.Metrics.gauge_set ~registry "serve_queue_peak" len
+    end
+  in
   {
-    queue = Queue.create ~capacity;
+    queue = Queue.create ~capacity ~observe ();
     batch;
     domains;
     started_ns = Obs.Trace.now_ns ();
     lock = Mutex.create ();
     window = stats_window;
     lat = Array.make stats_window 0.0;
+    registry;
+    log;
     lat_count = 0;
     completed = 0;
     errors = 0;
     rejected = 0;
+    flow_seq = 0;
     seq_out = [];
   }
 
 type outcome = { replies : Protocol.reply list; stop : bool }
 
-(* ---------------------------------------------------------- dispatch *)
+(* --------------------------------------------------------- telemetry *)
 
 let ms_since t0 = Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t0) /. 1e6
 
+let log_event t ~event ?code ~conn ~id ~op ~latency_ms () =
+  match t.log with
+  | None -> ()
+  | Some l ->
+      Reqlog.event l ~event ?code ~conn ~id ~op
+        ~queue_depth:(Queue.length t.queue) ~latency_ms ()
+
+(* A sink that raises (a connection torn down mid-write, an overflowed
+   outbox) must not abort the flush: the remaining requests in the
+   batch still own replies.  The boolean is whether delivery landed. *)
+let deliver (sink : sink) reply = try sink reply; true with _ -> false
+
+(* The one place the accounting counters move: a request enters
+   requests_total at the same locked instant its outcome bucket
+   increments, so the identity requests_total = replies_ok +
+   replies_error + rejected + dropped never has a window where it is
+   violated — a metrics barrier (which flushes first) always snapshots
+   it exact.  [rejection] routes queue_full refusals to the rejected
+   bucket regardless of whether the refusal reply itself landed. *)
+let count_outcome t ?(rejection = false) ~delivered reply =
+  let bump name = Obs.Metrics.counter_incr ~registry:t.registry name in
+  bump "serve_requests_total";
+  if rejection then bump "serve_rejected_total"
+  else if not delivered then bump "serve_dropped_total"
+  else
+    match reply with
+    | Protocol.Ok_reply _ -> bump "serve_replies_ok_total"
+    | Protocol.Error_reply _ -> bump "serve_replies_error_total"
+
+(* ---------------------------------------------------------- dispatch *)
+
 (* One queued request to its reply, on whichever domain runs the chunk.
    The trace span mirrors the registry's experiment.<id> spans: opt-in,
-   wall-clock, write-only w.r.t. everything gated. *)
-let dispatch (req : Protocol.request) : Protocol.reply =
+   wall-clock, write-only w.r.t. everything gated.  The flow_end inside
+   the span is the arrowhead of the admission-to-dispatch flow arrow
+   started in [submit_locked]. *)
+let dispatch t (p : pending) : Protocol.reply =
+  let req = p.preq in
   let t0 = Obs.Trace.now_ns () in
   match
     Obs.Trace.with_span "serve.request"
@@ -75,6 +169,7 @@ let dispatch (req : Protocol.request) : Protocol.reply =
           ("op", Obs.Trace.Str (Protocol.op_name req.Protocol.op));
         ]
       (fun () ->
+        Obs.Trace.flow_end ~id:p.flow "serve.request";
         match req.Protocol.op with
         | Protocol.Run { exp; quick; seed } ->
             Experiments.Registry.document ~quick ~seed exp
@@ -84,21 +179,31 @@ let dispatch (req : Protocol.request) : Protocol.reply =
             in
             Experiments.Space_audit.shard_to_json ~shard:(index, count) ~seed
               ~quick rows
-        | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+        | Protocol.Ping | Protocol.Stats | Protocol.Metrics
+        | Protocol.Shutdown ->
             (* Control ops never enter the queue (see [submit]). *)
             assert false)
   with
   | payload ->
+      let wall_ms = ms_since t0 in
+      let hist =
+        match req.Protocol.op with
+        | Protocol.Run _ -> "serve_run_latency_ms"
+        | _ -> "serve_sweep_latency_ms"
+      in
+      Obs.Metrics.observe ~registry:t.registry hist wall_ms;
       Protocol.Ok_reply
         {
+          v = req.Protocol.v;
           id = req.Protocol.id;
           op = Protocol.op_name req.Protocol.op;
           payload;
-          wall_ms = ms_since t0;
+          wall_ms;
         }
   | exception e ->
       Protocol.Error_reply
         {
+          v = req.Protocol.v;
           id = Some req.Protocol.id;
           code = Protocol.Internal_error;
           message = Printexc.to_string e;
@@ -115,10 +220,6 @@ let record t = function
       t.lat_count <- t.lat_count + 1
   | Protocol.Error_reply _ -> t.errors <- t.errors + 1
 
-(* A sink that raises (a connection torn down mid-write) must not abort
-   the flush: the remaining requests in the batch still own replies. *)
-let deliver (sink : sink) reply = try sink reply with _ -> ()
-
 (* Flush the queue as one batch across domains — one request per chunk,
    replies routed to each request's own connection in admission order.
    The chunk PRNGs are unused: every payload derives its randomness
@@ -128,19 +229,36 @@ let flush_locked t =
   | [] -> ()
   | batch ->
       let arr = Array.of_list batch in
+      let n = Array.length arr in
+      let t0 = Obs.Trace.now_ns () in
+      Obs.Metrics.counter_incr ~registry:t.registry "serve_flushes_total";
+      Obs.Metrics.observe ~registry:t.registry "serve_flush_batch"
+        (float_of_int n);
       let replies =
         Obs.Trace.with_span "serve.flush"
-          ~args:[ ("batch", Obs.Trace.Int (Array.length arr)) ]
+          ~args:[ ("batch", Obs.Trace.Int n) ]
           (fun () ->
-            Mathx.Parallel.map_chunks ?domains:t.domains
-              ~chunks:(Array.length arr)
-              (fun ~chunk ~rng:_ -> dispatch (fst arr.(chunk)))
+            Mathx.Parallel.map_chunks ?domains:t.domains ~chunks:n
+              (fun ~chunk ~rng:_ -> dispatch t arr.(chunk))
               ~rng:(Mathx.Rng.create 0))
       in
+      Obs.Metrics.observe ~registry:t.registry "serve_flush_ms" (ms_since t0);
       List.iteri
         (fun i reply ->
+          let p = arr.(i) in
+          let id = Some p.preq.Protocol.id in
+          let op = Some (Protocol.op_name p.preq.Protocol.op) in
+          let lat () = ms_since p.admitted_ns in
+          Obs.Metrics.observe ~registry:t.registry "serve_request_latency_ms"
+            (lat ());
+          log_event t ~event:"flushed" ~conn:p.pconn ~id ~op
+            ~latency_ms:(lat ()) ();
           record t reply;
-          deliver (snd arr.(i)) reply)
+          let delivered = deliver p.psink reply in
+          count_outcome t ~delivered reply;
+          log_event t
+            ~event:(if delivered then "replied" else "dropped")
+            ~conn:p.pconn ~id ~op ~latency_ms:(lat ()) ())
         replies
 
 (* ------------------------------------------------------------- stats *)
@@ -168,79 +286,168 @@ let stats_locked t =
       ("p99_ms", Json.Float (percentile sorted 99.0));
       ("queue_capacity", Json.Int (Queue.capacity t.queue));
       ("queue_peak", Json.Int (Queue.peak t.queue));
+      ("trace_dropped", Json.Int (Obs.Trace.dropped ()));
       ("uptime_ms", Json.Float (ms_since t.started_ns));
     ]
 
 let stats_payload t = Mutex.protect t.lock (fun () -> stats_locked t)
+
+(* ----------------------------------------------------------- metrics *)
+
+(* Gauges that track state rather than events are refreshed at the
+   snapshot, under the engine lock, so every scrape is self-consistent
+   with the queue it describes. *)
+let metrics_snapshot_locked t =
+  Obs.Metrics.gauge_set ~registry:t.registry "serve_queue_depth"
+    (Queue.length t.queue);
+  Obs.Metrics.gauge_set ~registry:t.registry "serve_queue_peak"
+    (Queue.peak t.queue);
+  Obs.Metrics.gauge_set ~registry:t.registry "trace_dropped_events"
+    (Obs.Trace.dropped ());
+  Obs.Metrics.snapshot ~registry:t.registry ()
+
+let metrics_payload t =
+  Mutex.protect t.lock (fun () ->
+      Experiments.Metrics_doc.document (metrics_snapshot_locked t))
+
+let metrics_text t =
+  Mutex.protect t.lock (fun () ->
+      Obs.Metrics.to_prometheus (metrics_snapshot_locked t))
 
 (* ---------------------------------------------------------- admission *)
 
 let control_reply (req : Protocol.request) payload t0 =
   Protocol.Ok_reply
     {
+      v = req.Protocol.v;
       id = req.Protocol.id;
       op = Protocol.op_name req.Protocol.op;
       payload;
       wall_ms = ms_since t0;
     }
 
-let submit_locked t ~(reply : sink) (req : Protocol.request) : bool =
+(* Control requests are barriers: the pending batch flushes first, so a
+   ping also bounds the staleness of queued work — and a metrics
+   snapshot never has admitted-but-undispatched requests outside the
+   accounting identity. *)
+let control t ~conn ~(reply : sink) (req : Protocol.request) payload_fn =
+  flush_locked t;
+  let t0 = Obs.Trace.now_ns () in
+  let r = control_reply req (payload_fn ()) t0 in
+  let delivered = deliver reply r in
+  count_outcome t ~delivered r;
+  log_event t
+    ~event:(if delivered then "replied" else "dropped")
+    ~conn ~id:(Some req.Protocol.id)
+    ~op:(Some (Protocol.op_name req.Protocol.op))
+    ~latency_ms:(ms_since t0) ()
+
+let submit_locked t ~conn ~(reply : sink) (req : Protocol.request) : bool =
   match req.Protocol.op with
   | Protocol.Run _ | Protocol.Sweep _ ->
-      if Queue.admit t.queue (req, reply) then begin
+      let opn = Protocol.op_name req.Protocol.op in
+      t.flow_seq <- t.flow_seq + 1;
+      let p =
+        {
+          preq = req;
+          psink = reply;
+          pconn = conn;
+          admitted_ns = Obs.Trace.now_ns ();
+          flow = t.flow_seq;
+        }
+      in
+      if Queue.admit t.queue p then begin
+        (* The admission half of the flow arrow, on the connection's
+           own thread; [dispatch] emits the arrowhead on whichever
+           domain runs the request. *)
+        Obs.Trace.with_span "serve.admit"
+          ~args:
+            [ ("id", Obs.Trace.Str req.Protocol.id); ("op", Obs.Trace.Str opn) ]
+          (fun () -> Obs.Trace.flow_start ~id:p.flow "serve.request");
+        log_event t ~event:"admitted" ~conn ~id:(Some req.Protocol.id)
+          ~op:(Some opn) ~latency_ms:0.0 ();
         if Queue.length t.queue >= t.batch then flush_locked t;
         false
       end
       else begin
         t.rejected <- t.rejected + 1;
-        deliver reply
-          (Protocol.Error_reply
-             {
-               id = Some req.Protocol.id;
-               code = Protocol.Queue_full;
-               message =
-                 Printf.sprintf
-                   "admission queue is full (capacity %d); retry after \
-                    draining replies"
-                   (Queue.capacity t.queue);
-             });
+        let r =
+          Protocol.Error_reply
+            {
+              v = req.Protocol.v;
+              id = Some req.Protocol.id;
+              code = Protocol.Queue_full;
+              message =
+                Printf.sprintf
+                  "admission queue is full (capacity %d); retry after \
+                   draining replies"
+                  (Queue.capacity t.queue);
+            }
+        in
+        let delivered = deliver reply r in
+        count_outcome t ~rejection:true ~delivered r;
+        log_event t ~event:"rejected"
+          ~code:(Protocol.code_to_string Protocol.Queue_full)
+          ~conn ~id:(Some req.Protocol.id) ~op:(Some opn) ~latency_ms:0.0 ();
         false
       end
   | Protocol.Ping ->
-      (* Control requests are barriers: the pending batch flushes first,
-         so a ping also bounds the staleness of queued work. *)
-      flush_locked t;
-      let t0 = Obs.Trace.now_ns () in
-      deliver reply (control_reply req (Json.Obj [ ("pong", Json.Bool true) ]) t0);
+      control t ~conn ~reply req (fun () ->
+          Json.Obj [ ("pong", Json.Bool true) ]);
       false
   | Protocol.Stats ->
-      flush_locked t;
-      let t0 = Obs.Trace.now_ns () in
-      deliver reply (control_reply req (stats_locked t) t0);
+      control t ~conn ~reply req (fun () -> stats_locked t);
+      false
+  | Protocol.Metrics ->
+      control t ~conn ~reply req (fun () ->
+          Experiments.Metrics_doc.document (metrics_snapshot_locked t));
       false
   | Protocol.Shutdown ->
-      flush_locked t;
-      let t0 = Obs.Trace.now_ns () in
-      deliver reply
-        (control_reply req (Json.Obj [ ("stopping", Json.Bool true) ]) t0);
+      control t ~conn ~reply req (fun () ->
+          Json.Obj [ ("stopping", Json.Bool true) ]);
       true
 
-let submit_routed t ~reply req =
-  Mutex.protect t.lock (fun () -> submit_locked t ~reply req)
+let submit_routed t ?(conn = 0) ~reply req =
+  Mutex.protect t.lock (fun () -> submit_locked t ~conn ~reply req)
 
-let submit_line_routed t ~(reply : sink) line =
+(* A rejected line never reached [submit_locked]: account for it here,
+   with the same paired counting ([count_outcome]) every other outcome
+   gets, and a [rejected] log event carrying the protocol code. *)
+let reject_line_locked t ~conn ~delivered ~code ~id reply =
+  t.errors <- t.errors + 1;
+  count_outcome t ~delivered reply;
+  log_event t ~event:"rejected" ~code:(Protocol.code_to_string code) ~conn ~id
+    ~op:None ~latency_ms:0.0 ()
+
+let submit_line_routed t ?(conn = 0) ~(reply : sink) line =
   match Protocol.parse_line line with
-  | Ok req -> submit_routed t ~reply req
-  | Error { Protocol.id; code; message } ->
+  | Ok req -> submit_routed t ~conn ~reply req
+  | Error { Protocol.v; id; code; message } ->
       Mutex.protect t.lock (fun () ->
-          t.errors <- t.errors + 1;
-          deliver reply (Protocol.Error_reply { id; code; message }));
+          let r = Protocol.Error_reply { v; id; code; message } in
+          let delivered = deliver reply r in
+          reject_line_locked t ~conn ~delivered ~code ~id r);
       false
 
 let flush_routed t = Mutex.protect t.lock (fun () -> flush_locked t)
 
-let note_transport_error t =
-  Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+(* Transport-level violations (socket framing) look like any other
+   rejected input to the telemetry: an error reply, a rejected event,
+   one requests_total. *)
+let reply_transport_error t ?(conn = 0) ~(reply : sink) message =
+  Mutex.protect t.lock (fun () ->
+      let r =
+        Protocol.Error_reply
+          {
+            v = Protocol.version;
+            id = None;
+            code = Protocol.Frame_error;
+            message;
+          }
+      in
+      let delivered = deliver reply r in
+      reject_line_locked t ~conn ~delivered ~code:Protocol.Frame_error ~id:None
+        r)
 
 (* The sequential transports (stdin/stdout, in-process replay) want the
    replies a submission forces out as a return value.  They run the
@@ -254,15 +461,17 @@ let seq_sink t reply = t.seq_out <- reply :: t.seq_out
 let submit t (req : Protocol.request) : outcome =
   Mutex.protect t.lock (fun () ->
       t.seq_out <- [];
-      let stop = submit_locked t ~reply:(seq_sink t) req in
+      let stop = submit_locked t ~conn:0 ~reply:(seq_sink t) req in
       { replies = List.rev t.seq_out; stop })
 
 let submit_line t line =
   match Protocol.parse_line line with
   | Ok req -> submit t req
-  | Error { Protocol.id; code; message } ->
-      Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1);
-      { replies = [ Protocol.Error_reply { id; code; message } ]; stop = false }
+  | Error { Protocol.v; id; code; message } ->
+      Mutex.protect t.lock (fun () ->
+          let r = Protocol.Error_reply { v; id; code; message } in
+          reject_line_locked t ~conn:0 ~delivered:true ~code ~id r;
+          { replies = [ r ]; stop = false })
 
 let finish t =
   Mutex.protect t.lock (fun () ->
@@ -321,6 +530,7 @@ type conn_state = {
   mutable conn_fds : Unix.file_descr list;  (* live connections *)
   mutable conn_threads : Thread.t list;
   mutable live : int;
+  mutable next_conn : int;  (* connection-id source, 1-based *)
 }
 
 let serve_socket ?(max_clients = default_max_clients) t path =
@@ -348,6 +558,7 @@ let serve_socket ?(max_clients = default_max_clients) t path =
       conn_fds = [];
       conn_threads = [];
       live = 0;
+      next_conn = 0;
     }
   in
   (* A shutdown request stops the accept loop and drains the other live
@@ -370,16 +581,18 @@ let serve_socket ?(max_clients = default_max_clients) t path =
     Mutex.protect st.reg (fun () ->
         st.conn_fds <- List.filter (fun fd' -> fd' != fd) st.conn_fds;
         st.live <- st.live - 1;
+        Obs.Metrics.gauge_add ~registry:t.registry "serve_connections_active"
+          (-1);
         Condition.broadcast st.wake)
   in
-  let serve_connection fd =
+  let serve_connection (fd, conn) =
     (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
      with Unix.Unix_error _ -> ());
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
     let olock = Mutex.create () in
     let osig = Condition.create () in
-    let obuf = Queue.create ~capacity:outbox_capacity in
+    let obuf = Queue.create ~capacity:outbox_capacity () in
     let oclosed = ref false in
     (* reader finished: writer drains, then exits *)
     let odead = ref false in
@@ -397,13 +610,19 @@ let serve_socket ?(max_clients = default_max_clients) t path =
     in
     (* The engine calls this under its lock: enqueue only, never block.
        An outbox at capacity means the client is not draining replies;
-       that is a disconnect, not a reason to wait. *)
+       that is a disconnect, not a reason to wait.  A reply that cannot
+       be enqueued raises, which is the signal the engine's delivery
+       wrapper counts as a drop — a dead connection's losses are
+       observable in the metrics, not silent. *)
     let sink reply =
       let frame = Protocol.to_line (Protocol.reply_to_json reply) in
       Mutex.protect olock (fun () ->
-          if not (!odead || !oclosed) then
-            if Queue.admit obuf frame then Condition.signal osig
-            else mark_dead_locked ())
+          if !odead || !oclosed then raise Exit
+          else if Queue.admit obuf frame then Condition.signal osig
+          else begin
+            mark_dead_locked ();
+            raise Exit
+          end)
     in
     let writer () =
       let rec go () =
@@ -439,13 +658,10 @@ let serve_socket ?(max_clients = default_max_clients) t path =
              own have no reader and are dropped by the dead sink. *)
           flush_routed t
       | Error msg ->
-          note_transport_error t;
-          sink
-            (Protocol.Error_reply
-               { id = None; code = Protocol.Frame_error; message = msg });
+          reply_transport_error t ~conn ~reply:sink msg;
           flush_routed t
       | Ok (Some body) ->
-          if submit_line_routed t ~reply:sink body then begin_shutdown ()
+          if submit_line_routed t ~conn ~reply:sink body then begin_shutdown ()
           else loop ()
     in
     Fun.protect
@@ -492,8 +708,12 @@ let serve_socket ?(max_clients = default_max_clients) t path =
                   else begin
                     st.conn_fds <- fd :: st.conn_fds;
                     st.live <- st.live + 1;
+                    st.next_conn <- st.next_conn + 1;
+                    Obs.Metrics.gauge_add ~registry:t.registry
+                      "serve_connections_active" 1;
                     st.conn_threads <-
-                      Thread.create serve_connection fd :: st.conn_threads
+                      Thread.create serve_connection (fd, st.next_conn)
+                      :: st.conn_threads
                   end)));
       accept_loop ()
     end

@@ -39,10 +39,25 @@
     cache ([Vm.Cache]) is process-wide, so a resident server keeps it
     warm across requests.
 
-    Per-request [Obs.Trace] spans ([serve.request], with the request id
-    and op as arguments) feed the latency accounting that [stats]
-    replies serve as p50/p99 over a bounded window of the most recent
-    {!stats_window} completed requests. *)
+    {2 Telemetry}
+
+    Per-request [Obs.Trace] spans ([serve.admit] on the connection
+    thread, [serve.request] on the dispatching domain, tied together by
+    a flow arrow per request; [serve.flush] around each batch) feed the
+    latency accounting that [stats] replies serve as p50/p99 over a
+    bounded window of the most recent {!stats_window} completed
+    requests.  The engine also feeds an [Obs.Metrics] registry
+    (counters [serve_requests_total], [serve_replies_ok_total],
+    [serve_replies_error_total], [serve_rejected_total],
+    [serve_dropped_total], [serve_flushes_total]; gauges
+    [serve_queue_depth], [serve_queue_peak],
+    [serve_connections_active], [trace_dropped_events]; latency/batch
+    histograms) and, when [create] is given a {!Reqlog.t}, writes one
+    structured log event per request lifecycle transition.  All of it
+    is write-only with respect to the gated JSON outputs, and the
+    accounting identity [requests_total = replies_ok + replies_error +
+    rejected + dropped] holds at every [metrics] reply because a
+    request is counted and bucketed in one locked step. *)
 
 type t
 
@@ -67,17 +82,23 @@ val create :
   ?batch:int ->
   ?stats_window:int ->
   ?domains:int ->
+  ?registry:Obs.Metrics.registry ->
+  ?log:Reqlog.t ->
   unit ->
   t
 (** A fresh engine.  [capacity] bounds the admission queue ([>= 1]);
     [batch] ([>= 1]) is the queue length that triggers a flush;
     [stats_window] ([>= 1]) bounds the latency ring behind p50/p99;
     [domains] caps the parallel runner (default:
-    [Mathx.Parallel.recommended_domains]).  A [batch] larger than
-    [capacity] disables threshold flushes — control barriers and end
-    of input become the only flush points, which is the configuration
-    under which [queue_full] backpressure is observable (and how the
-    test suite exercises it).
+    [Mathx.Parallel.recommended_domains]); [registry] receives the
+    engine's metrics (default [Obs.Metrics.default] — every serve
+    counter and gauge is pre-registered at zero so scrapes see the
+    full name set before any traffic); [log], when given, receives one
+    {!Reqlog} event per request lifecycle transition.  A [batch]
+    larger than [capacity] disables threshold flushes — control
+    barriers and end of input become the only flush points, which is
+    the configuration under which [queue_full] backpressure is
+    observable (and how the test suite exercises it).
     @raise Invalid_argument if [capacity < 1], [batch < 1], or
     [stats_window < 1]. *)
 
@@ -102,24 +123,31 @@ type outcome = {
     a dead connection: its reply is dropped and the rest of the flush
     proceeds. *)
 
-val submit_routed : t -> reply:(Protocol.reply -> unit) -> Protocol.request -> bool
+val submit_routed :
+  t -> ?conn:int -> reply:(Protocol.reply -> unit) -> Protocol.request -> bool
 (** Feed one decoded request through admission/batching/dispatch,
-    routing every forced-out reply to its owner.  Returns [true]
-    exactly when the request was a [shutdown] (after its reply was
-    delivered). *)
+    routing every forced-out reply to its owner.  [conn] (default 0)
+    is the connection id stamped on this request's log events.
+    Returns [true] exactly when the request was a [shutdown] (after
+    its reply was delivered). *)
 
-val submit_line_routed : t -> reply:(Protocol.reply -> unit) -> string -> bool
+val submit_line_routed :
+  t -> ?conn:int -> reply:(Protocol.reply -> unit) -> string -> bool
 (** {!submit_routed} over [Protocol.parse_line]; a rejected line draws
     the matching error reply on [reply] and never stops the server. *)
 
 val flush_routed : t -> unit
 (** End of one connection's input: flush whatever is queued, routing
     each reply to the connection that owns it (a dead connection's own
-    replies are dropped by its sink). *)
+    replies are dropped by its sink — and counted, see
+    [serve_dropped_total]). *)
 
-val note_transport_error : t -> unit
-(** Count one transport-level error reply (socket framing violation)
-    in the [errors] stat. *)
+val reply_transport_error :
+  t -> ?conn:int -> reply:(Protocol.reply -> unit) -> string -> unit
+(** Answer a transport-level violation (socket framing): deliver a
+    [frame_error] reply on [reply] and account for it exactly like any
+    other rejected input — one [errors] stat, one [requests_total],
+    one [rejected] log event. *)
 
 (** {2 Sequential interface (stdin/stdout, in-process replay)} *)
 
@@ -141,7 +169,18 @@ val stats_payload : t -> Experiments.Json.t
 (** The [stats] reply payload, documented key by key in
     docs/PROTOCOL.md: completed/errors/rejected counts, p50/p99
     latency over the stats window, queue capacity and high-water mark,
-    uptime. *)
+    trace-ring drop count, uptime. *)
+
+val metrics_payload : t -> Experiments.Json.t
+(** The [metrics] reply payload: the engine registry's snapshot as the
+    [oqsc-metrics] document ([Experiments.Metrics_doc.document]), with
+    the state gauges (queue depth/peak, trace drops) refreshed under
+    the engine lock so the scrape is self-consistent. *)
+
+val metrics_text : t -> string
+(** The same snapshot as {!metrics_payload}, rendered in Prometheus
+    text exposition format ([Obs.Metrics.to_prometheus]) — what
+    [oqsc serve --metrics-file] writes. *)
 
 val stats_window : t -> int
 (** The engine's latency-ring size. *)

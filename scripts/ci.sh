@@ -208,6 +208,30 @@ if want serve; then
     cmp "$tmp/payloads_sock/$id.json" "$tmp/serve_$id.json"
   done
 
+  # Telemetry must be write-only: the same socket replay with the
+  # request log, the metrics file, and the trace recorder all active
+  # must produce byte-identical payloads. The emitted streams must
+  # survive their linters (log-lint checks the exact event schema and
+  # seq/ts ordering; trace-lint checks span balance and flow-arrow
+  # pairing), and the metrics file must expose the serve counters in
+  # Prometheus text exposition format.
+  _build/default/bin/oqsc_cli.exe serve --socket "$tmp/tel.sock" \
+    --log "$tmp/tel_log.ndjson" --metrics-file "$tmp/tel.prom" \
+    --trace "$tmp/tel_trace.json" &
+  tel_pid=$!
+  for _ in $(seq 50); do [ -S "$tmp/tel.sock" ] && break; sleep 0.1; done
+  [ -S "$tmp/tel.sock" ]
+  dune exec bin/oqsc_cli.exe -- bench-serve "$mix" --socket "$tmp/tel.sock" \
+    --payload-dir "$tmp/payloads_tel" --shutdown >/dev/null
+  wait "$tel_pid"
+  for id in b e f; do
+    cmp "$tmp/payloads_tel/$id.json" "$tmp/serve_$id.json"
+  done
+  dune exec bin/oqsc_cli.exe -- log-lint "$tmp/tel_log.ndjson"
+  dune exec bin/oqsc_cli.exe -- trace-lint "$tmp/tel_trace.json"
+  grep -q '^# TYPE serve_requests_total counter$' "$tmp/tel.prom"
+  grep -q 'serve_request_latency_ms_bucket{le="+Inf"}' "$tmp/tel.prom"
+
   # NDJSON transport smoke: requests on stdin, one reply line each, a
   # shutdown request ends the process with exit 0.
   { cat "$mix"; echo '{"v":1,"id":"z","op":"shutdown"}'; } \
@@ -228,6 +252,18 @@ if want serve; then
   grep -q '"code":"unsupported_version"' "$tmp/err_replies"
   grep -q '"code":"unknown_experiment"' "$tmp/err_replies"
   grep -q '"op":"shutdown"' "$tmp/err_replies"
+
+  # The v2 metrics op: version-gated (a v1 request naming it draws
+  # unknown_op), a barrier when accepted, and the reply payload is the
+  # oqsc-metrics document.
+  printf '%s\n' \
+    '{"v":1,"id":"m1","op":"metrics"}' \
+    '{"v":2,"id":"m2","op":"metrics"}' \
+    '{"v":1,"id":"z","op":"shutdown"}' \
+    | dune exec bin/oqsc_cli.exe -- serve > "$tmp/metrics_replies"
+  grep -q '"code":"unknown_op"' "$tmp/metrics_replies"
+  grep -q '"id":"m2","ok":true' "$tmp/metrics_replies"
+  grep -q '"kind":"oqsc-metrics"' "$tmp/metrics_replies"
 
   # Backpressure: with threshold flushes disabled (batch > queue) the
   # second admission must be refused with queue_full.
@@ -250,15 +286,64 @@ if want serve-soak; then
   # regression in the serving path is not.
   mix=examples/serve_mix.ndjson
   dune build bin/oqsc_cli.exe
-  _build/default/bin/oqsc_cli.exe serve --socket "$tmp/soak.sock" --max-clients 8 &
+  _build/default/bin/oqsc_cli.exe serve --socket "$tmp/soak.sock" --max-clients 8 \
+    --log "$tmp/soak_log.ndjson" &
   soak_pid=$!
   for _ in $(seq 50); do [ -S "$tmp/soak.sock" ] && break; sleep 0.1; done
   [ -S "$tmp/soak.sock" ]
+  # Early metrics scrape: one light replay against the live server
+  # records the counter state before the heavy load, for the
+  # monotonicity gate below (every bench-serve --json report embeds
+  # the server's metrics snapshot, scraped via a v2 metrics request).
+  dune exec bin/oqsc_cli.exe -- bench-serve "$mix" --socket "$tmp/soak.sock" \
+    --json "$tmp/soak_mid.json" >/dev/null
   dune exec bin/oqsc_cli.exe -- bench-serve "$mix" --socket "$tmp/soak.sock" \
     --clients 4 --repeat 50 --payload-dir "$tmp/soak_payloads" \
     --json "$tmp/soak.json" --shutdown
   wait "$soak_pid"
   [ ! -e "$tmp/soak.sock" ]
+
+  # The request log the server wrote under concurrent load must lint
+  # clean after shutdown: exact event schema, gapless seq, ordered ts.
+  dune exec bin/oqsc_cli.exe -- log-lint "$tmp/soak_log.ndjson"
+
+  # Metrics gates over the two scrapes of the same server process.
+  metric() { # FILE NAME -> integer counter value
+    awk -v pat="\"name\": \"$2\"" '
+      index($0, pat) { f = 1 }
+      f && index($0, "\"value\":") { gsub(/[^0-9]/, "", $0); print; exit }
+    ' "$1"
+  }
+  # 1. Monotonicity: no serve counter may move backwards between the
+  #    early scrape and the end-of-soak scrape.
+  for c in serve_requests_total serve_replies_ok_total \
+           serve_replies_error_total serve_rejected_total \
+           serve_dropped_total serve_flushes_total; do
+    early="$(metric "$tmp/soak_mid.json" "$c")"
+    final="$(metric "$tmp/soak.json" "$c")"
+    if [ -z "$early" ] || [ -z "$final" ]; then
+      echo "serve-soak: counter $c missing from a metrics scrape" >&2
+      exit 1
+    fi
+    if [ "$early" -gt "$final" ]; then
+      echo "serve-soak: counter $c went backwards ($early -> $final)" >&2
+      exit 1
+    fi
+  done
+  # 2. Accounting identity at both scrapes: every request the server
+  #    ever saw is exactly one of replied-ok / replied-error /
+  #    rejected / dropped (docs/PROTOCOL.md, metrics payload).
+  for f in "$tmp/soak_mid.json" "$tmp/soak.json"; do
+    req="$(metric "$f" serve_requests_total)"
+    sum=$(( $(metric "$f" serve_replies_ok_total) \
+          + $(metric "$f" serve_replies_error_total) \
+          + $(metric "$f" serve_rejected_total) \
+          + $(metric "$f" serve_dropped_total) ))
+    if [ "$req" -ne "$sum" ]; then
+      echo "serve-soak: accounting identity broken in $f ($req != $sum)" >&2
+      exit 1
+    fi
+  done
 
   # Payload bytes out of a loaded concurrent server = one-shot CLI bytes.
   dune exec bin/oqsc_cli.exe -- run-all --quick --quiet --only e2 \

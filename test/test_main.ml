@@ -5,6 +5,7 @@ let () =
     [
       ("mathx", Test_mathx.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("quantum", Test_quantum.suite);
       ("density", Test_density.suite);

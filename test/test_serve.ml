@@ -64,11 +64,22 @@ let op_gen =
             bool (int_bound 100_000) );
         (1, return Protocol.Ping);
         (1, return Protocol.Stats);
+        (1, return Protocol.Metrics);
         (1, return Protocol.Shutdown);
       ])
 
+(* [metrics] only decodes at v2, so force its version up; every other
+   op round-trips at either supported version. *)
 let request_gen =
-  QCheck.Gen.map2 (fun id op -> { Protocol.id; op }) id_gen op_gen
+  QCheck.Gen.(
+    map3
+      (fun id op v ->
+        let v =
+          match op with Protocol.Metrics -> Protocol.metrics_version | _ -> v
+        in
+        { Protocol.v; id; op })
+      id_gen op_gen
+      (oneofl Protocol.versions))
 
 let prop_request_roundtrip =
   QCheck.Test.make ~name:"request codec: decode (encode r) = r" ~count:300
@@ -104,9 +115,10 @@ let reply_gen =
       [
         ( 3,
           map3
-            (fun id n op ->
+            (fun id n (op, v) ->
               Protocol.Ok_reply
                 {
+                  v;
                   id;
                   op;
                   payload =
@@ -114,11 +126,15 @@ let reply_gen =
                   wall_ms = float_of_int n /. 8.0;
                 } )
             id_gen (int_bound 10_000)
-            (oneofl [ "run"; "sweep"; "ping"; "stats"; "shutdown" ]) );
+            (pair
+               (oneofl [ "run"; "sweep"; "ping"; "stats"; "metrics"; "shutdown" ])
+               (oneofl Protocol.versions)) );
         ( 2,
           map3
-            (fun id code msg -> Protocol.Error_reply { id; code; message = msg })
-            (opt id_gen) code_gen
+            (fun id (code, v) msg ->
+              Protocol.Error_reply { v; id; code; message = msg })
+            (opt id_gen)
+            (pair code_gen (oneofl Protocol.versions))
             (oneofl [ "boom"; "queue is full"; "k\ne\ty" ]) );
       ])
 
@@ -142,9 +158,11 @@ let test_rejects_malformed () =
 let test_rejects_unknown_version () =
   let err =
     expect_decode_error ~code:Protocol.Unsupported_version
-      {|{"v":2,"id":"q","op":"ping"}|}
+      {|{"v":9,"id":"q","op":"ping"}|}
   in
-  check "id recovered for the reply" true (err.Protocol.id = Some "q")
+  check "id recovered for the reply" true (err.Protocol.id = Some "q");
+  check "unusable version answers at the baseline" true
+    (err.Protocol.v = Protocol.version)
 
 let test_rejects_unknown_op () =
   ignore
@@ -192,7 +210,7 @@ let test_rejects_undocumented_reply_key () =
   expect_reply_rejected
     {|{"error":{"code":"not_a_code","message":"m"},"id":"a","ok":false,"v":1}|};
   expect_reply_rejected
-    {|{"id":"a","ok":true,"op":"ping","payload":{},"v":2,"wall_ms":1.0}|}
+    {|{"id":"a","ok":true,"op":"ping","payload":{},"v":9,"wall_ms":1.0}|}
 
 (* ------------------------------------------------------------ frames *)
 
@@ -256,7 +274,7 @@ let test_frame_violations () =
 (* ------------------------------------------------------------- queue *)
 
 let test_queue_fifo () =
-  let q = Serve.Queue.create ~capacity:3 in
+  let q = Serve.Queue.create ~capacity:3 () in
   check_int "capacity" 3 (Serve.Queue.capacity q);
   check "empty" true (Serve.Queue.is_empty q);
   check "admit 1" true (Serve.Queue.admit q 1);
@@ -269,9 +287,22 @@ let test_queue_fifo () =
   check "admit after drain" true (Serve.Queue.admit q 5);
   Alcotest.(check (list int)) "second drain" [ 5 ] (Serve.Queue.drain q);
   check_int "peak survives drains" 3 (Serve.Queue.peak q);
-  match Serve.Queue.create ~capacity:0 with
+  match Serve.Queue.create ~capacity:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "capacity 0 should raise"
+
+let test_queue_observe_hook () =
+  let seen = ref [] in
+  let q = Serve.Queue.create ~capacity:3 ~observe:(fun n -> seen := n :: !seen) () in
+  ignore (Serve.Queue.admit q 1);
+  ignore (Serve.Queue.admit q 2);
+  ignore (Serve.Queue.admit q 3);
+  check "full admit is not observed" false (Serve.Queue.admit q 4);
+  ignore (Serve.Queue.drain q);
+  ignore (Serve.Queue.drain q);
+  Alcotest.(check (list int))
+    "observed lengths: each admit, one nonempty drain" [ 1; 2; 3; 0 ]
+    (List.rev !seen)
 
 (* ------------------------------------------------------------ engine *)
 
@@ -346,6 +377,7 @@ let test_stats_payload_keys () =
           "queue_capacity";
           "queue_peak";
           "rejected";
+          "trace_dropped";
           "uptime_ms";
         ]
         (List.sort compare (List.map fst fields))
@@ -359,6 +391,173 @@ let test_shutdown_stops () =
   Alcotest.(check (list string))
     "drains before stopping" [ "r1"; "z" ]
     (List.map reply_id o.Server.replies)
+
+(* ------------------------------------------------- protocol v2: metrics *)
+
+let test_metrics_gated_by_version () =
+  (* The op exists only at v2: a v1 request naming it draws unknown_op
+     (not unsupported_version — v1 itself is fine). *)
+  ignore
+    (expect_decode_error ~code:Protocol.Unknown_op
+       {|{"v":1,"id":"m","op":"metrics"}|});
+  match Protocol.parse_line {|{"v":2,"id":"m","op":"metrics"}|} with
+  | Ok { Protocol.v; id = "m"; op = Protocol.Metrics } ->
+      check_int "decoded at v2" Protocol.metrics_version v
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error { Protocol.message; _ } ->
+      Alcotest.failf "v2 metrics rejected: %s" message
+
+let test_reply_echoes_request_version () =
+  let t = Server.create ~registry:(Obs.Metrics.create_registry ()) () in
+  let o1 = submit_line t {|{"v":2,"id":"p","op":"ping"}|} in
+  (match o1.Server.replies with
+  | [ Protocol.Ok_reply { v = 2; id = "p"; _ } ] -> ()
+  | _ -> Alcotest.fail "v2 ping must be answered at v2");
+  let o2 = submit_line t {|{"v":1,"id":"q","op":"ping"}|} in
+  match o2.Server.replies with
+  | [ Protocol.Ok_reply { v = 1; id = "q"; _ } ] -> ()
+  | _ -> Alcotest.fail "v1 ping must be answered at v1"
+
+let metric_value payload name =
+  match payload with
+  | Json.Obj fields -> (
+      match List.assoc_opt "metrics" fields with
+      | Some (Json.List metrics) ->
+          List.find_map
+            (function
+              | Json.Obj m when List.assoc_opt "name" m = Some (Json.Str name)
+                ->
+                  List.assoc_opt "value" m
+              | _ -> None)
+            metrics
+      | _ -> None)
+  | _ -> None
+
+let test_metrics_barrier_and_accounting () =
+  (* A fresh registry per test: the metrics op is a barrier (flushes
+     the queued run first), its payload is the oqsc-metrics document,
+     and the accounting identity holds in the snapshot it serves. *)
+  let registry = Obs.Metrics.create_registry () in
+  let t = Server.create ~capacity:8 ~batch:8 ~registry () in
+  ignore (submit_line t (run_line "r1" "e2"));
+  ignore (submit_line t "{nope");
+  let o = submit_line t {|{"v":2,"id":"m","op":"metrics"}|} in
+  Alcotest.(check (list string))
+    "metrics is a barrier" [ "r1"; "m" ]
+    (List.map reply_id o.Server.replies);
+  match List.rev o.Server.replies with
+  | Protocol.Ok_reply { v = 2; op = "metrics"; payload; _ } :: _ ->
+      (match payload with
+      | Json.Obj fields ->
+          check "kind" true
+            (List.assoc_opt "kind" fields = Some (Json.Str "oqsc-metrics"))
+      | _ -> Alcotest.fail "metrics payload must be an object");
+      let v name =
+        match metric_value payload name with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "metric %s missing from the snapshot" name
+      in
+      check_int "requests: the run and the malformed line" 2
+        (v "serve_requests_total");
+      check_int "accounting identity" (v "serve_requests_total")
+        (v "serve_replies_ok_total"
+        + v "serve_replies_error_total"
+        + v "serve_rejected_total"
+        + v "serve_dropped_total")
+  | _ -> Alcotest.fail "wanted a v2 metrics ok reply"
+
+let test_metrics_counts_drops_and_rejections () =
+  let registry = Obs.Metrics.create_registry () in
+  let t = Server.create ~capacity:1 ~batch:99 ~registry () in
+  (* One admitted run whose sink dies, one queue_full rejection, then a
+     barrier from a live sink: the snapshot must file one drop and one
+     rejection and still balance. *)
+  ignore
+    (Server.submit_line_routed t
+       ~reply:(fun _ -> failwith "gone")
+       (run_line "d1" "e2"));
+  ignore
+    (Server.submit_line_routed t ~reply:(fun _ -> ()) (run_line "d2" "e2"));
+  let got = ref None in
+  ignore
+    (Server.submit_line_routed t
+       ~reply:(fun r -> got := Some r)
+       {|{"v":2,"id":"m","op":"metrics"}|});
+  match !got with
+  | Some (Protocol.Ok_reply { payload; _ }) ->
+      let v name =
+        match metric_value payload name with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "metric %s missing" name
+      in
+      check_int "one dead-sink drop" 1 (v "serve_dropped_total");
+      check_int "one queue_full rejection" 1 (v "serve_rejected_total");
+      check_int "identity under drops" (v "serve_requests_total")
+        (v "serve_replies_ok_total"
+        + v "serve_replies_error_total"
+        + v "serve_rejected_total"
+        + v "serve_dropped_total")
+  | _ -> Alcotest.fail "metrics reply missing"
+
+(* ------------------------------------------------------- request log *)
+
+let with_reqlog f =
+  let path = Filename.temp_file "oqsc_reqlog" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let log = Serve.Reqlog.open_log path in
+      let t =
+        Server.create ~capacity:8 ~batch:8
+          ~registry:(Obs.Metrics.create_registry ())
+          ~log ()
+      in
+      f t;
+      Serve.Reqlog.close log;
+      In_channel.with_open_text path In_channel.input_all
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> ""))
+
+let test_reqlog_lifecycle_events () =
+  let lines =
+    with_reqlog (fun t ->
+        ignore (submit_line t (run_line "r1" "e2"));
+        ignore (submit_line t "{nope");
+        ignore (submit_line t {|{"v":1,"id":"p","op":"ping"}|}))
+  in
+  match Serve.Reqlog.lint lines with
+  | Error problems ->
+      Alcotest.failf "engine-written log failed lint: %s"
+        (String.concat "; " problems)
+  | Ok { Serve.Reqlog.lines = n; admitted; rejected; flushed; replied; dropped }
+    ->
+      check_int "every line counted" (List.length lines) n;
+      check_int "one admission" 1 admitted;
+      check_int "one rejection (the malformed line)" 1 rejected;
+      check_int "one flush event" 1 flushed;
+      check_int "run + ping replied" 2 replied;
+      check_int "no drops" 0 dropped
+
+let test_reqlog_lint_catches_violations () =
+  (* Hand-corrupted logs: a seq gap, and an undocumented key. *)
+  let ok =
+    {|{"conn":0,"event":"admitted","id":"a","latency_ms":0.0,"op":"run","queue_depth":1,"seq":0,"ts_ms":1.0}|}
+  in
+  let gap =
+    {|{"conn":0,"event":"replied","id":"a","latency_ms":2.0,"op":"run","queue_depth":0,"seq":5,"ts_ms":2.0}|}
+  in
+  let extra =
+    {|{"conn":0,"event":"replied","extra":1,"id":"a","latency_ms":2.0,"op":"run","queue_depth":0,"seq":1,"ts_ms":2.0}|}
+  in
+  (match Serve.Reqlog.lint [ ok; gap ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "seq gap must fail lint");
+  (match Serve.Reqlog.lint [ ok; extra ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undocumented key must fail lint");
+  match Serve.Reqlog.lint [ ok ] with
+  | Ok { Serve.Reqlog.admitted = 1; _ } -> ()
+  | _ -> Alcotest.fail "well-formed line must pass lint"
 
 (* ----------------------------------------------- golden byte-identity *)
 
@@ -568,7 +767,12 @@ let prop_interleaving_multiset =
     (fun ops ->
       let reqs =
         List.mapi
-          (fun i (client, op) -> (client, { Protocol.id = Printf.sprintf "q%d" i; op }))
+          (fun i (client, op) ->
+            ( client,
+              { Protocol.v = Protocol.version;
+                id = Printf.sprintf "q%d" i;
+                op;
+              } ))
           ops
       in
       let seq_engine = Server.create ~capacity:16 ~batch:3 ~domains:2 () in
@@ -846,6 +1050,13 @@ let suite =
     ("request errors answer without stopping", `Quick, test_error_reply_for_bad_line);
     ("stats payload carries exactly the documented keys", `Quick, test_stats_payload_keys);
     ("shutdown drains then stops", `Quick, test_shutdown_stops);
+    ("queue observe hook sees depth transitions", `Quick, test_queue_observe_hook);
+    ("metrics op requires protocol v2", `Quick, test_metrics_gated_by_version);
+    ("replies echo the request's version", `Quick, test_reply_echoes_request_version);
+    ("metrics is a barrier; accounting identity holds", `Quick, test_metrics_barrier_and_accounting);
+    ("metrics counts drops and rejections", `Quick, test_metrics_counts_drops_and_rejections);
+    ("request log: engine-written stream passes lint", `Quick, test_reqlog_lifecycle_events);
+    ("request log: lint rejects gaps and stray keys", `Quick, test_reqlog_lint_catches_violations);
     ("served run payload = one-shot document (via wire)", `Quick, test_run_payload_matches_oneshot);
     ("served sweep payload = one-shot shard (via wire)", `Quick, test_sweep_payload_matches_oneshot);
     ("bench replay: counts and stats capture", `Quick, test_bench_replay_counts);

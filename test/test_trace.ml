@@ -174,7 +174,7 @@ let test_parallel_chunk_spans_balance () =
           match !stack with
           | top :: rest when top = e.T.name -> stack := rest
           | _ -> balanced := false)
-      | T.Instant | T.Counter -> ())
+      | T.Instant | T.Counter | T.Flow_start | T.Flow_end -> ())
     d.T.events;
   Hashtbl.iter (fun _ s -> if !s <> [] then balanced := false) stacks;
   check "per-domain LIFO pairing holds" true !balanced
@@ -259,6 +259,46 @@ let test_export_drops_flagged () =
              String.length p >= 7 && String.sub p 0 7 = "dropped")
            problems)
 
+let test_flow_events_roundtrip () =
+  (* A flow arrow recorded across two spans exports as paired "s"/"f"
+     events sharing a string id, and the exported document lints
+     clean. *)
+  let dump =
+    with_session (fun () ->
+        T.with_span "admit" (fun () -> T.flow_start ~id:7 "req");
+        T.with_span "dispatch" (fun () -> T.flow_end ~id:7 "req");
+        T.stop ())
+  in
+  Alcotest.(check (list string))
+    "flow start recorded" [ "req" ] (names T.Flow_start dump);
+  Alcotest.(check (list string))
+    "flow end recorded" [ "req" ] (names T.Flow_end dump);
+  check "flow ids correlate the two ends" true
+    (List.for_all
+       (fun (e : T.event) ->
+         match e.T.kind with
+         | T.Flow_start | T.Flow_end -> e.T.flow = 7
+         | _ -> e.T.flow = 0)
+       dump.T.events);
+  match Experiments.Chrome_trace.lint (roundtrip dump) with
+  | Ok { Experiments.Chrome_trace.events; _ } -> check_int "six events" 6 events
+  | Error problems ->
+      Alcotest.failf "lint rejected a paired flow: %s"
+        (String.concat "; " problems)
+
+let test_live_dropped_counter () =
+  check_int "dropped reads 0 with tracing off" 0 (T.dropped ());
+  with_session ~capacity:4 (fun () ->
+      check_int "fresh session starts at 0" 0 (T.dropped ());
+      for _ = 1 to 10 do
+        T.instant "tick"
+      done;
+      (* Readable live, without stopping the session — what the serve
+         stats reply surfaces. *)
+      check_int "live counter matches the overflow" 6 (T.dropped ());
+      let d = T.stop () in
+      check_int "dump agrees with the live counter" 6 d.T.dropped)
+
 let bad_doc events =
   let open Experiments.Json in
   let ev ph name ts =
@@ -292,6 +332,22 @@ let test_lint_catches_structural_faults () =
     (bad_doc [ ("i", "t1", 5.0); ("i", "t2", 4.0) ]);
   expect_lint_error "an unknown phase"
     (bad_doc [ ("X", "weird", 1.0) ]);
+  expect_lint_error "an unpaired flow start"
+    (let open Experiments.Json in
+     let flow ph id ts =
+       Obj
+         [
+           ("ph", Str ph); ("cat", Str "flow"); ("id", Str id);
+           ("name", Str "req"); ("pid", Int 1); ("tid", Int 0); ("ts", Float ts);
+         ]
+     in
+     Obj
+       [
+         ("kind", Str "oqsc-trace");
+         ("version", Int 1);
+         ("dropped", Int 0);
+         ("traceEvents", List [ flow "s" "1" 1.0; flow "s" "2" 2.0; flow "f" "2" 3.0 ]);
+       ]);
   expect_lint_error "a foreign document"
     (Experiments.Json.Obj [ ("kind", Experiments.Json.Str "oqsc-results") ]);
   (* Balanced interleaving across DIFFERENT tracks must pass. *)
@@ -376,6 +432,8 @@ let suite =
     ("registry gc telemetry", `Quick, test_registry_gc_telemetry);
     ("export lints clean", `Quick, test_export_lints_clean);
     ("export flags drops", `Quick, test_export_drops_flagged);
+    ("flow arrows export paired and lint clean", `Quick, test_flow_events_roundtrip);
+    ("live dropped counter matches the dump", `Quick, test_live_dropped_counter);
     ("lint catches structural faults", `Quick, test_lint_catches_structural_faults);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
