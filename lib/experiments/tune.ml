@@ -1,0 +1,315 @@
+(* Trace-driven sweep behind `oqsc tune`.
+
+   For every kernel class the backend exposes a {threshold, grain}
+   scheduling pair for, this module replays a timed micro-run per
+   candidate — the gate classes on registers of swept sizes, the
+   map_chunks runner on swept item counts — and reads the wall time
+   back out of the Obs.Trace timeline each run records (the gate
+   classes from their own state.gate1 spans, the runner from an outer
+   span around the whole call).  The chosen threshold is the smallest
+   swept size at which the best parallel candidate beats the
+   sequential path (or a sentinel beyond the swept range when none
+   does); the chosen grain is the fastest parallel grain at the
+   largest swept size.  Every measurement lands in the profile's
+   telemetry section, so the document carries its own derivation and
+   `oqsc tune-lint` can check the choices against it.
+
+   Timings are telemetry: two sweeps on the same machine pick similar
+   but not necessarily identical parameters.  That is fine — the whole
+   point of the profile contract is that ANY valid profile produces
+   byte-identical gated JSON. *)
+
+module S = Quantum.State
+module P = Mathx.Parallel
+module T = Obs.Trace
+
+type opts = { quick : bool; seed : int; domains : int option }
+
+(* ----------------------------------------------- timeline accounting *)
+
+(* Total duration of completed spans named [name] in a dump: per-domain
+   Begin/End pairing by name (same-name spans never nest here). *)
+let spans_total_ns (dump : T.dump) name =
+  let open_ts = Hashtbl.create 8 in
+  let total = ref 0L in
+  List.iter
+    (fun (e : T.event) ->
+      if String.equal e.name name then
+        match e.kind with
+        | T.Begin -> Hashtbl.replace open_ts e.domain e.ts_ns
+        | T.End -> (
+            match Hashtbl.find_opt open_ts e.domain with
+            | Some t0 ->
+                Hashtbl.remove open_ts e.domain;
+                total := Int64.add !total (Int64.sub e.ts_ns t0)
+            | None -> ())
+        | _ -> ())
+    dump.events;
+  Int64.to_float !total
+
+(* Run [f] inside a private trace session and hand the timeline to
+   [extract].  [oqsc tune] owns the process, so no other session can
+   be live; [Fun.protect] keeps a crashed micro-run from leaving
+   tracing enabled. *)
+let timed_run extract f =
+  T.start ();
+  let stopped = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !stopped then ignore (T.stop ()))
+    (fun () ->
+      f ();
+      stopped := true;
+      extract (T.stop ()))
+
+(* ------------------------------------------------- gate-class sweeps *)
+
+let class_gate = function
+  | S.Tlayer -> Quantum.Gates.t
+  | S.Diagonal -> Quantum.Gates.rz 0.3
+  | S.Real -> Quantum.Gates.h
+  | S.General -> Quantum.Gates.compose (Quantum.Gates.rz 0.4) Quantum.Gates.h
+
+(* One micro-run: [reps] single-qubit gates cycling over the register,
+   measured as the sum of the state.gate1 spans the backend already
+   records — scheduling overhead (chunking, domain spawns) lands inside
+   those spans, so the comparison prices exactly what a threshold
+   decision buys. *)
+let measure_gate s gate ~reps =
+  let n = S.nqubits s in
+  timed_run
+    (fun dump -> spans_total_ns dump "state.gate1")
+    (fun () ->
+      for r = 0 to reps - 1 do
+        S.apply_gate1 s gate (r mod n)
+      done)
+
+let gate_sizes ~quick = if quick then [ 12; 14 ] else [ 12; 14; 16; 18 ]
+let gate_grains ~quick = if quick then [ 2048; 8192 ] else [ 1024; 2048; 4096; 8192 ]
+let gate_rounds ~quick = if quick then 1 else 3
+let gate_reps ~quick dim =
+  let budget = if quick then 1 lsl 18 else 1 lsl 20 in
+  max (if quick then 2 else 4) (budget / dim)
+
+(* Best-of-[rounds] wall time for one (class, size, candidate): [mode]
+   pins the class to one scheduling path via its threshold. *)
+let time_candidate ~rounds cls s ~reps mode =
+  (match mode with
+  | `Seq -> S.set_class_threshold cls max_int
+  | `Par grain ->
+      S.set_class_threshold cls 1;
+      S.set_class_grain cls grain);
+  let gate = class_gate cls in
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    let ns = measure_gate s gate ~reps in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let sweep_class ~opts cls =
+  let name = S.kernel_class_name cls in
+  let sizes = gate_sizes ~quick:opts.quick in
+  let grains = gate_grains ~quick:opts.quick in
+  let rounds = gate_rounds ~quick:opts.quick in
+  let rows = ref [] in
+  let per_size =
+    List.map
+      (fun n ->
+        let dim = 1 lsl n in
+        let s = S.create n in
+        let reps = gate_reps ~quick:opts.quick dim in
+        let seq = time_candidate ~rounds cls s ~reps `Seq in
+        rows :=
+          { Tune_doc.kernel = name; size = dim; mode = Tune_doc.Seq;
+            m_grain = 1; ns = seq }
+          :: !rows;
+        let par =
+          List.map
+            (fun g ->
+              let ns = time_candidate ~rounds cls s ~reps (`Par g) in
+              rows :=
+                { Tune_doc.kernel = name; size = dim; mode = Tune_doc.Par;
+                  m_grain = g; ns }
+                :: !rows;
+              (g, ns))
+            grains
+        in
+        (dim, seq, par))
+      sizes
+  in
+  (* Threshold: smallest size where the best parallel candidate beats
+     sequential; beyond the swept range when none does. *)
+  let threshold =
+    match
+      List.find_opt
+        (fun (_, seq, par) ->
+          List.exists (fun (_, ns) -> ns < seq) par)
+        per_size
+    with
+    | Some (dim, _, _) -> dim
+    | None -> 2 * (1 lsl List.fold_left max 0 sizes)
+  in
+  (* Grain: fastest parallel candidate at the largest size. *)
+  let grain =
+    let _, _, par = List.nth per_size (List.length per_size - 1) in
+    fst
+      (List.fold_left
+         (fun (bg, bns) (g, ns) -> if ns < bns then (g, ns) else (bg, bns))
+         (List.hd par) (List.tl par))
+  in
+  ({ Tune_doc.name; threshold; grain }, List.rev !rows)
+
+(* ------------------------------------------------- map_chunks sweep *)
+
+(* A fixed CPU-bound item: enough PRNG draws that an item is worth
+   stealing, small enough that the whole sweep stays fast. *)
+let chunk_iters ~quick = if quick then 20_000 else 100_000
+
+let measure_map_chunks ~opts ~items ~iters mode =
+  let rng = Mathx.Rng.create opts.seed in
+  (match mode with
+  | `Seq ->
+      P.set_map_chunks_spawn_min max_int;
+      P.set_map_chunks_grain 1
+  | `Par grain ->
+      P.set_map_chunks_spawn_min 1;
+      P.set_map_chunks_grain grain);
+  timed_run
+    (fun dump -> spans_total_ns dump "tune.map_chunks")
+    (fun () ->
+      T.with_span "tune.map_chunks" (fun () ->
+          ignore
+            (P.map_chunks ~chunks:items
+               (fun ~chunk:_ ~rng ->
+                 let acc = ref 0.0 in
+                 for _ = 1 to iters do
+                   acc := !acc +. Mathx.Rng.float rng
+                 done;
+                 !acc)
+               ~rng)))
+
+let mc_items ~quick = if quick then [ 4; 16 ] else [ 2; 4; 8; 32 ]
+let mc_grains = [ 1; 2; 4 ]
+
+let sweep_map_chunks ~opts =
+  let name = "map_chunks" in
+  let iters = chunk_iters ~quick:opts.quick in
+  let rounds = gate_rounds ~quick:opts.quick in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let ns = f () in
+      if ns < !b then b := ns
+    done;
+    !b
+  in
+  let rows = ref [] in
+  let per_items =
+    List.map
+      (fun items ->
+        let seq = best (fun () -> measure_map_chunks ~opts ~items ~iters `Seq) in
+        rows :=
+          { Tune_doc.kernel = name; size = items; mode = Tune_doc.Seq;
+            m_grain = 1; ns = seq }
+          :: !rows;
+        let par =
+          List.map
+            (fun g ->
+              let ns =
+                best (fun () -> measure_map_chunks ~opts ~items ~iters (`Par g))
+              in
+              rows :=
+                { Tune_doc.kernel = name; size = items; mode = Tune_doc.Par;
+                  m_grain = g; ns }
+                :: !rows;
+              (g, ns))
+            mc_grains
+        in
+        (items, seq, par))
+      (mc_items ~quick:opts.quick)
+  in
+  let threshold =
+    match
+      List.find_opt
+        (fun (_, seq, par) -> List.exists (fun (_, ns) -> ns < seq) par)
+        per_items
+    with
+    | Some (items, _, _) -> items
+    | None ->
+        2 * List.fold_left (fun acc (i, _, _) -> max acc i) 0 per_items
+  in
+  let grain =
+    let _, _, par = List.nth per_items (List.length per_items - 1) in
+    fst
+      (List.fold_left
+         (fun (bg, bns) (g, ns) -> if ns < bns then (g, ns) else (bg, bns))
+         (List.hd par) (List.tl par))
+  in
+  ({ Tune_doc.name; threshold; grain }, List.rev !rows)
+
+(* ------------------------------------------------------------ sweep *)
+
+let sweep ?domains ?(quick = false) ?(seed = 2006) () =
+  let opts = { quick; seed; domains } in
+  (* The sweep mutates the live scheduling parameters candidate by
+     candidate; snapshot and restore them so `oqsc tune` leaves the
+     process exactly as configured before choosing anything. *)
+  let saved = Tune_doc.current () in
+  Fun.protect
+    ~finally:(fun () -> Tune_doc.apply saved)
+    (fun () ->
+      (match domains with
+      | None -> ()
+      | Some d -> P.set_domain_cap (Some d));
+      let classes =
+        List.map (fun c -> sweep_class ~opts c) S.kernel_classes
+      in
+      let mc_entry, mc_rows = sweep_map_chunks ~opts in
+      let kernels = mc_entry :: List.map fst classes in
+      let telemetry = List.concat_map snd classes @ mc_rows in
+      Tune_doc.make ~domains ~telemetry kernels)
+
+(* ----------------------------------------------------------- render *)
+
+let render fmt (t : Tune_doc.t) =
+  Format.fprintf fmt "== tuned scheduling profile ==@.";
+  Format.fprintf fmt "%-12s %12s %8s %14s@." "kernel" "threshold" "grain"
+    "par speedup";
+  Format.fprintf fmt "%s@." (String.make 50 '-');
+  List.iter
+    (fun (e : Tune_doc.entry) ->
+      (* Speedup of the chosen grain over sequential at the largest
+         swept size — the headline number a profile buys. *)
+      let rows =
+        List.filter
+          (fun (m : Tune_doc.measurement) -> m.kernel = e.name)
+          t.telemetry
+      in
+      let speedup =
+        match rows with
+        | [] -> "-"
+        | _ ->
+            let top = List.fold_left (fun a m -> max a m.Tune_doc.size) 0 rows in
+            let at_top = List.filter (fun m -> m.Tune_doc.size = top) rows in
+            let seq =
+              List.find_opt (fun m -> m.Tune_doc.mode = Tune_doc.Seq) at_top
+            in
+            let par =
+              List.find_opt
+                (fun m ->
+                  m.Tune_doc.mode = Tune_doc.Par
+                  && m.Tune_doc.m_grain = e.grain)
+                at_top
+            in
+            (match (seq, par) with
+            | Some s, Some p when p.Tune_doc.ns > 0.0 ->
+                Printf.sprintf "%.2fx" (s.Tune_doc.ns /. p.Tune_doc.ns)
+            | _ -> "-")
+      in
+      Format.fprintf fmt "%-12s %12d %8d %14s@." e.name e.threshold e.grain
+        speedup)
+    t.kernels;
+  (match t.domains with
+  | None -> ()
+  | Some d -> Format.fprintf fmt "domain cap: %d@." d);
+  Format.fprintf fmt "telemetry rows: %d@." (List.length t.telemetry)

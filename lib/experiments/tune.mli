@@ -1,0 +1,31 @@
+(** The trace-driven parameter sweep behind [oqsc tune].
+
+    {!sweep} replays timed micro-runs for every kernel the [oqsc-tune]
+    profile covers — the four state-vector gate classes on registers of
+    swept sizes, and the [Mathx.Parallel.map_chunks] experiment runner
+    on swept item counts — comparing the sequential path against
+    parallel candidates over a grain ladder.  Wall times are read back
+    out of the [Obs.Trace] timeline each micro-run records (the gate
+    classes from their [state.gate1] spans, the runner from an outer
+    span), so the sweep exercises exactly the instrumentation the rest
+    of the tooling consumes.
+
+    The sweep mutates the live scheduling parameters while it measures
+    and restores them before returning; the process is left configured
+    as it started.  Timings are machine-dependent telemetry — the
+    chosen parameters may differ between runs, and by the pure-
+    scheduling contract ([docs/SCHEMA.md]) that never changes any gated
+    JSON byte. *)
+
+val sweep : ?domains:int -> ?quick:bool -> ?seed:int -> unit -> Tune_doc.t
+(** Run the full sweep and return the chosen profile, its telemetry
+    section holding every micro-run measured.  [~quick] sweeps fewer
+    sizes, grains and rounds (seconds instead of a minute) — the CI
+    setting.  [~seed] (default 2006) feeds the [map_chunks] workload's
+    PRNG; [~domains] caps the domain count during the sweep and is
+    recorded in the profile. *)
+
+val render : Format.formatter -> Tune_doc.t -> unit
+(** Human-readable summary table: one row per kernel with the chosen
+    threshold and grain, plus the parallel speedup measured at the
+    largest swept size. *)

@@ -1,0 +1,339 @@
+(* The [oqsc-tune] v1 profile document (normative spec: docs/SCHEMA.md).
+
+   A profile records one scheduling parameter pair — parallel threshold
+   and chunk grain — per kernel class of the state-vector backend
+   (Quantum.State: tlayer / diagonal / real / general) plus one for the
+   Mathx.Parallel.map_chunks experiment runner, and an optional global
+   domain cap.  Loading a profile (CLI --tune-profile, or the
+   OQSC_TUNE_PROFILE environment variable) is pure scheduling: every
+   parameter it can set is one the backend already guarantees never
+   changes results, so any valid profile yields byte-identical gated
+   JSON — the invariant the CI tune stage cmp-enforces.
+
+   Parsing is strict in both directions, like the serve protocol codec:
+   unknown keys anywhere, unknown kernel names, duplicated or missing
+   kernels, and non-positive thresholds/grains are all rejected, so a
+   profile that parses is a profile the loader fully understands. *)
+
+module S = Quantum.State
+module P = Mathx.Parallel
+
+(* "map_chunks" rides along with the four State class names; for it,
+   [threshold] is the minimum item count at which the runner spawns
+   domains and [grain] is the number of consecutive items a worker
+   steals at a time. *)
+let map_chunks_name = "map_chunks"
+
+let kernel_names =
+  List.sort String.compare
+    (map_chunks_name :: List.map S.kernel_class_name S.kernel_classes)
+
+type entry = { name : string; threshold : int; grain : int }
+
+type mode = Seq | Par
+
+type measurement = {
+  kernel : string;
+  size : int;
+  mode : mode;
+  m_grain : int;
+  ns : float;
+}
+
+type t = {
+  domains : int option;
+  kernels : entry list;  (* sorted by name; exactly [kernel_names] *)
+  telemetry : measurement list;
+}
+
+let sort_kernels ks =
+  List.sort (fun a b -> String.compare a.name b.name) ks
+
+let make ?(domains = None) ?(telemetry = []) kernels =
+  { domains; kernels = sort_kernels kernels; telemetry }
+
+(* The built-in defaults: what the backend runs with when no profile is
+   loaded.  Kept in one place so [current]/[apply] round-trip and the
+   test suite can restore a pristine state. *)
+let default =
+  make
+    ({
+       name = map_chunks_name;
+       threshold = P.default_map_chunks_spawn_min;
+       grain = P.default_map_chunks_grain;
+     }
+    :: List.map
+         (fun c ->
+           {
+             name = S.kernel_class_name c;
+             threshold = S.default_par_threshold;
+             grain = P.default_map_grain;
+           })
+         S.kernel_classes)
+
+(* ------------------------------------------------------------ emit *)
+
+let mode_name = function Seq -> "seq" | Par -> "par"
+
+let measurement_obj m =
+  Json.Obj
+    [
+      ("grain", Json.Int m.m_grain);
+      ("kernel", Json.Str m.kernel);
+      ("mode", Json.Str (mode_name m.mode));
+      ("ns", Json.Float m.ns);
+      ("size", Json.Int m.size);
+    ]
+
+let document t =
+  Json.Obj
+    ([
+       ("kind", Json.Str "oqsc-tune");
+       ("version", Json.Int 1);
+       ( "domains",
+         match t.domains with None -> Json.Null | Some d -> Json.Int d );
+       ( "kernels",
+         Json.List
+           (List.map
+              (fun e ->
+                Json.Obj
+                  [
+                    ("grain", Json.Int e.grain);
+                    ("name", Json.Str e.name);
+                    ("threshold", Json.Int e.threshold);
+                  ])
+              (sort_kernels t.kernels)) );
+     ]
+    @
+    match t.telemetry with
+    | [] -> []
+    | ms -> [ ("telemetry", Json.List (List.map measurement_obj ms)) ])
+
+let to_string t = Json.to_string (document t)
+
+(* ----------------------------------------------------------- parse *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf Result.error fmt
+
+let check_keys what allowed fields =
+  let rec go = function
+    | [] -> Ok ()
+    | (k, _) :: rest ->
+        if List.mem k allowed then go rest else err "%s: unknown key %S" what k
+  in
+  go fields
+
+let get_int what key fields =
+  match List.assoc_opt key fields with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> err "%s: %S must be an integer" what key
+  | None -> err "%s: missing key %S" what key
+
+let get_str what key fields =
+  match List.assoc_opt key fields with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> err "%s: %S must be a string" what key
+  | None -> err "%s: missing key %S" what key
+
+let parse_entry = function
+  | Json.Obj fields ->
+      let what = "kernel entry" in
+      let* () = check_keys what [ "grain"; "name"; "threshold" ] fields in
+      let* name = get_str what "name" fields in
+      let* () =
+        if List.mem name kernel_names then Ok ()
+        else err "%s: unknown kernel %S" what name
+      in
+      let what = Printf.sprintf "kernel %S" name in
+      let* threshold = get_int what "threshold" fields in
+      let* () =
+        if threshold >= 1 then Ok ()
+        else err "%s: threshold must be positive (got %d)" what threshold
+      in
+      let* grain = get_int what "grain" fields in
+      let* () =
+        if grain >= 1 then Ok ()
+        else err "%s: grain must be positive (got %d)" what grain
+      in
+      Ok { name; threshold; grain }
+  | _ -> err "kernel entry: expected an object"
+
+let parse_measurement = function
+  | Json.Obj fields ->
+      let what = "telemetry row" in
+      let* () =
+        check_keys what [ "grain"; "kernel"; "mode"; "ns"; "size" ] fields
+      in
+      let* kernel = get_str what "kernel" fields in
+      let* () =
+        if List.mem kernel kernel_names then Ok ()
+        else err "%s: unknown kernel %S" what kernel
+      in
+      let* mode =
+        match List.assoc_opt "mode" fields with
+        | Some (Json.Str "seq") -> Ok Seq
+        | Some (Json.Str "par") -> Ok Par
+        | Some _ | None -> err "%s: mode must be \"seq\" or \"par\"" what
+      in
+      let* m_grain = get_int what "grain" fields in
+      let* () =
+        if m_grain >= 1 then Ok () else err "%s: grain must be positive" what
+      in
+      let* size = get_int what "size" fields in
+      let* () =
+        if size >= 1 then Ok () else err "%s: size must be positive" what
+      in
+      let* ns =
+        match List.assoc_opt "ns" fields with
+        | Some (Json.Float f) -> Ok f
+        | Some (Json.Int i) -> Ok (float_of_int i)
+        | Some _ | None -> err "%s: ns must be a number" what
+      in
+      let* () =
+        if Float.is_finite ns && ns >= 0.0 then Ok ()
+        else err "%s: ns must be finite and non-negative" what
+      in
+      Ok { kernel; size; mode; m_grain; ns }
+  | _ -> err "telemetry row: expected an object"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let parse = function
+  | Json.Obj fields ->
+      let what = "oqsc-tune" in
+      let* () =
+        check_keys what
+          [ "kind"; "version"; "domains"; "kernels"; "telemetry" ]
+          fields
+      in
+      let* kind = get_str what "kind" fields in
+      let* () =
+        if kind = "oqsc-tune" then Ok ()
+        else err "%s: kind must be \"oqsc-tune\" (got %S)" what kind
+      in
+      let* version = get_int what "version" fields in
+      let* () =
+        if version = 1 then Ok ()
+        else err "%s: unsupported version %d" what version
+      in
+      let* domains =
+        match List.assoc_opt "domains" fields with
+        | Some Json.Null -> Ok None
+        | Some (Json.Int d) when d >= 1 -> Ok (Some d)
+        | Some _ -> err "%s: domains must be null or a positive integer" what
+        | None -> err "%s: missing key \"domains\"" what
+      in
+      let* kernels =
+        match List.assoc_opt "kernels" fields with
+        | Some (Json.List entries) -> map_result parse_entry entries
+        | Some _ -> err "%s: kernels must be a list" what
+        | None -> err "%s: missing key \"kernels\"" what
+      in
+      let names = List.sort String.compare (List.map (fun e -> e.name) kernels) in
+      let* () =
+        if names = kernel_names then Ok ()
+        else
+          err "%s: kernels must name each of %s exactly once" what
+            (String.concat ", " kernel_names)
+      in
+      let* telemetry =
+        match List.assoc_opt "telemetry" fields with
+        | None -> Ok []
+        | Some (Json.List ms) -> map_result parse_measurement ms
+        | Some _ -> err "%s: telemetry must be a list" what
+      in
+      Ok (make ~domains ~telemetry kernels)
+  | _ -> err "oqsc-tune: expected a top-level object"
+
+let parse_string raw =
+  match Json.parse raw with
+  | Error msg -> Error msg
+  | Ok doc -> parse doc
+
+(* ------------------------------------------------------ load/apply *)
+
+let entry t name = List.find (fun e -> e.name = name) t.kernels
+
+let apply t =
+  List.iter
+    (fun c ->
+      let e = entry t (S.kernel_class_name c) in
+      S.set_class_threshold c e.threshold;
+      S.set_class_grain c e.grain)
+    S.kernel_classes;
+  let mc = entry t map_chunks_name in
+  P.set_map_chunks_spawn_min mc.threshold;
+  P.set_map_chunks_grain mc.grain;
+  P.set_domain_cap t.domains
+
+let current () =
+  make ~domains:(P.domain_cap ())
+    ({
+       name = map_chunks_name;
+       threshold = P.map_chunks_spawn_min ();
+       grain = P.map_chunks_grain ();
+     }
+    :: List.map
+         (fun c ->
+           {
+             name = S.kernel_class_name c;
+             threshold = S.class_threshold c;
+             grain = S.class_grain c;
+           })
+         S.kernel_classes)
+
+(* ------------------------------------------------------------ lint *)
+
+type lint_report = { kernels : int; rows : int; domains : int option }
+
+let lint doc =
+  match parse doc with
+  | Error msg -> Error [ msg ]
+  | Ok t ->
+      (* Self-consistency beyond the schema: when the document carries
+         the sweep telemetry it was derived from, the chosen parameters
+         must be traceable to it — the grain must have been measured on
+         the kernel's parallel path, and the threshold must be one of
+         the measured sizes unless it lies beyond all of them (the
+         "stay sequential in the swept range" sentinel). *)
+      let problems = ref [] in
+      let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      List.iter
+        (fun e ->
+          let rows = List.filter (fun m -> m.kernel = e.name) t.telemetry in
+          if rows <> [] then begin
+            let par_grains =
+              List.filter_map
+                (fun m -> if m.mode = Par then Some m.m_grain else None)
+                rows
+            in
+            if par_grains <> [] && not (List.mem e.grain par_grains) then
+              problem
+                "kernel %S: chosen grain %d was never measured (telemetry \
+                 par grains: %s)"
+                e.name e.grain
+                (String.concat ", " (List.map string_of_int par_grains));
+            let sizes = List.map (fun m -> m.size) rows in
+            let beyond = List.for_all (fun s -> e.threshold > s) sizes in
+            if (not beyond) && not (List.mem e.threshold sizes) then
+              problem
+                "kernel %S: threshold %d is neither a measured size nor \
+                 beyond the swept range"
+                e.name e.threshold
+          end)
+        t.kernels;
+      if !problems <> [] then Error (List.rev !problems)
+      else
+        Ok
+          {
+            kernels = List.length t.kernels;
+            rows = List.length t.telemetry;
+            domains = t.domains;
+          }

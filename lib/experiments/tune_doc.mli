@@ -1,0 +1,89 @@
+(** The [oqsc-tune] v1 tuning-profile document.
+
+    A profile carries one [{threshold, grain}] pair per kernel class of
+    the state-vector backend ([tlayer], [diagonal], [real], [general];
+    see [Quantum.State.kernel_class]) plus one for the
+    [Mathx.Parallel.map_chunks] experiment runner (threshold = minimum
+    item count to spawn domains, grain = consecutive items stolen per
+    worker task), and an optional global domain cap.  The normative
+    document spec lives in [docs/SCHEMA.md].
+
+    Every parameter a profile can set is {e pure scheduling}: the
+    backend guarantees thresholds, grains, and domain counts never
+    change results, so loading {e any} valid profile yields gated JSON
+    byte-identical to a default run — the invariant the CI tune stage
+    enforces with [cmp].
+
+    Parsing is strict in both directions: unknown keys anywhere in the
+    document, unknown kernel names, missing or duplicated kernels, and
+    non-positive thresholds or grains are all rejected. *)
+
+val kernel_names : string list
+(** The five kernel names a profile must cover exactly once each, in
+    sorted order: ["diagonal"; "general"; "map_chunks"; "real";
+    "tlayer"]. *)
+
+type entry = { name : string; threshold : int; grain : int }
+
+type mode = Seq | Par
+
+type measurement = {
+  kernel : string;  (** one of {!kernel_names} *)
+  size : int;  (** register dimension, or [map_chunks] item count *)
+  mode : mode;  (** which scheduling path was timed *)
+  m_grain : int;  (** grain under test (1 on sequential rows) *)
+  ns : float;  (** best observed wall time, nanoseconds *)
+}
+(** One timed micro-run from the sweep that produced the profile —
+    telemetry, carried so a profile documents its own derivation and
+    {!lint} can check the chosen parameters against it. *)
+
+type t = {
+  domains : int option;
+  kernels : entry list;  (** sorted by name; exactly {!kernel_names} *)
+  telemetry : measurement list;
+}
+
+val make :
+  ?domains:int option -> ?telemetry:measurement list -> entry list -> t
+(** Normalising constructor: sorts the entries by name.  (Validation —
+    completeness, positivity — happens in {!parse}; [make] trusts its
+    caller.) *)
+
+val default : t
+(** The built-in scheduling parameters: what the backend runs with when
+    no profile is loaded.  Applying it is a no-op by construction. *)
+
+val document : t -> Json.t
+(** Render as the canonical [oqsc-tune] v1 document: kernels sorted by
+    name, the [telemetry] key omitted when the list is empty.  Equal
+    profiles produce identical bytes through the shared emitter. *)
+
+val to_string : t -> string
+(** [Json.to_string] of {!document}. *)
+
+val parse : Json.t -> (t, string) result
+(** Strict inverse of {!document}: [parse (document t) = Ok t] for any
+    [t] built by {!make}. *)
+
+val parse_string : string -> (t, string) result
+(** {!Json.parse} then {!parse}. *)
+
+val apply : t -> unit
+(** Install the profile: per-class thresholds and grains into
+    [Quantum.State], the [map_chunks] pair and the domain cap into
+    [Mathx.Parallel].  Affects scheduling only, never results. *)
+
+val current : unit -> t
+(** Snapshot the live scheduling parameters as a profile (telemetry
+    empty) — [apply (current ())] is a no-op, and tests use it to
+    save/restore state around profile experiments. *)
+
+type lint_report = { kernels : int; rows : int; domains : int option }
+
+val lint : Json.t -> (lint_report, string list) result
+(** Schema validation plus self-consistency: when telemetry is present
+    for a kernel, its chosen grain must appear among the measured
+    parallel grains, and its threshold must be a measured size unless
+    it lies beyond the whole swept range (the stay-sequential
+    sentinel).  Returns every problem found, or a summary. *)

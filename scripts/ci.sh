@@ -8,19 +8,28 @@
 #
 # With no argument every stage runs in order — the full local gate.
 # Naming a stage runs just that section (what the GitHub Actions matrix
-# fans out across jobs): build, docs, tests, smoke, trace, compiled,
-# shard, serve, serve-soak, audit, bench, baseline.
+# fans out across jobs); $stages below is the one authoritative list.
 set -eu
 
+# Single source of truth for the stage list: both the usage string and
+# the dispatch whitelist derive from it, so adding a stage in one place
+# cannot silently drift from the other (the tune stage smoke-tests
+# this by running an unknown stage name).
+stages="build docs tests smoke trace compiled shard serve serve-soak tune audit bench baseline"
+
+usage() { echo "usage: scripts/ci.sh [$(echo "$stages" | tr ' ' '|')]"; }
+
 stage="${1:-all}"
-case "$stage" in
-  all|build|docs|tests|smoke|trace|compiled|shard|serve|serve-soak|audit|bench|baseline) ;;
-  *)
-    echo "unknown stage '$stage'" >&2
-    echo "usage: scripts/ci.sh [build|docs|tests|smoke|trace|compiled|shard|serve|serve-soak|audit|bench|baseline]" >&2
-    exit 2
-    ;;
-esac
+stage_known=false
+[ "$stage" = all ] && stage_known=true
+for s in $stages; do
+  [ "$stage" = "$s" ] && stage_known=true
+done
+if ! "$stage_known"; then
+  echo "unknown stage '$stage'" >&2
+  usage >&2
+  exit 2
+fi
 want() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
 
 cd "$(dirname "$0")/.."
@@ -372,6 +381,76 @@ if want serve-soak; then
   fi
   awk -v f="$fresh" -v b="$base" \
     'BEGIN { exit !(f + 0 > 0 && b + 0 > 0 && f + 0 <= 25 * b) }'
+fi
+
+if want tune; then
+  echo "== tune profile pipeline =="
+  # Stage-dispatch self-test: an unknown stage must fail fast with exit
+  # code 2 and the usage line, never fall through to the full gate.
+  set +e
+  bogus_out="$(sh scripts/ci.sh bogus-stage 2>&1)"
+  bogus_rc=$?
+  set -e
+  [ "$bogus_rc" -eq 2 ]
+  echo "$bogus_out" | grep -q '^usage: scripts/ci.sh'
+
+  # A fresh quick sweep must emit a profile that parses and is
+  # self-consistent against its own telemetry — and so must the
+  # committed dated profile.
+  dune exec bin/oqsc_cli.exe -- tune --quick --quiet --json "$tmp/tune.json"
+  dune exec bin/oqsc_cli.exe -- tune-lint "$tmp/tune.json"
+  dune exec bin/oqsc_cli.exe -- tune-lint TUNE_2026-08-08.json
+
+  # The profile contract (docs/SCHEMA.md): profiles move scheduling
+  # only, so ANY valid profile must leave gated bytes untouched.
+  # Compare run-all and space-audit documents against defaults under
+  # (a) the fresh sweep's profile via --tune-profile, (b) the committed
+  # profile via the OQSC_TUNE_PROFILE environment route, and (c) a
+  # handwritten extreme profile (threshold 1, grain 1, domain cap 2)
+  # that drags every kernel onto the chunked path.
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --json "$tmp/tune_ra_default.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet \
+    --json "$tmp/tune_sa_default.json"
+
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --tune-profile "$tmp/tune.json" --json "$tmp/tune_ra_fresh.json"
+  cmp "$tmp/tune_ra_default.json" "$tmp/tune_ra_fresh.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet \
+    --tune-profile "$tmp/tune.json" --json "$tmp/tune_sa_fresh.json"
+  cmp "$tmp/tune_sa_default.json" "$tmp/tune_sa_fresh.json"
+
+  OQSC_TUNE_PROFILE=TUNE_2026-08-08.json dune exec bin/oqsc_cli.exe -- \
+    run-all --quick --quiet --json "$tmp/tune_ra_env.json"
+  cmp "$tmp/tune_ra_default.json" "$tmp/tune_ra_env.json"
+  OQSC_TUNE_PROFILE=TUNE_2026-08-08.json dune exec bin/oqsc_cli.exe -- \
+    space-audit --quick --quiet --json "$tmp/tune_sa_env.json"
+  cmp "$tmp/tune_sa_default.json" "$tmp/tune_sa_env.json"
+
+  cat > "$tmp/tune_extreme.json" <<'EOF'
+{"domains": 2, "kernels": [
+  {"grain": 1, "name": "diagonal", "threshold": 1},
+  {"grain": 1, "name": "general", "threshold": 1},
+  {"grain": 1, "name": "map_chunks", "threshold": 1},
+  {"grain": 1, "name": "real", "threshold": 1},
+  {"grain": 1, "name": "tlayer", "threshold": 1}],
+ "kind": "oqsc-tune", "version": 1}
+EOF
+  dune exec bin/oqsc_cli.exe -- tune-lint "$tmp/tune_extreme.json"
+  dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+    --tune-profile "$tmp/tune_extreme.json" --json "$tmp/tune_ra_extreme.json"
+  cmp "$tmp/tune_ra_default.json" "$tmp/tune_ra_extreme.json"
+  dune exec bin/oqsc_cli.exe -- space-audit --quick --quiet \
+    --tune-profile "$tmp/tune_extreme.json" --json "$tmp/tune_sa_extreme.json"
+  cmp "$tmp/tune_sa_default.json" "$tmp/tune_sa_extreme.json"
+
+  # Rejection discipline: a profile with an unknown key must fail both
+  # the linter and any command asked to load it, before anything runs.
+  sed 's/"kind"/"surprise": 1, "kind"/' "$tmp/tune_extreme.json" \
+    > "$tmp/tune_bad.json"
+  ! dune exec bin/oqsc_cli.exe -- tune-lint "$tmp/tune_bad.json" 2>/dev/null
+  ! dune exec bin/oqsc_cli.exe -- run-all --quick --quiet \
+      --tune-profile "$tmp/tune_bad.json" 2>/dev/null
 fi
 
 if want audit; then

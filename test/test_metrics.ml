@@ -55,8 +55,22 @@ let feed r (counters, gauges, samples) =
   List.iter (fun n -> M.gauge_add ~registry:r "g" n) gauges;
   List.iter (M.observe ~registry:r "h") samples
 
+(* Samples for the merge law must sum exactly: the merged registry adds
+   the two partial histogram sums while the reference feeds every sample
+   in sequence, so with arbitrary doubles the two totals can differ in
+   the last ulp and (rarely) straddle a 12-digit rendering boundary.
+   Dyadic rationals with small numerators keep both fold orders exact;
+   nan/infinity stay in because they propagate identically either way. *)
+let exact_sample_gen =
+  QCheck.(
+    oneof
+      [
+        map (fun n -> float_of_int (n - 800) /. 16.0) (int_bound 1600);
+        oneofl [ 0.; 1.; 1024.; nan; infinity; neg_infinity ];
+      ])
+
 let stream_gen =
-  QCheck.(triple (list small_nat) (list small_signed_int) (list sample_gen))
+  QCheck.(triple (list small_nat) (list small_signed_int) (list exact_sample_gen))
 
 let prop_merge_law =
   QCheck.Test.make ~count:200
